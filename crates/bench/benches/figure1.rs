@@ -1,0 +1,29 @@
+//! Regenerates Figure 1 (Ptot vs Vdd at several activities) and benches
+//! the constraint-curve sweep + optimisation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_figure1(c: &mut Criterion) {
+    let fig = optpower_report::figure1(256).expect("figure1 reproduces");
+    println!("\n{}", optpower_report::render_figure1(&fig));
+
+    c.bench_function("figure1/four_activity_curves_256pts", |b| {
+        b.iter(|| optpower_report::figure1(256).expect("reproduces"))
+    });
+}
+
+fn config() -> Criterion {
+    // Short measurement windows: each payload is deterministic model
+    // code, and the bench's main job is regenerating the artefacts.
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(core::time::Duration::from_secs(3))
+        .warm_up_time(core::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_figure1
+}
+criterion_main!(benches);

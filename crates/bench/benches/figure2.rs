@@ -1,0 +1,33 @@
+//! Regenerates Figure 2 (the Vdd^{1/alpha} linearisation) and benches
+//! the least-squares fit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use optpower_tech::Linearization;
+
+fn bench_figure2(c: &mut Criterion) {
+    let fig = optpower_report::figure2(601).expect("figure2 reproduces");
+    println!("\n{}", optpower_report::render_figure2(&fig));
+
+    c.bench_function("figure2/fit_alpha_1_5", |b| {
+        b.iter(|| optpower_report::figure2(601).expect("reproduces"))
+    });
+    c.bench_function("figure2/linearization_fit_only", |b| {
+        b.iter(|| Linearization::fit_paper_range(1.86).expect("fits"))
+    });
+}
+
+fn config() -> Criterion {
+    // Short measurement windows: each payload is deterministic model
+    // code, and the bench's main job is regenerating the artefacts.
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(core::time::Duration::from_secs(3))
+        .warm_up_time(core::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_figure2
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Micro-benchmarks of the model kernels: Eq. 1 evaluation, the
+//! numerical optimiser, the closed form, and reverse calibration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use optpower::calibrate::from_breakdown;
+use optpower::reference::{PAPER_FREQUENCY, TABLE1};
+use optpower::{ArchParams, PowerModel};
+use optpower_tech::{Flavor, Technology};
+use optpower_units::{Farads, Volts, Watts};
+use std::hint::black_box;
+
+fn rca_model() -> PowerModel {
+    let arch = ArchParams::builder("RCA")
+        .cells(608)
+        .activity(0.5056)
+        .logical_depth(61.0)
+        .cap_per_cell(Farads::new(70.5e-15))
+        .build()
+        .expect("valid params");
+    PowerModel::from_technology(
+        Technology::stm_cmos09(Flavor::LowLeakage),
+        arch,
+        PAPER_FREQUENCY,
+    )
+    .expect("valid model")
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let model = rca_model();
+    c.bench_function("kernels/eq1_power_at", |b| {
+        b.iter(|| model.power_at(black_box(Volts::new(0.478)), black_box(Volts::new(0.213))))
+    });
+    c.bench_function("kernels/optimize_golden", |b| {
+        b.iter(|| model.optimize().expect("solves"))
+    });
+    c.bench_function("kernels/closed_form_eq13", |b| {
+        b.iter(|| model.closed_form().expect("solves"))
+    });
+    let tech = Technology::stm_cmos09(Flavor::LowLeakage);
+    let row = &TABLE1[0];
+    c.bench_function("kernels/reverse_calibration", |b| {
+        b.iter(|| {
+            from_breakdown(
+                &tech,
+                Volts::new(row.vdd),
+                Volts::new(row.vth),
+                Watts::new(row.pdyn_uw * 1e-6),
+                Watts::new(row.pstat_uw * 1e-6),
+                f64::from(row.cells),
+                row.activity,
+                PAPER_FREQUENCY,
+            )
+            .expect("calibrates")
+        })
+    });
+    c.bench_function("kernels/off_current", |b| {
+        b.iter(|| tech.off_current(black_box(Volts::new(0.213))))
+    });
+}
+
+fn config() -> Criterion {
+    // Short measurement windows: each payload is deterministic model
+    // code, and the bench's main job is regenerating the artefacts.
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(core::time::Duration::from_secs(3))
+        .warm_up_time(core::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,329 @@
+//! Architectural parameters of a circuit: the `N`, `a`, `LD`, `C` set
+//! that Eq. 13 consumes.
+
+use optpower_units::{Farads, SquareMicrons};
+
+use crate::ModelError;
+
+/// The architectural parameter set of one circuit implementation.
+///
+/// * `cells` — number of cells `N`,
+/// * `activity` — average cell activity `a` (switching cells per clock
+///   cycle over total cells, *with respect to the throughput clock*, so
+///   sequential architectures can legitimately exceed 1, cf. the basic
+///   sequential multiplier's a = 2.9152 in Table 1),
+/// * `logical_depth` — effective logical depth `LD` in gate delays
+///   (fractional values arise from averaging over pipeline stages,
+///   e.g. 15.75 for RCA parallel-4),
+/// * `cap_per_cell` — equivalent cell capacitance `C` (includes the
+///   lumped short-circuit contribution, per the paper's Eq. 1 note),
+/// * `area` — optional silicon area, reported in Table 1 but not used
+///   by the power model.
+///
+/// # Examples
+///
+/// ```
+/// use optpower::ArchParams;
+/// use optpower_units::Farads;
+///
+/// let wallace = ArchParams::builder("Wallace")
+///     .cells(729)
+///     .activity(0.2976)
+///     .logical_depth(17.0)
+///     .cap_per_cell(Farads::new(60.0e-15))
+///     .build()?;
+/// assert_eq!(wallace.cells(), 729.0);
+/// # Ok::<(), optpower::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchParams {
+    name: String,
+    cells: f64,
+    activity: f64,
+    logical_depth: f64,
+    cap_per_cell: Farads,
+    area: Option<SquareMicrons>,
+}
+
+impl ArchParams {
+    /// Starts building an [`ArchParams`] for the named architecture.
+    pub fn builder(name: impl Into<String>) -> ArchParamsBuilder {
+        ArchParamsBuilder {
+            name: name.into(),
+            cells: 0.0,
+            activity: 0.0,
+            logical_depth: 0.0,
+            cap_per_cell: Farads::ZERO,
+            area: None,
+        }
+    }
+
+    /// Architecture name (e.g. `"RCA hor.pipe2"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Cell count `N`.
+    pub fn cells(&self) -> f64 {
+        self.cells
+    }
+
+    /// Average cell activity `a` relative to the throughput clock.
+    pub fn activity(&self) -> f64 {
+        self.activity
+    }
+
+    /// Effective logical depth `LD` in gate delays.
+    pub fn logical_depth(&self) -> f64 {
+        self.logical_depth
+    }
+
+    /// Equivalent per-cell capacitance `C`.
+    pub fn cap_per_cell(&self) -> Farads {
+        self.cap_per_cell
+    }
+
+    /// Silicon area, if known.
+    pub fn area(&self) -> Option<SquareMicrons> {
+        self.area
+    }
+
+    /// Total switched capacitance per cycle, `N·a·C`.
+    pub fn switched_cap(&self) -> Farads {
+        self.cap_per_cell * (self.cells * self.activity)
+    }
+
+    /// Returns a copy with a different per-cell capacitance (used by
+    /// the calibration flow, which solves for `C` after the structural
+    /// parameters are known).
+    pub fn with_cap_per_cell(mut self, cap: Farads) -> Self {
+        self.cap_per_cell = cap;
+        self
+    }
+
+    /// Returns a copy with a different activity (Figure 1 sweeps the
+    /// activity of a fixed architecture).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidArchParameter`] if `activity` is not a
+    /// positive finite number.
+    pub fn with_activity(mut self, activity: f64) -> Result<Self, ModelError> {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must fail the check
+        if !(activity > 0.0) || !activity.is_finite() {
+            return Err(ModelError::InvalidArchParameter {
+                field: "activity",
+                value: activity,
+            });
+        }
+        self.activity = activity;
+        Ok(self)
+    }
+}
+
+/// Builder for [`ArchParams`]; see [`ArchParams::builder`].
+#[derive(Debug, Clone)]
+pub struct ArchParamsBuilder {
+    name: String,
+    cells: f64,
+    activity: f64,
+    logical_depth: f64,
+    cap_per_cell: Farads,
+    area: Option<SquareMicrons>,
+}
+
+impl ArchParamsBuilder {
+    /// Sets the cell count `N`.
+    pub fn cells(mut self, cells: u32) -> Self {
+        self.cells = f64::from(cells);
+        self
+    }
+
+    /// Sets the average cell activity `a`. Values above 1 are legal for
+    /// sequential architectures (internal clock faster than throughput).
+    pub fn activity(mut self, activity: f64) -> Self {
+        self.activity = activity;
+        self
+    }
+
+    /// Sets the effective logical depth `LD` (may be fractional).
+    pub fn logical_depth(mut self, ld: f64) -> Self {
+        self.logical_depth = ld;
+        self
+    }
+
+    /// Sets the equivalent per-cell capacitance `C`.
+    pub fn cap_per_cell(mut self, cap: Farads) -> Self {
+        self.cap_per_cell = cap;
+        self
+    }
+
+    /// Sets the (optional, informational) silicon area.
+    pub fn area(mut self, area: SquareMicrons) -> Self {
+        self.area = Some(area);
+        self
+    }
+
+    /// Validates and builds the [`ArchParams`].
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidArchParameter`] when any of `cells`,
+    /// `activity`, `logical_depth` or `cap_per_cell` is not a positive
+    /// finite number, or `activity > 16` (an activity larger than the
+    /// 16 internal cycles of the widest sequential design in scope is
+    /// certainly a bug).
+    pub fn build(self) -> Result<ArchParams, ModelError> {
+        let check = |ok: bool, field: &'static str, value: f64| {
+            if ok && value.is_finite() {
+                Ok(())
+            } else {
+                Err(ModelError::InvalidArchParameter { field, value })
+            }
+        };
+        check(self.cells >= 1.0, "cells", self.cells)?;
+        check(
+            self.activity > 0.0 && self.activity <= 16.0,
+            "activity",
+            self.activity,
+        )?;
+        check(
+            self.logical_depth >= 1.0,
+            "logical_depth",
+            self.logical_depth,
+        )?;
+        check(
+            self.cap_per_cell.value() > 0.0,
+            "cap_per_cell",
+            self.cap_per_cell.value(),
+        )?;
+        Ok(ArchParams {
+            name: self.name,
+            cells: self.cells,
+            activity: self.activity,
+            logical_depth: self.logical_depth,
+            cap_per_cell: self.cap_per_cell,
+            area: self.area,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rca() -> ArchParams {
+        ArchParams::builder("RCA")
+            .cells(608)
+            .activity(0.5056)
+            .logical_depth(61.0)
+            .cap_per_cell(Farads::new(70.5e-15))
+            .area(SquareMicrons::new(11038.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let a = rca();
+        assert_eq!(a.name(), "RCA");
+        assert_eq!(a.cells(), 608.0);
+        assert_eq!(a.activity(), 0.5056);
+        assert_eq!(a.logical_depth(), 61.0);
+        assert_eq!(a.cap_per_cell(), Farads::new(70.5e-15));
+        assert_eq!(a.area(), Some(SquareMicrons::new(11038.0)));
+    }
+
+    #[test]
+    fn switched_cap_product() {
+        let a = rca();
+        let expect = 608.0 * 0.5056 * 70.5e-15;
+        assert!((a.switched_cap().value() - expect).abs() < 1e-24);
+    }
+
+    #[test]
+    fn sequential_activity_above_one_is_legal() {
+        // Table 1: basic sequential multiplier has a = 2.9152.
+        let a = ArchParams::builder("Sequential")
+            .cells(290)
+            .activity(2.9152)
+            .logical_depth(224.0)
+            .cap_per_cell(Farads::new(50.0e-15))
+            .build();
+        assert!(a.is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_activity() {
+        let err = ArchParams::builder("x")
+            .cells(10)
+            .activity(0.0)
+            .logical_depth(5.0)
+            .cap_per_cell(Farads::new(1e-15))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::InvalidArchParameter {
+                field: "activity",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_absurd_activity() {
+        let err = ArchParams::builder("x")
+            .cells(10)
+            .activity(20.0)
+            .logical_depth(5.0)
+            .cap_per_cell(Farads::new(1e-15))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::InvalidArchParameter { .. }));
+    }
+
+    #[test]
+    fn rejects_zero_cells_and_depth() {
+        assert!(ArchParams::builder("x")
+            .cells(0)
+            .activity(0.5)
+            .logical_depth(5.0)
+            .cap_per_cell(Farads::new(1e-15))
+            .build()
+            .is_err());
+        assert!(ArchParams::builder("x")
+            .cells(10)
+            .activity(0.5)
+            .logical_depth(0.5)
+            .cap_per_cell(Farads::new(1e-15))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_nan_capacitance() {
+        let err = ArchParams::builder("x")
+            .cells(10)
+            .activity(0.5)
+            .logical_depth(5.0)
+            .cap_per_cell(Farads::new(f64::NAN))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::InvalidArchParameter {
+                field: "cap_per_cell",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn with_activity_validates() {
+        let a = rca();
+        assert!(a.clone().with_activity(0.25).is_ok());
+        assert!(a.clone().with_activity(-0.1).is_err());
+        assert!(a.with_activity(f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Error type shared by the model-building and solving APIs.
+
+use core::fmt;
+
+use optpower_numeric::NumericError;
+use optpower_tech::TechError;
+
+/// Errors from building or solving a [`crate::PowerModel`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// An architectural parameter is out of its physical range.
+    InvalidArchParameter {
+        /// Which field was invalid.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The requested frequency is not positive.
+    InvalidFrequency {
+        /// The offending value in hertz.
+        hertz: f64,
+    },
+    /// The closed form requires `χ·A < 1`; the architecture is too slow
+    /// for the requested frequency in this technology (`1 − χA` would
+    /// be zero or negative, cf. the denominator of Eq. 13).
+    ArchitectureTooSlow {
+        /// The χ·A product that violated the bound.
+        chi_a: f64,
+    },
+    /// The closed form's logarithm argument is not positive — leakage
+    /// calibration and dynamic load are inconsistent.
+    DegenerateLogArgument {
+        /// The non-positive argument value.
+        argument: f64,
+    },
+    /// A numerical routine failed.
+    Numeric(NumericError),
+    /// A device-model evaluation failed.
+    Tech(TechError),
+    /// A calibration input is inconsistent (e.g. non-positive power).
+    InvalidCalibration {
+        /// Human-readable description of the inconsistency.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidArchParameter { field, value } => {
+                write!(f, "invalid architecture parameter {field} = {value}")
+            }
+            Self::InvalidFrequency { hertz } => {
+                write!(f, "invalid frequency {hertz} Hz")
+            }
+            Self::ArchitectureTooSlow { chi_a } => write!(
+                f,
+                "architecture too slow for the closed form: chi*A = {chi_a} >= 1"
+            ),
+            Self::DegenerateLogArgument { argument } => write!(
+                f,
+                "degenerate closed-form logarithm argument {argument} <= 0"
+            ),
+            Self::Numeric(e) => write!(f, "numerical failure: {e}"),
+            Self::Tech(e) => write!(f, "device model failure: {e}"),
+            Self::InvalidCalibration { reason } => {
+                write!(f, "invalid calibration input: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Numeric(e) => Some(e),
+            Self::Tech(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericError> for ModelError {
+    fn from(e: NumericError) -> Self {
+        Self::Numeric(e)
+    }
+}
+
+impl From<TechError> for ModelError {
+    fn from(e: TechError) -> Self {
+        Self::Tech(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<ModelError> = vec![
+            ModelError::InvalidArchParameter {
+                field: "activity",
+                value: -1.0,
+            },
+            ModelError::InvalidFrequency { hertz: 0.0 },
+            ModelError::ArchitectureTooSlow { chi_a: 1.2 },
+            ModelError::DegenerateLogArgument { argument: -0.5 },
+            ModelError::Numeric(NumericError::NonFinite),
+            ModelError::InvalidCalibration {
+                reason: "ptot must be positive",
+            },
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn conversion_preserves_source() {
+        use std::error::Error;
+        let e: ModelError = NumericError::NonFinite.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,80 @@
+//! The total-power equation (Eq. 1) and its dynamic/static breakdown.
+
+use optpower_units::Watts;
+
+/// Dynamic + static power at one `(Vdd, Vth)` working point.
+///
+/// # Examples
+///
+/// ```
+/// use optpower::PowerBreakdown;
+/// use optpower_units::Watts;
+///
+/// let p = PowerBreakdown::new(Watts::new(154.86e-6), Watts::new(36.57e-6));
+/// assert!((p.total().value() - 191.43e-6).abs() < 1e-9);
+/// assert!((p.dyn_static_ratio() - 4.234).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBreakdown {
+    pdyn: Watts,
+    pstat: Watts,
+}
+
+impl PowerBreakdown {
+    /// Bundles a dynamic and a static power figure.
+    pub fn new(pdyn: Watts, pstat: Watts) -> Self {
+        Self { pdyn, pstat }
+    }
+
+    /// Dynamic (switching) power `N·a·C·f·Vdd²`.
+    pub fn pdyn(&self) -> Watts {
+        self.pdyn
+    }
+
+    /// Static (sub-threshold leakage) power `N·Vdd·Io·exp(−Vth/(n·Ut))`.
+    pub fn pstat(&self) -> Watts {
+        self.pstat
+    }
+
+    /// Total power `Pdyn + Pstat` (Eq. 1).
+    pub fn total(&self) -> Watts {
+        self.pdyn + self.pstat
+    }
+
+    /// The `Pdyn/Pstat` ratio annotated on Figure 1's optimal points.
+    pub fn dyn_static_ratio(&self) -> f64 {
+        self.pdyn.value() / self.pstat.value()
+    }
+
+    /// Fraction of the total that is static, in `[0, 1]`.
+    pub fn static_fraction(&self) -> f64 {
+        self.pstat.value() / self.total().value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_is_sum() {
+        let p = PowerBreakdown::new(Watts::new(3.0e-6), Watts::new(1.0e-6));
+        assert!((p.total().value() - 4.0e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn ratio_and_fraction_consistent() {
+        let p = PowerBreakdown::new(Watts::new(3.0), Watts::new(1.0));
+        assert!((p.dyn_static_ratio() - 3.0).abs() < 1e-12);
+        assert!((p.static_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table1_rca_breakdown() {
+        // RCA row: Pdyn = 154.86 uW, Pstat = 36.57 uW, Ptot = 191.44 uW.
+        let p = PowerBreakdown::new(Watts::new(154.86e-6), Watts::new(36.57e-6));
+        assert!((p.total().value() * 1e6 - 191.43).abs() < 0.02);
+        // The paper's Figure 1 annotates ratios around 4-5 at optimum.
+        assert!(p.dyn_static_ratio() > 3.0 && p.dyn_static_ratio() < 6.0);
+    }
+}

@@ -1,0 +1,440 @@
+//! The paper's published evaluation data (Tables 1–4) and constants.
+//!
+//! These are the reproduction targets: every row is transcribed from
+//! the paper so the experiment harness (`optpower-report`) can print
+//! paper-vs-measured columns, and the test suite can assert the
+//! headline ±3 % Eq. 13 accuracy claim row by row.
+
+use optpower_tech::Flavor;
+use optpower_units::Hertz;
+
+/// The throughput frequency of every experiment in the paper:
+/// 31.25 MHz (a 32 ns data period; the sequential multipliers run an
+/// internal clock 16× faster).
+pub const PAPER_FREQUENCY: Hertz = Hertz::new(31.25e6);
+
+/// The paper's printed linearisation constants for the LL flavour
+/// (α = 1.86, fitted on 0.3–1.0 V): `A = 0.671`, `B = 0.347`.
+pub const PAPER_A: f64 = 0.671;
+
+/// See [`PAPER_A`].
+pub const PAPER_B: f64 = 0.347;
+
+/// One row of Table 1 (13 multipliers, LL flavour, optimal points).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Row {
+    /// Architecture name as printed.
+    pub name: &'static str,
+    /// Cell count `N`.
+    pub cells: u32,
+    /// Silicon area in µm².
+    pub area_um2: f64,
+    /// Average activity `a` w.r.t. the throughput clock.
+    pub activity: f64,
+    /// Effective logical depth.
+    pub ld_eff: f64,
+    /// Optimal supply voltage in volts.
+    pub vdd: f64,
+    /// Optimal threshold voltage in volts.
+    pub vth: f64,
+    /// Dynamic power at the optimum in µW.
+    pub pdyn_uw: f64,
+    /// Static power at the optimum in µW.
+    pub pstat_uw: f64,
+    /// Total power at the optimum (numerical) in µW.
+    pub ptot_uw: f64,
+    /// Total power by Eq. 13 in µW.
+    pub eq13_uw: f64,
+    /// Printed Eq. 13 error in percent.
+    pub eq13_err_pct: f64,
+}
+
+/// Table 1: all thirteen 16-bit multipliers (ST LL, f = 31.25 MHz).
+pub const TABLE1: [Table1Row; 13] = [
+    Table1Row {
+        name: "RCA",
+        cells: 608,
+        area_um2: 11038.0,
+        activity: 0.5056,
+        ld_eff: 61.0,
+        vdd: 0.478,
+        vth: 0.213,
+        pdyn_uw: 154.86,
+        pstat_uw: 36.57,
+        ptot_uw: 191.44,
+        eq13_uw: 191.09,
+        eq13_err_pct: 0.182,
+    },
+    Table1Row {
+        name: "RCA parallel",
+        cells: 1256,
+        area_um2: 22223.0,
+        activity: 0.2624,
+        ld_eff: 30.5,
+        vdd: 0.395,
+        vth: 0.233,
+        pdyn_uw: 117.20,
+        pstat_uw: 30.37,
+        ptot_uw: 147.57,
+        eq13_uw: 150.29,
+        eq13_err_pct: -1.844,
+    },
+    Table1Row {
+        name: "RCA parallel 4",
+        cells: 2455,
+        area_um2: 43735.0,
+        activity: 0.1344,
+        ld_eff: 15.75,
+        vdd: 0.359,
+        vth: 0.256,
+        pdyn_uw: 100.51,
+        pstat_uw: 26.39,
+        ptot_uw: 126.90,
+        eq13_uw: 129.93,
+        eq13_err_pct: -2.384,
+    },
+    Table1Row {
+        name: "RCA hor.pipe2",
+        cells: 672,
+        area_um2: 12458.0,
+        activity: 0.3904,
+        ld_eff: 40.0,
+        vdd: 0.423,
+        vth: 0.225,
+        pdyn_uw: 100.51,
+        pstat_uw: 25.27,
+        ptot_uw: 125.78,
+        eq13_uw: 127.25,
+        eq13_err_pct: -1.166,
+    },
+    Table1Row {
+        name: "RCA hor.pipe4",
+        cells: 800,
+        area_um2: 15298.0,
+        activity: 0.2944,
+        ld_eff: 28.0,
+        vdd: 0.394,
+        vth: 0.238,
+        pdyn_uw: 81.54,
+        pstat_uw: 20.94,
+        ptot_uw: 102.48,
+        eq13_uw: 104.34,
+        eq13_err_pct: -1.819,
+    },
+    Table1Row {
+        name: "RCA diagpipe2",
+        cells: 670,
+        area_um2: 12684.0,
+        activity: 0.4064,
+        ld_eff: 26.0,
+        vdd: 0.407,
+        vth: 0.224,
+        pdyn_uw: 98.65,
+        pstat_uw: 25.50,
+        ptot_uw: 124.15,
+        eq13_uw: 126.11,
+        eq13_err_pct: -1.581,
+    },
+    Table1Row {
+        name: "RCA diagpipe4",
+        cells: 812,
+        area_um2: 15762.0,
+        activity: 0.3456,
+        ld_eff: 14.0,
+        vdd: 0.366,
+        vth: 0.233,
+        pdyn_uw: 82.83,
+        pstat_uw: 22.52,
+        ptot_uw: 105.35,
+        eq13_uw: 108.04,
+        eq13_err_pct: -2.559,
+    },
+    Table1Row {
+        name: "Wallace",
+        cells: 729,
+        area_um2: 11928.0,
+        activity: 0.2976,
+        ld_eff: 17.0,
+        vdd: 0.372,
+        vth: 0.236,
+        pdyn_uw: 56.69,
+        pstat_uw: 15.17,
+        ptot_uw: 71.86,
+        eq13_uw: 73.56,
+        eq13_err_pct: -2.376,
+    },
+    Table1Row {
+        name: "Wallace parallel",
+        cells: 1465,
+        area_um2: 23993.0,
+        activity: 0.1568,
+        ld_eff: 8.0,
+        vdd: 0.341,
+        vth: 0.256,
+        pdyn_uw: 55.64,
+        pstat_uw: 15.06,
+        ptot_uw: 70.69,
+        eq13_uw: 72.58,
+        eq13_err_pct: -2.676,
+    },
+    Table1Row {
+        name: "Wallace par4",
+        cells: 2939,
+        area_um2: 47271.0,
+        activity: 0.0832,
+        ld_eff: 4.75,
+        vdd: 0.333,
+        vth: 0.277,
+        pdyn_uw: 58.04,
+        pstat_uw: 15.26,
+        ptot_uw: 73.30,
+        eq13_uw: 75.01,
+        eq13_err_pct: -2.335,
+    },
+    Table1Row {
+        name: "Sequential",
+        cells: 290,
+        area_um2: 4954.0,
+        activity: 2.9152,
+        ld_eff: 224.0,
+        vdd: 0.824,
+        vth: 0.173,
+        pdyn_uw: 1134.00,
+        pstat_uw: 184.48,
+        ptot_uw: 1318.48,
+        eq13_uw: 1318.94,
+        eq13_err_pct: -0.035,
+    },
+    Table1Row {
+        name: "Seq4_16",
+        cells: 351,
+        area_um2: 6132.0,
+        activity: 0.2464,
+        ld_eff: 120.0,
+        vdd: 0.711,
+        vth: 0.228,
+        pdyn_uw: 184.69,
+        pstat_uw: 31.59,
+        ptot_uw: 216.29,
+        eq13_uw: 212.62,
+        eq13_err_pct: 1.696,
+    },
+    Table1Row {
+        name: "Seq parallel",
+        cells: 322,
+        area_um2: 7276.0,
+        activity: 1.3280,
+        ld_eff: 168.0,
+        vdd: 0.817,
+        vth: 0.192,
+        pdyn_uw: 888.19,
+        pstat_uw: 142.07,
+        ptot_uw: 1030.26,
+        eq13_uw: 1028.97,
+        eq13_err_pct: 0.124,
+    },
+];
+
+/// One row of Table 3 or Table 4 (Wallace family on ULL/HS).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WallaceFlavorRow {
+    /// Architecture name as printed.
+    pub name: &'static str,
+    /// Optimal supply voltage in volts.
+    pub vdd: f64,
+    /// Optimal threshold voltage in volts.
+    pub vth: f64,
+    /// Total power at the optimum (numerical) in µW.
+    pub ptot_uw: f64,
+    /// Total power by Eq. 13 in µW.
+    pub eq13_uw: f64,
+    /// Printed Eq. 13 error in percent.
+    pub eq13_err_pct: f64,
+}
+
+/// Table 3: Wallace family on the ULL flavour (f = 31.25 MHz).
+pub const TABLE3_ULL: [WallaceFlavorRow; 3] = [
+    WallaceFlavorRow {
+        name: "Wallace",
+        vdd: 0.409,
+        vth: 0.231,
+        ptot_uw: 84.79,
+        eq13_uw: 86.03,
+        eq13_err_pct: -1.47,
+    },
+    WallaceFlavorRow {
+        name: "Wallace par",
+        vdd: 0.363,
+        vth: 0.253,
+        ptot_uw: 76.24,
+        eq13_uw: 78.02,
+        eq13_err_pct: -2.33,
+    },
+    WallaceFlavorRow {
+        name: "Wallace par4",
+        vdd: 0.360,
+        vth: 0.281,
+        ptot_uw: 80.61,
+        eq13_uw: 82.21,
+        eq13_err_pct: -1.98,
+    },
+];
+
+/// Table 4: Wallace family on the HS flavour (f = 31.25 MHz).
+pub const TABLE4_HS: [WallaceFlavorRow; 3] = [
+    WallaceFlavorRow {
+        name: "Wallace",
+        vdd: 0.398,
+        vth: 0.328,
+        ptot_uw: 99.56,
+        eq13_uw: 100.33,
+        eq13_err_pct: -0.78,
+    },
+    WallaceFlavorRow {
+        name: "Wallace par",
+        vdd: 0.383,
+        vth: 0.349,
+        ptot_uw: 110.27,
+        eq13_uw: 111.39,
+        eq13_err_pct: -1.01,
+    },
+    WallaceFlavorRow {
+        name: "Wallace par4",
+        vdd: 0.390,
+        vth: 0.376,
+        ptot_uw: 118.89,
+        eq13_uw: 119.99,
+        eq13_err_pct: -0.93,
+    },
+];
+
+/// The Wallace-family rows of Table 1 (the LL counterparts of
+/// Tables 3–4), for flavour comparisons.
+pub fn wallace_ll_rows() -> [Table1Row; 3] {
+    [TABLE1[7], TABLE1[8], TABLE1[9]]
+}
+
+/// Returns the structural parameters (cells, activity, LD) of a
+/// Wallace-family architecture by its position (0 = basic,
+/// 1 = parallel, 2 = parallel-4); shared across flavour tables.
+pub fn wallace_structure(index: usize) -> &'static Table1Row {
+    &TABLE1[7 + index]
+}
+
+/// The flavour each published table corresponds to.
+pub fn table_flavor(table: u8) -> Option<Flavor> {
+    match table {
+        1 => Some(Flavor::LowLeakage),
+        3 => Some(Flavor::UltraLowLeakage),
+        4 => Some(Flavor::HighSpeed),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_thirteen_architectures() {
+        assert_eq!(TABLE1.len(), 13);
+        let mut names: Vec<_> = TABLE1.iter().map(|r| r.name).collect();
+        names.dedup();
+        assert_eq!(names.len(), 13, "names must be distinct");
+    }
+
+    #[test]
+    fn table1_rows_internally_consistent() {
+        for row in &TABLE1 {
+            // Ptot = Pdyn + Pstat to the printed rounding.
+            let sum = row.pdyn_uw + row.pstat_uw;
+            assert!(
+                (sum - row.ptot_uw).abs() < 0.02,
+                "{}: {} + {} != {}",
+                row.name,
+                row.pdyn_uw,
+                row.pstat_uw,
+                row.ptot_uw
+            );
+            // Printed error column matches the two power columns:
+            // err = (Ptot - Eq13)/Eq13 (the paper's sign convention).
+            let err = (row.ptot_uw - row.eq13_uw) / row.eq13_uw * 100.0;
+            assert!(
+                (err - row.eq13_err_pct).abs() < 0.15,
+                "{}: err {} vs printed {}",
+                row.name,
+                err,
+                row.eq13_err_pct
+            );
+            assert!(row.vdd > row.vth);
+        }
+    }
+
+    #[test]
+    fn headline_claim_all_errors_below_3_percent() {
+        for row in &TABLE1 {
+            assert!(
+                row.eq13_err_pct.abs() < 3.0,
+                "{}: {}",
+                row.name,
+                row.eq13_err_pct
+            );
+        }
+    }
+
+    #[test]
+    fn flavor_tables_consistent() {
+        for row in TABLE3_ULL.iter().chain(TABLE4_HS.iter()) {
+            let err = (row.ptot_uw - row.eq13_uw) / row.eq13_uw * 100.0;
+            assert!((err - row.eq13_err_pct).abs() < 0.1, "{}", row.name);
+            assert!(row.vdd > row.vth);
+        }
+    }
+
+    #[test]
+    fn section5_orderings_hold_in_published_data() {
+        // LL beats ULL and HS for every Wallace variant.
+        let ll = wallace_ll_rows();
+        for i in 0..3 {
+            assert!(ll[i].ptot_uw < TABLE3_ULL[i].ptot_uw, "LL < ULL at {i}");
+            assert!(ll[i].ptot_uw < TABLE4_HS[i].ptot_uw, "LL < HS at {i}");
+        }
+        // On HS, parallelisation *hurts* (Section 5's key observation).
+        assert!(TABLE4_HS[1].ptot_uw > TABLE4_HS[0].ptot_uw);
+        // On LL/ULL, par2 helps but par4 over-shoots.
+        assert!(ll[1].ptot_uw < ll[0].ptot_uw && ll[2].ptot_uw > ll[1].ptot_uw);
+        assert!(TABLE3_ULL[1].ptot_uw < TABLE3_ULL[0].ptot_uw);
+        assert!(TABLE3_ULL[2].ptot_uw > TABLE3_ULL[1].ptot_uw);
+    }
+
+    #[test]
+    fn section4_orderings_hold_in_published_data() {
+        let by_name = |n: &str| TABLE1.iter().find(|r| r.name == n).unwrap();
+        // Sequential architectures are the worst by far.
+        assert!(by_name("Sequential").ptot_uw > 5.0 * by_name("RCA").ptot_uw);
+        // Pipelining and parallelisation help the RCA.
+        assert!(by_name("RCA hor.pipe2").ptot_uw < by_name("RCA").ptot_uw);
+        assert!(by_name("RCA parallel").ptot_uw < by_name("RCA").ptot_uw);
+        // Horizontal pipeline beats diagonal at the same depth count
+        // (the glitch/activity effect) — hor.pipe4 vs diagpipe4.
+        assert!(by_name("RCA hor.pipe4").ptot_uw < by_name("RCA diagpipe4").ptot_uw);
+        // Diagonal pipelines have higher activity despite shorter LD.
+        assert!(by_name("RCA diagpipe2").activity > by_name("RCA hor.pipe2").activity);
+        assert!(by_name("RCA diagpipe2").ld_eff < by_name("RCA hor.pipe2").ld_eff);
+    }
+
+    #[test]
+    fn table_flavor_mapping() {
+        assert_eq!(table_flavor(1), Some(Flavor::LowLeakage));
+        assert_eq!(table_flavor(3), Some(Flavor::UltraLowLeakage));
+        assert_eq!(table_flavor(4), Some(Flavor::HighSpeed));
+        assert_eq!(table_flavor(2), None);
+    }
+
+    #[test]
+    fn wallace_structure_indexing() {
+        assert_eq!(wallace_structure(0).name, "Wallace");
+        assert_eq!(wallace_structure(1).name, "Wallace parallel");
+        assert_eq!(wallace_structure(2).name, "Wallace par4");
+    }
+}

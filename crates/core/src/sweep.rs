@@ -1,0 +1,248 @@
+//! Parameter sweeps and technology-selection studies built on the
+//! optimal-power model — the quantitative form of Section 5.
+
+use optpower_numeric::{bisect, linspace};
+use optpower_tech::Technology;
+use optpower_units::Hertz;
+
+use crate::{ArchParams, ModelError, OperatingPoint, PowerModel};
+
+/// One sample of a frequency sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrequencySample {
+    /// The swept frequency.
+    pub frequency: Hertz,
+    /// The optimal working point at that frequency, if timing closes.
+    pub optimum: Option<OperatingPoint>,
+}
+
+/// Sweeps the optimal working point of `(tech, arch)` across a
+/// logarithmic frequency range.
+///
+/// Frequencies where the optimiser fails (or the optimum pins at the
+/// search boundary, i.e. timing effectively cannot close) yield
+/// `optimum: None`.
+///
+/// # Errors
+///
+/// [`ModelError::InvalidFrequency`] if the range is non-positive or
+/// inverted.
+pub fn frequency_sweep(
+    tech: Technology,
+    arch: &ArchParams,
+    f_lo: Hertz,
+    f_hi: Hertz,
+    points: usize,
+) -> Result<Vec<FrequencySample>, ModelError> {
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must fail the check
+    if !(f_lo.value() > 0.0) || !(f_hi.value() > f_lo.value()) {
+        return Err(ModelError::InvalidFrequency {
+            hertz: f_lo.value(),
+        });
+    }
+    let lo = f_lo.value().log10();
+    let hi = f_hi.value().log10();
+    let mut out = Vec::with_capacity(points.max(2));
+    for exp in linspace(lo, hi, points.max(2)) {
+        let f = Hertz::new(10f64.powf(exp));
+        let optimum = PowerModel::from_technology(tech, arch.clone(), f)
+            .and_then(|m| m.optimize())
+            .ok()
+            .filter(|opt| opt.vdd().value() < 1.45); // boundary = no close
+        out.push(FrequencySample {
+            frequency: f,
+            optimum,
+        });
+    }
+    Ok(out)
+}
+
+/// Optimal total power of `(tech, arch)` at `f`, in watts; `None` when
+/// timing cannot close in the search window.
+fn ptot_at(tech: Technology, arch: &ArchParams, f: Hertz) -> Option<f64> {
+    PowerModel::from_technology(tech, arch.clone(), f)
+        .and_then(|m| m.optimize())
+        .ok()
+        .filter(|opt| opt.vdd().value() < 1.45)
+        .map(|opt| opt.ptot().value())
+}
+
+/// Finds the frequency at which two technologies' optimal powers cross
+/// for the same architecture, if one exists in `[f_lo, f_hi]`.
+///
+/// Below the crossover the first technology is cheaper; above it the
+/// second is (or vice versa — check the sign at the ends). This
+/// quantifies Section 5's "extreme technology flavors are penalized"
+/// into an actual operating-regime boundary.
+///
+/// Returns `None` when either technology fails to close timing over
+/// part of the range or the difference does not change sign.
+pub fn flavor_crossover(
+    tech_a: Technology,
+    tech_b: Technology,
+    arch: &ArchParams,
+    f_lo: Hertz,
+    f_hi: Hertz,
+) -> Option<Hertz> {
+    let diff = |log_f: f64| -> f64 {
+        let f = Hertz::new(10f64.powf(log_f));
+        match (ptot_at(tech_a, arch, f), ptot_at(tech_b, arch, f)) {
+            (Some(pa), Some(pb)) => pa - pb,
+            _ => f64::NAN,
+        }
+    };
+    let lo = f_lo.value().log10();
+    let hi = f_hi.value().log10();
+    let (d_lo, d_hi) = (diff(lo), diff(hi));
+    if !d_lo.is_finite() || !d_hi.is_finite() || d_lo.signum() == d_hi.signum() {
+        return None;
+    }
+    bisect(diff, lo, hi, 1e-6)
+        .ok()
+        .map(|log_f| Hertz::new(10f64.powf(log_f)))
+}
+
+/// Result of ranking several technologies for one architecture at one
+/// frequency.
+#[derive(Debug, Clone)]
+pub struct TechnologyRanking {
+    /// `(technology name, optimal Ptot in watts)`, cheapest first;
+    /// technologies that cannot close timing are omitted.
+    pub ranking: Vec<(&'static str, f64)>,
+}
+
+impl TechnologyRanking {
+    /// The winning technology's name, if any closed timing.
+    pub fn winner(&self) -> Option<&'static str> {
+        self.ranking.first().map(|(name, _)| *name)
+    }
+}
+
+/// Ranks `techs` by optimal total power for `(arch, f)` — the paper's
+/// technology-selection use case as an API.
+pub fn rank_technologies(techs: &[Technology], arch: &ArchParams, f: Hertz) -> TechnologyRanking {
+    let mut ranking: Vec<(&'static str, f64)> = techs
+        .iter()
+        .filter_map(|t| ptot_at(*t, arch, f).map(|p| (t.name(), p)))
+        .collect();
+    ranking.sort_by(|a, b| a.1.total_cmp(&b.1));
+    TechnologyRanking { ranking }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optpower_tech::Flavor;
+    use optpower_units::Farads;
+
+    fn wallace_arch() -> ArchParams {
+        // The basic Wallace structure of Table 1 with its
+        // back-computed capacitance.
+        let c = 56.69e-6 / (729.0 * 0.2976 * 31.25e6 * 0.372 * 0.372);
+        ArchParams::builder("Wallace")
+            .cells(729)
+            .activity(0.2976)
+            .logical_depth(17.0)
+            .cap_per_cell(Farads::new(c))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sweep_power_increases_with_frequency() {
+        let sweep = frequency_sweep(
+            Technology::stm_cmos09(Flavor::LowLeakage),
+            &wallace_arch(),
+            Hertz::new(1e6),
+            Hertz::new(200e6),
+            12,
+        )
+        .unwrap();
+        let powers: Vec<f64> = sweep
+            .iter()
+            .filter_map(|s| s.optimum.map(|o| o.ptot().value()))
+            .collect();
+        assert!(powers.len() >= 10, "most points close timing");
+        for pair in powers.windows(2) {
+            assert!(pair[1] > pair[0], "Ptot must grow with f");
+        }
+    }
+
+    #[test]
+    fn sweep_vth_decreases_with_frequency() {
+        // Eq. 9: Vth_opt = n·Ut·ln(Io(1−χA)/(2aCf·nUt)) falls with f
+        // through both the log argument and (1−χA). (Vdd_opt is NOT
+        // monotone: the χB/(1−χA) term pushes up while the log pushes
+        // down — which is why this test pins Vth, not Vdd.)
+        let sweep = frequency_sweep(
+            Technology::stm_cmos09(Flavor::LowLeakage),
+            &wallace_arch(),
+            Hertz::new(1e6),
+            Hertz::new(200e6),
+            8,
+        )
+        .unwrap();
+        let vths: Vec<f64> = sweep
+            .iter()
+            .filter_map(|s| s.optimum.map(|o| o.vth().value()))
+            .collect();
+        for pair in vths.windows(2) {
+            assert!(pair[1] < pair[0], "vth must fall with f: {vths:?}");
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_bad_range() {
+        let err = frequency_sweep(
+            Technology::stm_cmos09(Flavor::LowLeakage),
+            &wallace_arch(),
+            Hertz::new(10e6),
+            Hertz::new(1e6),
+            4,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelError::InvalidFrequency { .. }));
+    }
+
+    #[test]
+    fn ull_vs_hs_crossover_exists() {
+        // ULL wins at very low f (leakage-dominated), HS wins at high f
+        // (speed-dominated): a crossover must exist between them.
+        let x = flavor_crossover(
+            Technology::stm_cmos09(Flavor::UltraLowLeakage),
+            Technology::stm_cmos09(Flavor::HighSpeed),
+            &wallace_arch(),
+            Hertz::new(0.2e6),
+            Hertz::new(200e6),
+        );
+        let f = x.expect("ULL/HS crossover exists").value();
+        assert!(f > 0.2e6 && f < 200e6, "crossover at {f}");
+    }
+
+    #[test]
+    fn ranking_orders_by_power() {
+        let techs = [
+            Technology::stm_cmos09(Flavor::UltraLowLeakage),
+            Technology::stm_cmos09(Flavor::LowLeakage),
+            Technology::stm_cmos09(Flavor::HighSpeed),
+        ];
+        let ranking = rank_technologies(&techs, &wallace_arch(), Hertz::new(31.25e6));
+        assert_eq!(ranking.ranking.len(), 3);
+        for pair in ranking.ranking.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+        // ULL never wins at the paper's operating point.
+        assert_ne!(ranking.winner(), Some("STM CMOS09 ULL"));
+    }
+
+    #[test]
+    fn ull_wins_at_very_low_frequency() {
+        let techs = [
+            Technology::stm_cmos09(Flavor::UltraLowLeakage),
+            Technology::stm_cmos09(Flavor::LowLeakage),
+            Technology::stm_cmos09(Flavor::HighSpeed),
+        ];
+        let ranking = rank_technologies(&techs, &wallace_arch(), Hertz::new(0.2e6));
+        assert_eq!(ranking.winner(), Some("STM CMOS09 ULL"));
+    }
+}

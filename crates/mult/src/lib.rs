@@ -1,0 +1,256 @@
+//! The thirteen 16-bit multiplier architectures of Schuster et al.
+//! (DATE 2006), generated as gate-level netlists.
+//!
+//! | family | variants |
+//! |--------|----------|
+//! | RCA array | basic, horizontal pipeline ×2/×4 (Fig. 3), diagonal pipeline ×2/×4 (Fig. 4), parallel ×2/×4 |
+//! | Wallace tree | basic, parallel ×2/×4 |
+//! | Sequential | add-and-shift, 4×16 Wallace, parallel ×2 |
+//!
+//! Each [`Architecture`] generates a [`MultiplierDesign`]: the netlist
+//! plus the protocol metadata (`cycles_per_item`, `ld_scale`) needed to
+//! convert simulator/STA measurements into the paper's architectural
+//! parameters (`a` per data period, effective `LD` per throughput
+//! period).
+//!
+//! # Examples
+//!
+//! ```
+//! use optpower_mult::Architecture;
+//!
+//! let design = Architecture::Wallace.generate(16)?;
+//! assert!(design.netlist.logic_cell_count() > 500);
+//! assert_eq!(design.cycles_per_item, 1);
+//! # Ok::<(), optpower_netlist::NetlistError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adders;
+pub mod array;
+mod booth;
+mod parallel;
+mod pipeline;
+mod sequential;
+pub mod wallace;
+
+pub use adders::{full_adder, half_adder, kogge_stone_adder, reduce_columns, ripple_adder};
+pub use array::{rca, rca_pipelined, PipelineStyle};
+pub use booth::booth_radix4;
+pub use parallel::{parallelized, CoreKind};
+pub use pipeline::{Pipeliner, Staged};
+pub use sequential::{sequential, sequential_4_wallace, sequential_parallel};
+pub use wallace::wallace;
+
+use optpower_netlist::{Netlist, NetlistError};
+
+/// The thirteen multiplier architectures of Table 1, in table order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// Basic ripple-carry array.
+    Rca,
+    /// RCA replicated ×2 with round-robin distribution.
+    RcaParallel2,
+    /// RCA replicated ×4.
+    RcaParallel4,
+    /// RCA with 2 horizontal pipeline stages (Figure 3).
+    RcaHorPipe2,
+    /// RCA with 4 horizontal pipeline stages.
+    RcaHorPipe4,
+    /// RCA with 2 diagonal pipeline stages (Figure 4).
+    RcaDiagPipe2,
+    /// RCA with 4 diagonal pipeline stages.
+    RcaDiagPipe4,
+    /// Basic Wallace tree.
+    Wallace,
+    /// Wallace replicated ×2.
+    WallaceParallel2,
+    /// Wallace replicated ×4.
+    WallaceParallel4,
+    /// Add-and-shift sequential (width internal cycles per item).
+    Sequential,
+    /// Sequential adding 4 partial products per cycle ("4_16 Wallace").
+    Seq4Wallace,
+    /// Two interleaved sequential cores.
+    SeqParallel,
+}
+
+impl Architecture {
+    /// All architectures in the paper's Table 1 order.
+    pub const ALL: [Architecture; 13] = [
+        Architecture::Rca,
+        Architecture::RcaParallel2,
+        Architecture::RcaParallel4,
+        Architecture::RcaHorPipe2,
+        Architecture::RcaHorPipe4,
+        Architecture::RcaDiagPipe2,
+        Architecture::RcaDiagPipe4,
+        Architecture::Wallace,
+        Architecture::WallaceParallel2,
+        Architecture::WallaceParallel4,
+        Architecture::Sequential,
+        Architecture::Seq4Wallace,
+        Architecture::SeqParallel,
+    ];
+
+    /// The architecture's name as printed in Table 1.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Self::Rca => "RCA",
+            Self::RcaParallel2 => "RCA parallel",
+            Self::RcaParallel4 => "RCA parallel 4",
+            Self::RcaHorPipe2 => "RCA hor.pipe2",
+            Self::RcaHorPipe4 => "RCA hor.pipe4",
+            Self::RcaDiagPipe2 => "RCA diagpipe2",
+            Self::RcaDiagPipe4 => "RCA diagpipe4",
+            Self::Wallace => "Wallace",
+            Self::WallaceParallel2 => "Wallace parallel",
+            Self::WallaceParallel4 => "Wallace par4",
+            Self::Sequential => "Sequential",
+            Self::Seq4Wallace => "Seq4_16",
+            Self::SeqParallel => "Seq parallel",
+        }
+    }
+
+    /// Generates the `width × width` instance of this architecture.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError`] from netlist validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on widths unsupported by the specific generator (the
+    /// sequential family needs a power of two ≥ 4; everything in the
+    /// paper uses 16).
+    pub fn generate(self, width: usize) -> Result<MultiplierDesign, NetlistError> {
+        let w = width;
+        let (netlist, cycles_per_item, ld_scale) = match self {
+            Self::Rca => (rca(w)?, 1, 1.0),
+            Self::RcaParallel2 => (parallelized(w, 2, CoreKind::Rca)?, 1, 0.5),
+            Self::RcaParallel4 => (parallelized(w, 4, CoreKind::Rca)?, 1, 0.25),
+            Self::RcaHorPipe2 => (rca_pipelined(w, 2, PipelineStyle::Horizontal)?, 1, 1.0),
+            Self::RcaHorPipe4 => (rca_pipelined(w, 4, PipelineStyle::Horizontal)?, 1, 1.0),
+            Self::RcaDiagPipe2 => (rca_pipelined(w, 2, PipelineStyle::Diagonal)?, 1, 1.0),
+            Self::RcaDiagPipe4 => (rca_pipelined(w, 4, PipelineStyle::Diagonal)?, 1, 1.0),
+            Self::Wallace => (wallace(w)?, 1, 1.0),
+            Self::WallaceParallel2 => (parallelized(w, 2, CoreKind::Wallace)?, 1, 0.5),
+            Self::WallaceParallel4 => (parallelized(w, 4, CoreKind::Wallace)?, 1, 0.25),
+            Self::Sequential => (sequential(w)?, w as u32, w as f64),
+            Self::Seq4Wallace => (sequential_4_wallace(w)?, (w / 4) as u32, (w / 4) as f64),
+            Self::SeqParallel => (sequential_parallel(w)?, w as u32, (w / 2) as f64),
+        };
+        Ok(MultiplierDesign {
+            arch: self,
+            width: w,
+            netlist,
+            cycles_per_item,
+            ld_scale,
+        })
+    }
+}
+
+impl core::fmt::Display for Architecture {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// A generated multiplier plus the protocol metadata needed to map
+/// measurements onto the paper's architectural parameters.
+#[derive(Debug, Clone)]
+pub struct MultiplierDesign {
+    /// Which architecture this is.
+    pub arch: Architecture,
+    /// Operand width in bits.
+    pub width: usize,
+    /// The gate-level netlist.
+    pub netlist: Netlist,
+    /// Clock cycles consumed per data item (sequential designs run an
+    /// internal clock faster than the data clock).
+    pub cycles_per_item: u32,
+    /// Multiplier applied to the netlist's STA depth to obtain the
+    /// *effective* logical depth relative to the throughput period:
+    /// `> 1` for sequential designs (the per-cycle path repeats), `< 1`
+    /// for parallelised designs (multi-cycle paths get `k` periods).
+    pub ld_scale: f64,
+}
+
+impl MultiplierDesign {
+    /// Effective logical depth per throughput period given the raw STA
+    /// critical path of [`MultiplierDesign::netlist`].
+    pub fn effective_logical_depth(&self, sta_depth: f64) -> f64 {
+        sta_depth * self.ld_scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_architectures() {
+        assert_eq!(Architecture::ALL.len(), 13);
+        let names: std::collections::HashSet<&str> =
+            Architecture::ALL.iter().map(|a| a.paper_name()).collect();
+        assert_eq!(names.len(), 13);
+    }
+
+    #[test]
+    fn all_generate_at_width_16() {
+        for arch in Architecture::ALL {
+            let d = arch.generate(16).unwrap_or_else(|e| panic!("{arch}: {e}"));
+            assert!(d.netlist.logic_cell_count() > 50, "{arch}");
+            assert_eq!(d.width, 16);
+        }
+    }
+
+    #[test]
+    fn sequential_family_is_smallest() {
+        // Table 1: sequential N=290 is the smallest design.
+        let n = |a: Architecture| a.generate(16).unwrap().netlist.logic_cell_count();
+        let seq = n(Architecture::Sequential);
+        for arch in [
+            Architecture::Rca,
+            Architecture::Wallace,
+            Architecture::RcaParallel2,
+            Architecture::WallaceParallel2,
+        ] {
+            assert!(seq < n(arch), "{arch}");
+        }
+    }
+
+    #[test]
+    fn ld_scales() {
+        assert_eq!(
+            Architecture::Sequential.generate(16).unwrap().ld_scale,
+            16.0
+        );
+        assert_eq!(
+            Architecture::Seq4Wallace.generate(16).unwrap().ld_scale,
+            4.0
+        );
+        assert_eq!(
+            Architecture::SeqParallel.generate(16).unwrap().ld_scale,
+            8.0
+        );
+        assert_eq!(
+            Architecture::RcaParallel4.generate(16).unwrap().ld_scale,
+            0.25
+        );
+        assert_eq!(Architecture::Rca.generate(16).unwrap().ld_scale, 1.0);
+    }
+
+    #[test]
+    fn effective_depth_applies_scale() {
+        let d = Architecture::RcaParallel2.generate(16).unwrap();
+        assert!((d.effective_logical_depth(60.0) - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(Architecture::Seq4Wallace.to_string(), "Seq4_16");
+        assert_eq!(Architecture::RcaHorPipe2.to_string(), "RCA hor.pipe2");
+    }
+}

@@ -1,0 +1,394 @@
+//! Cell kinds, three-valued logic, and cell evaluation semantics.
+
+use core::fmt;
+
+/// Three-valued logic: `0`, `1` or unknown (`X`).
+///
+/// `X` models uninitialised state and is propagated pessimistically by
+/// [`CellKind::eval`] (controlling inputs still force known outputs,
+/// e.g. `And2(0, X) = 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Logic {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown / uninitialised.
+    #[default]
+    X,
+}
+
+impl Logic {
+    /// Converts a boolean to a known logic level.
+    #[inline]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Self::One
+        } else {
+            Self::Zero
+        }
+    }
+
+    /// Returns `Some(bool)` for known levels, `None` for `X`.
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Self::Zero => Some(false),
+            Self::One => Some(true),
+            Self::X => None,
+        }
+    }
+
+    /// `true` when the level is `0` or `1`.
+    #[inline]
+    pub fn is_known(self) -> bool {
+        !matches!(self, Self::X)
+    }
+
+    /// Three-valued NOT.
+    #[allow(clippy::should_implement_trait)] // deliberate 3-valued name
+    #[inline]
+    pub fn not(self) -> Self {
+        match self {
+            Self::Zero => Self::One,
+            Self::One => Self::Zero,
+            Self::X => Self::X,
+        }
+    }
+
+    /// Three-valued AND (0 is controlling).
+    #[inline]
+    pub fn and(self, rhs: Self) -> Self {
+        match (self, rhs) {
+            (Self::Zero, _) | (_, Self::Zero) => Self::Zero,
+            (Self::One, Self::One) => Self::One,
+            _ => Self::X,
+        }
+    }
+
+    /// Three-valued OR (1 is controlling).
+    #[inline]
+    pub fn or(self, rhs: Self) -> Self {
+        match (self, rhs) {
+            (Self::One, _) | (_, Self::One) => Self::One,
+            (Self::Zero, Self::Zero) => Self::Zero,
+            _ => Self::X,
+        }
+    }
+
+    /// Three-valued XOR (any X poisons).
+    #[inline]
+    pub fn xor(self, rhs: Self) -> Self {
+        match (self.to_bool(), rhs.to_bool()) {
+            (Some(a), Some(b)) => Self::from_bool(a ^ b),
+            _ => Self::X,
+        }
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Zero => "0",
+            Self::One => "1",
+            Self::X => "X",
+        })
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Self {
+        Self::from_bool(b)
+    }
+}
+
+/// Every cell kind in the library.
+///
+/// The set is deliberately small — it is the subset a 2003-era
+/// synthesis run maps 16-bit multipliers onto: an inverter/buffer
+/// pair, the six two-input gates, a 2:1 mux, a D flip-flop, constant
+/// drivers, and the port pseudo-cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Primary-input pseudo-cell (no input pins; not counted as logic).
+    Input,
+    /// Primary-output pseudo-cell (one input pin; not counted as logic).
+    Output,
+    /// Constant-0 driver (tie-low; not counted as logic).
+    Const0,
+    /// Constant-1 driver (tie-high; not counted as logic).
+    Const1,
+    /// Buffer.
+    Buf,
+    /// Inverter.
+    Inv,
+    /// 2-input AND.
+    And2,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer: inputs `[a, b, sel]`, output `sel ? b : a`.
+    Mux2,
+    /// 3-input XOR (the sum function of a full adder).
+    Xor3,
+    /// 3-input majority (the carry function of a full adder).
+    Maj3,
+    /// Rising-edge D flip-flop: input `[d]`, output `q`.
+    Dff,
+}
+
+impl CellKind {
+    /// All kinds, for exhaustive table-driven tests.
+    pub const ALL: [CellKind; 16] = [
+        CellKind::Input,
+        CellKind::Output,
+        CellKind::Const0,
+        CellKind::Const1,
+        CellKind::Buf,
+        CellKind::Inv,
+        CellKind::And2,
+        CellKind::Nand2,
+        CellKind::Or2,
+        CellKind::Nor2,
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::Mux2,
+        CellKind::Xor3,
+        CellKind::Maj3,
+        CellKind::Dff,
+    ];
+
+    /// Number of input pins.
+    pub fn arity(self) -> usize {
+        match self {
+            Self::Input | Self::Const0 | Self::Const1 => 0,
+            Self::Output | Self::Buf | Self::Inv | Self::Dff => 1,
+            Self::And2 | Self::Nand2 | Self::Or2 | Self::Nor2 | Self::Xor2 | Self::Xnor2 => 2,
+            Self::Mux2 | Self::Xor3 | Self::Maj3 => 3,
+        }
+    }
+
+    /// `true` for the D flip-flop (the only sequential element).
+    pub fn is_sequential(self) -> bool {
+        matches!(self, Self::Dff)
+    }
+
+    /// `true` for cells counted in the paper's `N` (logic gates and
+    /// flip-flops; ports and constants are free).
+    pub fn is_logic(self) -> bool {
+        !matches!(
+            self,
+            Self::Input | Self::Output | Self::Const0 | Self::Const1
+        )
+    }
+
+    /// Combinational evaluation with X-propagation.
+    ///
+    /// For [`CellKind::Dff`] this returns the *D input* (the value the
+    /// flop would capture); the simulator applies it at clock edges.
+    /// [`CellKind::Output`] is transparent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.arity()` — the builder
+    /// guarantees arity, so a mismatch is a caller logic error.
+    pub fn eval(self, inputs: &[Logic]) -> Logic {
+        assert_eq!(
+            inputs.len(),
+            self.arity(),
+            "{self:?} expects {} inputs, got {}",
+            self.arity(),
+            inputs.len()
+        );
+        match self {
+            Self::Input => Logic::X,
+            Self::Const0 => Logic::Zero,
+            Self::Const1 => Logic::One,
+            Self::Output | Self::Buf | Self::Dff => inputs[0],
+            Self::Inv => inputs[0].not(),
+            Self::And2 => inputs[0].and(inputs[1]),
+            Self::Nand2 => inputs[0].and(inputs[1]).not(),
+            Self::Or2 => inputs[0].or(inputs[1]),
+            Self::Nor2 => inputs[0].or(inputs[1]).not(),
+            Self::Xor2 => inputs[0].xor(inputs[1]),
+            Self::Xnor2 => inputs[0].xor(inputs[1]).not(),
+            Self::Xor3 => inputs[0].xor(inputs[1]).xor(inputs[2]),
+            Self::Maj3 => {
+                // Majority: known as soon as two inputs agree on a value.
+                let ones = inputs.iter().filter(|&&v| v == Logic::One).count();
+                let zeros = inputs.iter().filter(|&&v| v == Logic::Zero).count();
+                if ones >= 2 {
+                    Logic::One
+                } else if zeros >= 2 {
+                    Logic::Zero
+                } else {
+                    Logic::X
+                }
+            }
+            Self::Mux2 => {
+                let (a, b, sel) = (inputs[0], inputs[1], inputs[2]);
+                match sel {
+                    Logic::Zero => a,
+                    Logic::One => b,
+                    // X select: output known only if both data agree.
+                    Logic::X => {
+                        if a == b && a.is_known() {
+                            a
+                        } else {
+                            Logic::X
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::Input => "input",
+            Self::Output => "output",
+            Self::Const0 => "const0",
+            Self::Const1 => "const1",
+            Self::Buf => "buf",
+            Self::Inv => "inv",
+            Self::And2 => "and2",
+            Self::Nand2 => "nand2",
+            Self::Or2 => "or2",
+            Self::Nor2 => "nor2",
+            Self::Xor2 => "xor2",
+            Self::Xnor2 => "xnor2",
+            Self::Mux2 => "mux2",
+            Self::Xor3 => "xor3",
+            Self::Maj3 => "maj3",
+            Self::Dff => "dff",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Logic::{One, Zero, X};
+
+    #[test]
+    fn not_truth_table() {
+        assert_eq!(Zero.not(), One);
+        assert_eq!(One.not(), Zero);
+        assert_eq!(X.not(), X);
+    }
+
+    #[test]
+    fn and_controlling_zero() {
+        assert_eq!(Zero.and(X), Zero);
+        assert_eq!(X.and(Zero), Zero);
+        assert_eq!(One.and(X), X);
+        assert_eq!(One.and(One), One);
+    }
+
+    #[test]
+    fn or_controlling_one() {
+        assert_eq!(One.or(X), One);
+        assert_eq!(X.or(One), One);
+        assert_eq!(Zero.or(X), X);
+        assert_eq!(Zero.or(Zero), Zero);
+    }
+
+    #[test]
+    fn xor_poisoned_by_x() {
+        assert_eq!(One.xor(Zero), One);
+        assert_eq!(One.xor(One), Zero);
+        assert_eq!(One.xor(X), X);
+        assert_eq!(X.xor(Zero), X);
+    }
+
+    #[test]
+    fn gate_eval_exhaustive_two_input() {
+        let vals = [Zero, One];
+        for &a in &vals {
+            for &b in &vals {
+                let (ab, ob) = (a.to_bool().unwrap(), b.to_bool().unwrap());
+                assert_eq!(CellKind::And2.eval(&[a, b]), Logic::from_bool(ab & ob));
+                assert_eq!(CellKind::Nand2.eval(&[a, b]), Logic::from_bool(!(ab & ob)));
+                assert_eq!(CellKind::Or2.eval(&[a, b]), Logic::from_bool(ab | ob));
+                assert_eq!(CellKind::Nor2.eval(&[a, b]), Logic::from_bool(!(ab | ob)));
+                assert_eq!(CellKind::Xor2.eval(&[a, b]), Logic::from_bool(ab ^ ob));
+                assert_eq!(CellKind::Xnor2.eval(&[a, b]), Logic::from_bool(!(ab ^ ob)));
+            }
+        }
+    }
+
+    #[test]
+    fn mux_select_semantics() {
+        assert_eq!(CellKind::Mux2.eval(&[Zero, One, Zero]), Zero); // sel=0 -> a
+        assert_eq!(CellKind::Mux2.eval(&[Zero, One, One]), One); // sel=1 -> b
+        assert_eq!(CellKind::Mux2.eval(&[One, One, X]), One); // agree -> known
+        assert_eq!(CellKind::Mux2.eval(&[Zero, One, X]), X); // disagree -> X
+    }
+
+    #[test]
+    fn constants_and_ports() {
+        assert_eq!(CellKind::Const0.eval(&[]), Zero);
+        assert_eq!(CellKind::Const1.eval(&[]), One);
+        assert_eq!(CellKind::Input.eval(&[]), X);
+        assert_eq!(CellKind::Output.eval(&[One]), One);
+        assert_eq!(CellKind::Buf.eval(&[Zero]), Zero);
+        assert_eq!(CellKind::Dff.eval(&[One]), One);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn eval_rejects_wrong_arity() {
+        let _ = CellKind::And2.eval(&[One]);
+    }
+
+    #[test]
+    fn arity_table() {
+        for kind in CellKind::ALL {
+            let expect = match kind {
+                CellKind::Input | CellKind::Const0 | CellKind::Const1 => 0,
+                CellKind::Output | CellKind::Buf | CellKind::Inv | CellKind::Dff => 1,
+                CellKind::Mux2 | CellKind::Xor3 | CellKind::Maj3 => 3,
+                _ => 2,
+            };
+            assert_eq!(kind.arity(), expect, "{kind}");
+        }
+    }
+
+    #[test]
+    fn logic_classification() {
+        assert!(!CellKind::Input.is_logic());
+        assert!(!CellKind::Output.is_logic());
+        assert!(!CellKind::Const0.is_logic());
+        assert!(CellKind::Nand2.is_logic());
+        assert!(CellKind::Dff.is_logic());
+        assert!(CellKind::Dff.is_sequential());
+        assert!(!CellKind::Nand2.is_sequential());
+    }
+
+    #[test]
+    fn display_roundtrip_names_unique() {
+        let names: std::collections::HashSet<String> =
+            CellKind::ALL.iter().map(|k| k.to_string()).collect();
+        assert_eq!(names.len(), CellKind::ALL.len());
+    }
+
+    #[test]
+    fn logic_conversions() {
+        assert_eq!(Logic::from(true), One);
+        assert_eq!(Logic::from(false), Zero);
+        assert_eq!(One.to_bool(), Some(true));
+        assert_eq!(X.to_bool(), None);
+        assert_eq!(Logic::default(), X);
+        assert_eq!(format!("{Zero}{One}{X}"), "01X");
+    }
+}

@@ -1,0 +1,67 @@
+//! Netlist construction and validation errors.
+
+use core::fmt;
+
+use crate::{CellId, CellKind, NetId};
+
+/// Errors detected while building or validating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A cell was given the wrong number of input nets.
+    ArityMismatch {
+        /// The cell kind being instantiated.
+        kind: CellKind,
+        /// Pins expected by the kind.
+        expected: usize,
+        /// Pins supplied.
+        got: usize,
+    },
+    /// An input net id does not exist in this netlist.
+    UnknownNet {
+        /// The dangling net id.
+        net: NetId,
+    },
+    /// The combinational core contains a cycle (a loop not broken by a
+    /// flip-flop), which has no valid evaluation order.
+    CombinationalLoop {
+        /// One cell on the cycle, for diagnostics.
+        witness: CellId,
+    },
+    /// The netlist has no cells at all.
+    Empty,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ArityMismatch {
+                kind,
+                expected,
+                got,
+            } => write!(f, "{kind} expects {expected} input pins, got {got}"),
+            Self::UnknownNet { net } => write!(f, "unknown net {net:?}"),
+            Self::CombinationalLoop { witness } => {
+                write!(f, "combinational loop through cell {witness:?}")
+            }
+            Self::Empty => write!(f, "netlist contains no cells"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = NetlistError::ArityMismatch {
+            kind: CellKind::Mux2,
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains("mux2"));
+        assert!(NetlistError::Empty.to_string().contains("no cells"));
+    }
+}

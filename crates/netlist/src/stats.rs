@@ -1,0 +1,107 @@
+//! Aggregate netlist statistics feeding the power model.
+
+use crate::{Library, Netlist};
+
+/// Aggregate physical statistics of a netlist under a [`Library`].
+///
+/// # Examples
+///
+/// ```
+/// use optpower_netlist::{CellKind, Library, NetlistBuilder, NetlistStats};
+///
+/// let mut b = NetlistBuilder::new("pair");
+/// let x = b.add_input("x");
+/// let n1 = b.add_cell(CellKind::Inv, &[x]);
+/// let n2 = b.add_cell(CellKind::Inv, &[n1]);
+/// b.add_output("y", n2);
+/// let nl = b.build()?;
+/// let stats = NetlistStats::measure(&nl, &Library::cmos13());
+/// assert_eq!(stats.logic_cells, 2);
+/// assert!(stats.area_um2 > 8.0);
+/// # Ok::<(), optpower_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetlistStats {
+    /// The paper's `N`: logic gates plus flip-flops.
+    pub logic_cells: usize,
+    /// Flip-flop count (subset of `logic_cells`).
+    pub dffs: usize,
+    /// Total cell area in µm².
+    pub area_um2: f64,
+    /// Average equivalent switched capacitance per logic cell, in
+    /// farads — the power model's per-cell `C`.
+    pub avg_switched_cap_f: f64,
+    /// Total switched capacitance if every cell toggled once, in farads.
+    pub total_switched_cap_f: f64,
+}
+
+impl NetlistStats {
+    /// Measures `netlist` under `library`.
+    pub fn measure(netlist: &Netlist, library: &Library) -> Self {
+        let mut logic_cells = 0usize;
+        let mut dffs = 0usize;
+        let mut area = 0.0;
+        let mut total_cap = 0.0;
+        for (_, cell) in netlist.logic_cells() {
+            logic_cells += 1;
+            if cell.kind.is_sequential() {
+                dffs += 1;
+            }
+            area += library.area(cell.kind);
+            total_cap += library.switched_cap(cell.kind);
+        }
+        let avg = if logic_cells > 0 {
+            total_cap / logic_cells as f64
+        } else {
+            0.0
+        };
+        Self {
+            logic_cells,
+            dffs,
+            area_um2: area,
+            avg_switched_cap_f: avg,
+            total_switched_cap_f: total_cap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellKind, NetlistBuilder};
+
+    fn pipeline_stage() -> Netlist {
+        let mut b = NetlistBuilder::new("stage");
+        let x = b.add_input("x");
+        let inv = b.add_cell(CellKind::Inv, &[x]);
+        let q = b.add_cell(CellKind::Dff, &[inv]);
+        b.add_output("q", q);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn measures_counts_area_and_cap() {
+        let nl = pipeline_stage();
+        let lib = Library::cmos13();
+        let s = NetlistStats::measure(&nl, &lib);
+        assert_eq!(s.logic_cells, 2);
+        assert_eq!(s.dffs, 1);
+        let expect_area = lib.area(CellKind::Inv) + lib.area(CellKind::Dff);
+        assert!((s.area_um2 - expect_area).abs() < 1e-12);
+        let expect_cap = lib.switched_cap(CellKind::Inv) + lib.switched_cap(CellKind::Dff);
+        assert!((s.total_switched_cap_f - expect_cap).abs() < 1e-24);
+        assert!((s.avg_switched_cap_f - expect_cap / 2.0).abs() < 1e-24);
+    }
+
+    #[test]
+    fn ports_do_not_contribute() {
+        let mut b = NetlistBuilder::new("wire");
+        let x = b.add_input("x");
+        let n = b.add_cell(CellKind::Buf, &[x]);
+        b.add_output("y", n);
+        let nl = b.build().unwrap();
+        let s = NetlistStats::measure(&nl, &Library::cmos13());
+        assert_eq!(s.logic_cells, 1);
+        assert_eq!(s.dffs, 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Least-squares line fitting (the Eq. 7 linearisation backend).
+
+use crate::NumericError;
+
+/// Result of a least-squares straight-line fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope (the paper's `A` when fitting `Vdd^{1/α}`).
+    pub slope: f64,
+    /// Fitted intercept (the paper's `B`).
+    pub intercept: f64,
+    /// Root-mean-square residual of the fit.
+    pub rms_error: f64,
+    /// Largest absolute residual over the samples.
+    pub max_error: f64,
+}
+
+impl LineFit {
+    /// Evaluates the fitted line at `x`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use optpower_numeric::fit_line;
+    /// let fit = fit_line(&[(0.0, 1.0), (1.0, 3.0)])?;
+    /// assert!((fit.eval(2.0) - 5.0).abs() < 1e-12);
+    /// # Ok::<(), optpower_numeric::NumericError>(())
+    /// ```
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fits `y ≈ slope·x + intercept` to `(x, y)` samples by least squares.
+///
+/// Uses the centred closed form (`slope = cov(x,y)/var(x)`), which is
+/// numerically stable for the narrow voltage ranges used here.
+///
+/// # Errors
+///
+/// * [`NumericError::InsufficientData`] with fewer than two samples,
+/// * [`NumericError::NonFinite`] if any sample is NaN/∞ or all `x`
+///   coincide (zero variance).
+///
+/// # Examples
+///
+/// ```
+/// use optpower_numeric::fit_line;
+/// // Perfect line: residuals vanish.
+/// let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 2.0 * i as f64 + 1.0)).collect();
+/// let fit = fit_line(&pts)?;
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!(fit.max_error < 1e-12);
+/// # Ok::<(), optpower_numeric::NumericError>(())
+/// ```
+pub fn fit_line(samples: &[(f64, f64)]) -> Result<LineFit, NumericError> {
+    if samples.len() < 2 {
+        return Err(NumericError::InsufficientData {
+            got: samples.len(),
+            need: 2,
+        });
+    }
+    if samples
+        .iter()
+        .any(|(x, y)| !x.is_finite() || !y.is_finite())
+    {
+        return Err(NumericError::NonFinite);
+    }
+    let n = samples.len() as f64;
+    let mean_x = samples.iter().map(|(x, _)| x).sum::<f64>() / n;
+    let mean_y = samples.iter().map(|(_, y)| y).sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for &(x, y) in samples {
+        sxx += (x - mean_x) * (x - mean_x);
+        sxy += (x - mean_x) * (y - mean_y);
+    }
+    if sxx == 0.0 {
+        return Err(NumericError::NonFinite);
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let mut sq_sum = 0.0;
+    let mut max_error: f64 = 0.0;
+    for &(x, y) in samples {
+        let r = (slope * x + intercept - y).abs();
+        sq_sum += r * r;
+        max_error = max_error.max(r);
+    }
+    Ok(LineFit {
+        slope,
+        intercept,
+        rms_error: (sq_sum / n).sqrt(),
+        max_error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linspace;
+
+    #[test]
+    fn fits_exact_line() {
+        let pts: Vec<_> = linspace(-3.0, 3.0, 50)
+            .into_iter()
+            .map(|x| (x, -0.5 * x + 4.0))
+            .collect();
+        let fit = fit_line(&pts).unwrap();
+        assert!((fit.slope + 0.5).abs() < 1e-12);
+        assert!((fit.intercept - 4.0).abs() < 1e-12);
+        assert!(fit.rms_error < 1e-12);
+    }
+
+    #[test]
+    fn fits_vdd_power_curve_like_paper() {
+        // Eq. 7 shape for alpha = 1.5 over 0.3..0.9 V (Figure 2).
+        let alpha = 1.5;
+        let pts: Vec<_> = linspace(0.3, 0.9, 601)
+            .into_iter()
+            .map(|v| (v, v.powf(1.0 / alpha)))
+            .collect();
+        let fit = fit_line(&pts).unwrap();
+        // The curve is concave; fit must sit within a few percent.
+        assert!(fit.max_error < 0.02, "max err {}", fit.max_error);
+        assert!(fit.slope > 0.0 && fit.intercept > 0.0);
+    }
+
+    #[test]
+    fn rejects_single_point() {
+        let err = fit_line(&[(1.0, 1.0)]).unwrap_err();
+        assert!(matches!(err, NumericError::InsufficientData { .. }));
+    }
+
+    #[test]
+    fn rejects_vertical_data() {
+        let err = fit_line(&[(1.0, 1.0), (1.0, 2.0)]).unwrap_err();
+        assert_eq!(err, NumericError::NonFinite);
+    }
+
+    #[test]
+    fn rejects_nan_sample() {
+        let err = fit_line(&[(0.0, 0.0), (f64::NAN, 1.0)]).unwrap_err();
+        assert_eq!(err, NumericError::NonFinite);
+    }
+
+    #[test]
+    fn residual_stats_consistent() {
+        let pts = [(0.0, 0.0), (1.0, 1.2), (2.0, 1.8)];
+        let fit = fit_line(&pts).unwrap();
+        assert!(fit.max_error >= fit.rms_error);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Fitting noiseless lines recovers slope and intercept exactly.
+        #[test]
+        fn recovers_noiseless_lines(m in -10.0f64..10.0, b in -10.0f64..10.0) {
+            let pts: Vec<_> = (0..20).map(|i| {
+                let x = i as f64 * 0.37;
+                (x, m * x + b)
+            }).collect();
+            let fit = fit_line(&pts).unwrap();
+            prop_assert!((fit.slope - m).abs() < 1e-8);
+            prop_assert!((fit.intercept - b).abs() < 1e-8);
+        }
+
+        /// Least squares never beats itself: perturbing (slope, intercept)
+        /// can only raise the sum of squared residuals.
+        #[test]
+        fn is_least_squares_optimal(seed in 0u64..1000) {
+            let pts: Vec<_> = (0..15).map(|i| {
+                let x = i as f64;
+                let noise = (((seed.wrapping_mul(6364136223846793005).wrapping_add(i)) % 100) as f64) / 50.0 - 1.0;
+                (x, 0.7 * x + noise)
+            }).collect();
+            let fit = fit_line(&pts).unwrap();
+            let sse = |s: f64, c: f64| pts.iter().map(|&(x, y)| (s * x + c - y).powi(2)).sum::<f64>();
+            let best = sse(fit.slope, fit.intercept);
+            prop_assert!(best <= sse(fit.slope + 0.01, fit.intercept) + 1e-9);
+            prop_assert!(best <= sse(fit.slope - 0.01, fit.intercept) + 1e-9);
+            prop_assert!(best <= sse(fit.slope, fit.intercept + 0.01) + 1e-9);
+            prop_assert!(best <= sse(fit.slope, fit.intercept - 0.01) + 1e-9);
+        }
+    }
+}

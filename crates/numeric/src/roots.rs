@@ -1,0 +1,258 @@
+//! 1-D root finding: bisection and Brent's method.
+
+use crate::NumericError;
+
+const MAX_ITER: usize = 200;
+
+/// Finds a root of `f` in `[a, b]` by bisection.
+///
+/// Robust and derivative-free; linear convergence. Used where the
+/// bracket is cheap to establish and the objective may be stiff
+/// (e.g. inverting exponential leakage terms).
+///
+/// # Errors
+///
+/// * [`NumericError::InvalidBracket`] if `a >= b` or `f(a)` and `f(b)`
+///   do not straddle zero,
+/// * [`NumericError::NonFinite`] if the objective returns NaN/∞,
+/// * [`NumericError::NoConvergence`] if the interval does not shrink to
+///   `tol` within the iteration limit.
+///
+/// # Examples
+///
+/// ```
+/// let root = optpower_numeric::bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12)?;
+/// assert!((root - 2f64.sqrt()).abs() < 1e-10);
+/// # Ok::<(), optpower_numeric::NumericError>(())
+/// ```
+pub fn bisect(
+    mut f: impl FnMut(f64) -> f64,
+    a: f64,
+    b: f64,
+    tol: f64,
+) -> Result<f64, NumericError> {
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must fail the check
+    if !(a < b) {
+        return Err(NumericError::InvalidBracket {
+            a,
+            b,
+            reason: "a must be strictly less than b",
+        });
+    }
+    let (mut lo, mut hi) = (a, b);
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if !flo.is_finite() || !fhi.is_finite() {
+        return Err(NumericError::NonFinite);
+    }
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(NumericError::InvalidBracket {
+            a,
+            b,
+            reason: "f(a) and f(b) must have opposite signs",
+        });
+    }
+    for _ in 0..MAX_ITER {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if !fmid.is_finite() {
+            return Err(NumericError::NonFinite);
+        }
+        if fmid == 0.0 || (hi - lo) < tol {
+            return Ok(mid);
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(NumericError::NoConvergence {
+        iterations: MAX_ITER,
+    })
+}
+
+/// Finds a root of `f` in `[a, b]` with Brent's method.
+///
+/// Combines bisection, secant, and inverse quadratic interpolation;
+/// superlinear convergence with bisection's robustness. This is the
+/// default root finder for the reverse-calibration solves.
+///
+/// # Errors
+///
+/// Same conditions as [`bisect`].
+///
+/// # Examples
+///
+/// ```
+/// let root = optpower_numeric::brent(|x| x.cos() - x, 0.0, 1.0, 1e-14)?;
+/// assert!((root - 0.7390851332151607).abs() < 1e-12);
+/// # Ok::<(), optpower_numeric::NumericError>(())
+/// ```
+pub fn brent(mut f: impl FnMut(f64) -> f64, a: f64, b: f64, tol: f64) -> Result<f64, NumericError> {
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must fail the check
+    if !(a < b) {
+        return Err(NumericError::InvalidBracket {
+            a,
+            b,
+            reason: "a must be strictly less than b",
+        });
+    }
+    let (mut xa, mut xb) = (a, b);
+    let mut fa = f(xa);
+    let mut fb = f(xb);
+    if !fa.is_finite() || !fb.is_finite() {
+        return Err(NumericError::NonFinite);
+    }
+    if fa == 0.0 {
+        return Ok(xa);
+    }
+    if fb == 0.0 {
+        return Ok(xb);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericError::InvalidBracket {
+            a,
+            b,
+            reason: "f(a) and f(b) must have opposite signs",
+        });
+    }
+    // Ensure |f(xb)| <= |f(xa)| so xb is the best estimate.
+    if fa.abs() < fb.abs() {
+        core::mem::swap(&mut xa, &mut xb);
+        core::mem::swap(&mut fa, &mut fb);
+    }
+    let mut xc = xa;
+    let mut fc = fa;
+    let mut mflag = true;
+    let mut xd = 0.0;
+
+    for _ in 0..MAX_ITER {
+        if fb == 0.0 || (xb - xa).abs() < tol {
+            return Ok(xb);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            xa * fb * fc / ((fa - fb) * (fa - fc))
+                + xb * fa * fc / ((fb - fa) * (fb - fc))
+                + xc * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            xb - fb * (xb - xa) / (fb - fa)
+        };
+
+        let lo = (3.0 * xa + xb) / 4.0;
+        let in_bounds = if lo < xb {
+            s > lo && s < xb
+        } else {
+            s > xb && s < lo
+        };
+        let cond_prev = if mflag {
+            (s - xb).abs() >= (xb - xc).abs() / 2.0
+        } else {
+            (s - xb).abs() >= (xc - xd).abs() / 2.0
+        };
+        let cond_tol = if mflag {
+            (xb - xc).abs() < tol
+        } else {
+            (xc - xd).abs() < tol
+        };
+        if !in_bounds || cond_prev || cond_tol {
+            s = 0.5 * (xa + xb);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+
+        let fs = f(s);
+        if !fs.is_finite() {
+            return Err(NumericError::NonFinite);
+        }
+        xd = xc;
+        xc = xb;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            xb = s;
+            fb = fs;
+        } else {
+            xa = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            core::mem::swap(&mut xa, &mut xb);
+            core::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(NumericError::NoConvergence {
+        iterations: MAX_ITER,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 1.0, 2.0, 1e-12).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_exact_endpoint_root() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12).unwrap(), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-12).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn bisect_rejects_same_sign() {
+        let err = bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9).unwrap_err();
+        assert!(matches!(err, NumericError::InvalidBracket { .. }));
+    }
+
+    #[test]
+    fn bisect_rejects_reversed_bracket() {
+        let err = bisect(|x| x, 1.0, 0.0, 1e-9).unwrap_err();
+        assert!(matches!(err, NumericError::InvalidBracket { .. }));
+    }
+
+    #[test]
+    fn bisect_detects_nan() {
+        let err = bisect(|_| f64::NAN, 0.0, 1.0, 1e-9).unwrap_err();
+        assert_eq!(err, NumericError::NonFinite);
+    }
+
+    #[test]
+    fn brent_transcendental() {
+        let r = brent(|x| x.exp() - 3.0, 0.0, 2.0, 1e-14).unwrap();
+        assert!((r - 3f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brent_stiff_exponential() {
+        // The shape of leakage-calibration solves: exp(-x/small) - c.
+        let r = brent(|x| (-x / 0.0344).exp() - 1e-3, 0.0, 1.5, 1e-14).unwrap();
+        assert!((r - 0.0344 * (1e-3f64).ln().abs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brent_matches_bisect() {
+        let f = |x: f64| x.powi(3) - x - 2.0;
+        let rb = bisect(f, 1.0, 2.0, 1e-13).unwrap();
+        let rr = brent(f, 1.0, 2.0, 1e-13).unwrap();
+        assert!((rb - rr).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_rejects_same_sign() {
+        let err = brent(|x| x * x + 1.0, -1.0, 1.0, 1e-9).unwrap_err();
+        assert!(matches!(err, NumericError::InvalidBracket { .. }));
+    }
+}

@@ -1,0 +1,8 @@
+//! Prints the ab-initio Table 1' (all parameters measured from our own
+//! netlists/simulator; no calibration against the paper).
+use optpower_tech::Flavor;
+fn main() -> Result<(), optpower::ModelError> {
+    let rows = optpower_report::ab_initio_table(Flavor::LowLeakage, 200, 42)?;
+    println!("{}", optpower_report::render_ab_initio(&rows));
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! Prints the three ablation studies (fit range, optimiser, glitches).
+use optpower_report::ablation;
+fn main() -> Result<(), optpower::ModelError> {
+    println!(
+        "{}",
+        ablation::render_fit_ranges(1.86, &ablation::fit_range_sensitivity(1.86)?)
+    );
+    println!(
+        "{}",
+        ablation::render_optimizer(&ablation::optimizer_ablation()?)
+    );
+    println!(
+        "{}",
+        ablation::render_glitch(&ablation::glitch_ablation(200, 42)?)
+    );
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! Prints the Figure 1 reproduction (Ptot vs Vdd per activity) and a
+//! CSV of the swept curves on stdout.
+fn main() -> Result<(), optpower::ModelError> {
+    let fig = optpower_report::figure1(256)?;
+    println!("{}", optpower_report::render_figure1(&fig));
+    println!("vdd_v,activity,ptot_w");
+    for curve in &fig.curves {
+        for &(v, p) in &curve.points {
+            println!("{v},{},{p}", curve.activity);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! Prints the Figure 2 reproduction (Vdd^{1/alpha} linearisation) and
+//! a CSV of the exact/approximated curves.
+fn main() -> Result<(), optpower::ModelError> {
+    let fig = optpower_report::figure2(601)?;
+    println!("{}", optpower_report::render_figure2(&fig));
+    println!("vdd_v,exact,approx");
+    for &(v, e, a) in &fig.points {
+        println!("{v},{e},{a}");
+    }
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! Prints the Figures 3/4 reproduction: horizontal vs diagonal
+//! pipeline structures with register, depth and glitch statistics.
+fn main() -> Result<(), optpower_netlist::NetlistError> {
+    let fig = optpower_report::figure34(16, 200)?;
+    println!("{}", optpower_report::render_figure34(&fig));
+    Ok(())
+}

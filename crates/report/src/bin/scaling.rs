@@ -1,0 +1,11 @@
+//! Prints the technology-scaling study (the paper's closing remark).
+fn main() -> Result<(), optpower::ModelError> {
+    let freqs = [1.0, 4.0, 31.25, 125.0, 250.0];
+    println!("== wire-dominated port (capacitance does not scale) ==");
+    let rows = optpower_report::extended::scaling_study(&freqs, false)?;
+    println!("{}", optpower_report::extended::render_scaling(&rows));
+    println!("== full gate-capacitance scaling (x0.7 per node) ==");
+    let rows = optpower_report::extended::scaling_study(&freqs, true)?;
+    println!("{}", optpower_report::extended::render_scaling(&rows));
+    Ok(())
+}

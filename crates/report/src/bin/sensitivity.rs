@@ -1,0 +1,6 @@
+//! Prints the Eq. 13 sensitivity report for all 13 architectures.
+fn main() -> Result<(), optpower::ModelError> {
+    let rows = optpower_report::extended::sensitivity_report()?;
+    println!("{}", optpower_report::extended::render_sensitivities(&rows));
+    Ok(())
+}

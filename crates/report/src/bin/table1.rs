@@ -1,0 +1,13 @@
+//! Prints the Table 1 reproduction (13 multipliers, LL flavour).
+fn main() -> Result<(), optpower::ModelError> {
+    let rows = optpower_report::table1()?;
+    println!(
+        "{}",
+        optpower_report::render_rows(
+            "Table 1 - 16-bit multipliers at the optimal working point (ST LL, 31.25 MHz)\n\
+             (p) = paper columns; bare = this reproduction",
+            &rows
+        )
+    );
+    Ok(())
+}

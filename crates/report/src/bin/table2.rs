@@ -1,0 +1,5 @@
+//! Prints Table 2 (the published STM CMOS09 flavour parameters).
+fn main() {
+    println!("Table 2 - STM CMOS09 technology flavours");
+    println!("{}", optpower_report::table2());
+}

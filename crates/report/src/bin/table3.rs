@@ -1,0 +1,12 @@
+//! Prints the Table 3 reproduction (Wallace family, ULL flavour).
+fn main() -> Result<(), optpower::ModelError> {
+    let rows = optpower_report::table3()?;
+    println!(
+        "{}",
+        optpower_report::render_rows(
+            "Table 3 - Wallace family optimal power, ULL flavour (31.25 MHz)",
+            &rows
+        )
+    );
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Prints the Table 4 reproduction (Wallace family, HS flavour).
+fn main() -> Result<(), optpower::ModelError> {
+    let rows = optpower_report::table4()?;
+    println!(
+        "{}",
+        optpower_report::render_rows(
+            "Table 4 - Wallace family optimal power, HS flavour (31.25 MHz)",
+            &rows
+        )
+    );
+    Ok(())
+}

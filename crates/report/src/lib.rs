@@ -1,0 +1,36 @@
+//! Experiment harness: regenerates every table and figure of
+//! Schuster et al. (DATE 2006) and the ab-initio / ablation studies.
+//!
+//! Each experiment is a pure function returning a data structure, plus
+//! a `render_*` helper producing the console table. Thin binaries under
+//! `src/bin/` print them:
+//!
+//! | paper artefact | function | binary |
+//! |---|---|---|
+//! | Table 1 (13 multipliers, LL) | [`table1`] | `table1` |
+//! | Table 2 (flavour parameters) | [`table2`] | `table2` |
+//! | Table 3 (Wallace, ULL) | [`table3`] | `table3` |
+//! | Table 4 (Wallace, HS) | [`table4`] | `table4` |
+//! | Figure 1 (Ptot vs Vdd per activity) | [`figure1`] | `figure1` |
+//! | Figure 2 (Vdd^{1/α} linearisation) | [`figure2`] | `figure2` |
+//! | Figures 3/4 (pipeline structures) | [`figure34`] | `figure34` |
+//! | Table 1′ (ab-initio netlist flow) | [`ab_initio_table`] | `ab_initio` |
+//! | Ablations | [`ablation`] module | `ablation` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod abinitio;
+pub mod ablation;
+mod calibrated;
+pub mod extended;
+mod figures;
+mod render;
+
+pub use abinitio::{ab_initio_table, render_ab_initio, AbInitioRow};
+pub use calibrated::{render_rows, table1, table2, table3, table4, RowComparison};
+pub use figures::{
+    figure1, figure2, figure34, render_figure1, render_figure2, render_figure34, Figure1,
+    Figure1Curve, Figure2, Figure34, StageSummary,
+};
+pub use render::Table;

@@ -1,0 +1,132 @@
+//! Minimal fixed-width console table renderer.
+
+use core::fmt;
+
+/// A console table with a header row and uniform column padding.
+///
+/// # Examples
+///
+/// ```
+/// use optpower_report::Table;
+/// let mut t = Table::new(&["arch", "Ptot [uW]"]);
+/// t.row(&["RCA", "191.44"]);
+/// let s = t.to_string();
+/// assert!(s.contains("RCA"));
+/// assert!(s.contains("Ptot"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[impl AsRef<str>]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i == 0 {
+                    // First column left-aligned (names).
+                    write!(f, "{cell:<width$}", width = widths[i])?;
+                } else {
+                    write!(f, "  {cell:>width$}", width = widths[i])?;
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with `digits` decimals (shared by all reports).
+pub(crate) fn fnum(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "x"]);
+        t.row(&["a", "1.0"]).row(&["long-name", "23.45"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, 2 rows
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Numeric column right-aligned: both data lines end on digits.
+        assert!(lines[2].ends_with("1.0"));
+        assert!(lines[3].ends_with("23.45"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(&["a"]);
+        assert!(t.is_empty());
+        t.row(&["x"]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn fnum_digits() {
+        assert_eq!(fnum(1.23456, 2), "1.23");
+        assert_eq!(fnum(-0.5, 3), "-0.500");
+    }
+}

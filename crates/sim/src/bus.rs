@@ -1,0 +1,90 @@
+//! Bus naming conventions shared by the generators and testbenches.
+//!
+//! Multi-bit ports are named `{prefix}{bit}` (e.g. `a0 … a15`); these
+//! helpers gather them in bit order and encode/decode integers.
+
+use optpower_netlist::{CellId, Logic, Netlist};
+
+/// Primary-input cells forming the bus `{prefix}{0..}`, LSB first.
+///
+/// Returns an empty vector if no `{prefix}0` input exists.
+pub fn bus_inputs(netlist: &Netlist, prefix: &str) -> Vec<CellId> {
+    collect_bus(netlist, netlist.primary_inputs(), prefix)
+}
+
+/// Primary-output cells forming the bus `{prefix}{0..}`, LSB first.
+pub fn bus_outputs(netlist: &Netlist, prefix: &str) -> Vec<CellId> {
+    collect_bus(netlist, netlist.primary_outputs(), prefix)
+}
+
+fn collect_bus(netlist: &Netlist, ports: &[CellId], prefix: &str) -> Vec<CellId> {
+    let mut bus = Vec::new();
+    loop {
+        let wanted = format!("{prefix}{}", bus.len());
+        match ports.iter().find(|&&id| netlist.cell(id).name == wanted) {
+            Some(&id) => bus.push(id),
+            None => break,
+        }
+    }
+    bus
+}
+
+/// Encodes the low `width` bits of `value` as logic levels, LSB first.
+pub fn encode_bus(value: u64, width: usize) -> Vec<Logic> {
+    (0..width)
+        .map(|i| Logic::from_bool((value >> i) & 1 == 1))
+        .collect()
+}
+
+/// Decodes logic levels (LSB first) into an integer; `None` if any bit
+/// is unknown.
+pub fn decode_bus(bits: &[Logic]) -> Option<u64> {
+    let mut out = 0u64;
+    for (i, &bit) in bits.iter().enumerate() {
+        match bit.to_bool() {
+            Some(true) => out |= 1 << i,
+            Some(false) => {}
+            None => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optpower_netlist::{CellKind, NetlistBuilder};
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for v in [0u64, 1, 0xABCD, 0xFFFF, 0x1234_5678] {
+            assert_eq!(decode_bus(&encode_bus(v, 32)), Some(v));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_x() {
+        let mut bits = encode_bus(5, 4);
+        bits[2] = Logic::X;
+        assert_eq!(decode_bus(&bits), None);
+    }
+
+    #[test]
+    fn collects_in_bit_order() {
+        let mut b = NetlistBuilder::new("bus");
+        // Deliberately create out of order: a1, a0, a2.
+        let a1 = b.add_input("a1");
+        let a0 = b.add_input("a0");
+        let a2 = b.add_input("a2");
+        let s = b.add_cell(CellKind::Xor3, &[a0, a1, a2]);
+        b.add_output("p0", s);
+        let nl = b.build().unwrap();
+        let bus = bus_inputs(&nl, "a");
+        assert_eq!(bus.len(), 3);
+        assert_eq!(nl.cell(bus[0]).name, "a0");
+        assert_eq!(nl.cell(bus[1]).name, "a1");
+        assert_eq!(nl.cell(bus[2]).name, "a2");
+        assert_eq!(bus_outputs(&nl, "p").len(), 1);
+        assert!(bus_inputs(&nl, "zz").is_empty());
+    }
+}

@@ -1,0 +1,54 @@
+//! Gate-level simulation for the `optpower` ab-initio flow.
+//!
+//! Replaces the paper's ModelSIM timing-annotated netlist simulation.
+//! Two engines share the netlist's three-valued cell semantics:
+//!
+//! * [`ZeroDelaySim`] — per-cycle functional evaluation in topological
+//!   order; at most one transition per cell per cycle (glitch-free).
+//!   Used for functional verification of the multipliers and as the
+//!   glitch-free activity baseline.
+//! * [`TimedSim`] — event-driven simulation with per-cell transport
+//!   delays from the [`optpower_netlist::Library`]; counts *every*
+//!   output transition, so unbalanced path delays produce the glitch
+//!   activity the paper observes on diagonal pipelines.
+//!
+//! [`measure_activity`] runs random stimulus through either engine and
+//! returns the paper's activity factor
+//! `a = transitions per data period / N`.
+//!
+//! # Examples
+//!
+//! ```
+//! use optpower_netlist::{CellKind, Library, NetlistBuilder};
+//! use optpower_sim::ZeroDelaySim;
+//!
+//! // Bus pins are named `{prefix}{bit}`: a 1-bit bus "x" is "x0".
+//! let mut b = NetlistBuilder::new("inv");
+//! let x = b.add_input("x0");
+//! let y = b.add_cell(CellKind::Inv, &[x]);
+//! b.add_output("y0", y);
+//! let nl = b.build()?;
+//!
+//! let mut sim = ZeroDelaySim::new(&nl);
+//! sim.set_input_bits("x", 1);
+//! sim.step();
+//! assert_eq!(sim.output_bits("y"), Some(0));
+//! # Ok::<(), optpower_netlist::NetlistError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activity;
+mod bus;
+mod timed;
+mod vcd;
+mod verify;
+mod zero_delay;
+
+pub use activity::{measure_activity, ActivityReport, Engine};
+pub use bus::{bus_inputs, bus_outputs, decode_bus, encode_bus};
+pub use timed::TimedSim;
+pub use vcd::VcdRecorder;
+pub use verify::{verify_product, VerifyOutcome};
+pub use zero_delay::ZeroDelaySim;

@@ -1,0 +1,409 @@
+//! The event-driven timing engine (inertial delays, glitch counting).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use optpower_netlist::{CellId, CellKind, Library, Logic, NetId, Netlist};
+
+use crate::bus::{bus_inputs, bus_outputs, decode_bus};
+
+/// One scheduled net-value change.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    seq: u64,
+    net: NetId,
+    value: Logic,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on (time, seq): earlier first, FIFO within a time.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Event-driven gate-level simulator with per-cell *inertial* delays.
+///
+/// Scheduling is preemptive per net: re-evaluating a cell cancels its
+/// not-yet-fired pending output event, so pulses narrower than the
+/// gate's propagation delay are swallowed (inertial-delay semantics,
+/// matching event-driven HDL simulators). Pulses wider than the delay
+/// survive and are counted — a cell whose inputs arrive further apart
+/// than its own delay produces glitch transitions, exactly the
+/// mechanism by which the paper's diagonal pipelines pay a higher
+/// activity than horizontal ones.
+#[derive(Debug, Clone)]
+pub struct TimedSim<'n> {
+    netlist: &'n Netlist,
+    /// Per-cell propagation delay in gate units.
+    delays: Vec<f64>,
+    values: Vec<Logic>,
+    input_next: Vec<Logic>,
+    transitions: Vec<u64>,
+    queue: BinaryHeap<Event>,
+    /// Latest scheduled event per net; an older pending event is
+    /// cancelled when popped (inertial-delay preemption).
+    latest_seq: Vec<u64>,
+    seq: u64,
+    cycle: u64,
+}
+
+impl<'n> TimedSim<'n> {
+    /// Creates a timing simulator using `library` delays.
+    pub fn new(netlist: &'n Netlist, library: &Library) -> Self {
+        let delays = netlist
+            .cells()
+            .iter()
+            .map(|c| library.delay(c.kind))
+            .collect();
+        Self {
+            netlist,
+            delays,
+            values: vec![Logic::X; netlist.nets().len()],
+            input_next: vec![Logic::X; netlist.cells().len()],
+            transitions: vec![0; netlist.cells().len()],
+            queue: BinaryHeap::new(),
+            latest_seq: vec![0; netlist.nets().len()],
+            seq: 0,
+            cycle: 0,
+        }
+    }
+
+    /// The netlist under simulation.
+    pub fn netlist(&self) -> &'n Netlist {
+        self.netlist
+    }
+
+    /// Number of clock cycles simulated.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Sets one primary input (takes effect at the next cycle edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is not a primary-input cell.
+    pub fn set_input(&mut self, input: CellId, value: Logic) {
+        assert!(
+            self.netlist.cell(input).kind == CellKind::Input,
+            "{input:?} is not a primary input"
+        );
+        self.input_next[input.index()] = value;
+    }
+
+    /// Sets an entire input bus `{prefix}{0..}` from an integer.
+    pub fn set_input_bits(&mut self, prefix: &str, value: u64) {
+        let bus = bus_inputs(self.netlist, prefix);
+        assert!(!bus.is_empty(), "no input bus named {prefix}*");
+        for (i, id) in bus.into_iter().enumerate() {
+            self.set_input(id, Logic::from_bool((value >> i) & 1 == 1));
+        }
+    }
+
+    /// Decodes an output bus `{prefix}{0..}`; `None` if any bit is `X`.
+    pub fn output_bits(&self, prefix: &str) -> Option<u64> {
+        let bus = bus_outputs(self.netlist, prefix);
+        if bus.is_empty() {
+            return None;
+        }
+        let bits: Vec<Logic> = bus
+            .iter()
+            .map(|&id| self.values[self.netlist.cell(id).inputs[0].index()])
+            .collect();
+        decode_bus(&bits)
+    }
+
+    /// Runs one full clock cycle: clocks the DFFs, applies pending
+    /// inputs at t = 0, then processes events until the netlist
+    /// settles. Returns the number of events processed (a liveness
+    /// guard for accidental oscillators).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event count within one cycle exceeds
+    /// `10_000 × cells` — the netlist oscillates (a combinational loop
+    /// through X-decoded muxes or similar), which validation should
+    /// have prevented.
+    pub fn step(&mut self) -> u64 {
+        // 0. First cycle only: drive constants and seed an evaluation
+        // of every combinational cell. Event-driven updates alone never
+        // reach cells whose inputs never change, which would leave
+        // their initial `X` in place forever.
+        if self.cycle == 0 {
+            for i in 0..self.netlist.cells().len() {
+                let id = CellId(i as u32);
+                match self.netlist.cell(id).kind {
+                    CellKind::Const0 => self.commit(id, Logic::Zero, 0.0),
+                    CellKind::Const1 => self.commit(id, Logic::One, 0.0),
+                    _ => {}
+                }
+            }
+            for i in 0..self.netlist.cells().len() {
+                let id = CellId(i as u32);
+                let cell = self.netlist.cell(id);
+                match cell.kind {
+                    CellKind::Input
+                    | CellKind::Const0
+                    | CellKind::Const1
+                    | CellKind::Dff
+                    | CellKind::Output => {}
+                    _ => {
+                        let ins: Vec<Logic> =
+                            cell.inputs.iter().map(|n| self.values[n.index()]).collect();
+                        let new = cell.kind.eval(&ins);
+                        self.seq += 1;
+                        self.latest_seq[cell.output.index()] = self.seq;
+                        self.queue.push(Event {
+                            time: self.delays[id.index()],
+                            seq: self.seq,
+                            net: cell.output,
+                            value: new,
+                        });
+                    }
+                }
+            }
+        }
+        // 1. Capture D pins (values settled in the previous cycle).
+        let dff_next: Vec<(CellId, Logic)> = self
+            .netlist
+            .cells()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.kind.is_sequential())
+            .map(|(i, c)| (CellId(i as u32), self.values[c.inputs[0].index()]))
+            .collect();
+        // 2. At t = 0: update Q outputs and primary inputs.
+        for (id, q) in dff_next {
+            self.commit(id, q, 0.0);
+        }
+        for (i, cell) in self.netlist.cells().iter().enumerate() {
+            if cell.kind == CellKind::Input {
+                let v = self.input_next[i];
+                self.commit(CellId(i as u32), v, 0.0);
+            }
+        }
+        // 3. Event loop until quiescent.
+        let budget = 10_000u64 * self.netlist.cells().len() as u64;
+        let mut processed = 0u64;
+        while let Some(ev) = self.queue.pop() {
+            processed += 1;
+            assert!(
+                processed <= budget,
+                "event budget exceeded: netlist oscillates"
+            );
+            // Inertial preemption: a newer evaluation of the driver
+            // supersedes this event.
+            if self.latest_seq[ev.net.index()] != ev.seq {
+                continue;
+            }
+            let old = self.values[ev.net.index()];
+            if old == ev.value {
+                continue;
+            }
+            let driver = self.netlist.net(ev.net).driver;
+            if old.is_known() && ev.value.is_known() {
+                self.transitions[driver.index()] += 1;
+            }
+            self.values[ev.net.index()] = ev.value;
+            self.propagate(ev.net, ev.time);
+        }
+        self.cycle += 1;
+        processed
+    }
+
+    /// Immediately sets a cell's output (t = 0 edge semantics) and
+    /// seeds propagation.
+    fn commit(&mut self, id: CellId, value: Logic, time: f64) {
+        let net = self.netlist.cell(id).output;
+        let old = self.values[net.index()];
+        if old == value {
+            return;
+        }
+        if old.is_known() && value.is_known() {
+            self.transitions[id.index()] += 1;
+        }
+        self.values[net.index()] = value;
+        self.propagate(net, time);
+    }
+
+    /// Re-evaluates every sink of `net` and schedules output changes.
+    fn propagate(&mut self, net: NetId, time: f64) {
+        let sinks: Vec<CellId> = self.netlist.fanout(net).to_vec();
+        for sink in sinks {
+            let cell = self.netlist.cell(sink);
+            match cell.kind {
+                // DFFs capture at edges only; outputs are transparent
+                // sinks with no further propagation of their own.
+                CellKind::Dff => {}
+                CellKind::Output => {}
+                _ => {
+                    let ins: Vec<Logic> =
+                        cell.inputs.iter().map(|n| self.values[n.index()]).collect();
+                    let new = cell.kind.eval(&ins);
+                    self.seq += 1;
+                    self.latest_seq[cell.output.index()] = self.seq;
+                    self.queue.push(Event {
+                        time: time + self.delays[sink.index()],
+                        seq: self.seq,
+                        net: cell.output,
+                        value: new,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Total known↔known transitions of logic-cell outputs so far.
+    pub fn logic_transitions(&self) -> u64 {
+        self.netlist
+            .logic_cells()
+            .map(|(id, _)| self.transitions[id.index()])
+            .sum()
+    }
+
+    /// Per-cell transition counts (indexable by `CellId`).
+    pub fn transitions(&self) -> &[u64] {
+        &self.transitions
+    }
+
+    /// Resets the transition counters (e.g. after warm-up cycles).
+    pub fn reset_transitions(&mut self) {
+        self.transitions.iter_mut().for_each(|t| *t = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optpower_netlist::NetlistBuilder;
+
+    /// XOR with one input delayed through two buffers: flipping both
+    /// inputs simultaneously produces a glitch pulse on the output.
+    fn glitchy_xor() -> Netlist {
+        let mut b = NetlistBuilder::new("glitch");
+        let a = b.add_input("a0");
+        let c = b.add_input("b0");
+        let d1 = b.add_cell(CellKind::Buf, &[c]);
+        let d2 = b.add_cell(CellKind::Buf, &[d1]);
+        let s = b.add_cell(CellKind::Xor2, &[a, d2]);
+        b.add_output("p0", s);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn timed_sees_the_glitch_zero_delay_does_not() {
+        let nl = glitchy_xor();
+        let lib = Library::cmos13();
+        let mut timed = TimedSim::new(&nl, &lib);
+        let mut zd = crate::ZeroDelaySim::new(&nl);
+        // Warm up to (0, 0): xor = 0.
+        timed.set_input_bits("a", 0);
+        timed.set_input_bits("b", 0);
+        timed.step();
+        timed.reset_transitions();
+        zd.set_input_bits("a", 0);
+        zd.set_input_bits("b", 0);
+        zd.step();
+        zd.reset_transitions();
+        // Flip both inputs: final xor value is unchanged (0), but the
+        // delayed path makes the timed output pulse 0->1->0.
+        timed.set_input_bits("a", 1);
+        timed.set_input_bits("b", 1);
+        timed.step();
+        zd.set_input_bits("a", 1);
+        zd.set_input_bits("b", 1);
+        zd.step();
+        // Zero-delay: buffers toggle (2 transitions), xor stays.
+        assert_eq!(zd.logic_transitions(), 2);
+        // Timed: buffers toggle (2) + xor glitches (2 transitions).
+        assert_eq!(timed.logic_transitions(), 4);
+        assert_eq!(timed.output_bits("p"), Some(0));
+        assert_eq!(zd.output_bits("p"), Some(0));
+    }
+
+    #[test]
+    fn functional_agreement_with_zero_delay() {
+        // Random full-adder vectors: settled outputs must agree.
+        let mut b = NetlistBuilder::new("fa");
+        let a = b.add_input("a0");
+        let x = b.add_input("b0");
+        let c = b.add_input("c0");
+        let s = b.add_cell(CellKind::Xor3, &[a, x, c]);
+        let co = b.add_cell(CellKind::Maj3, &[a, x, c]);
+        b.add_output("p0", s);
+        b.add_output("p1", co);
+        let nl = b.build().unwrap();
+        let lib = Library::cmos13();
+        let mut timed = TimedSim::new(&nl, &lib);
+        let mut zd = crate::ZeroDelaySim::new(&nl);
+        for v in 0..8u64 {
+            timed.set_input_bits("a", v & 1);
+            timed.set_input_bits("b", (v >> 1) & 1);
+            timed.set_input_bits("c", (v >> 2) & 1);
+            timed.step();
+            zd.set_input_bits("a", v & 1);
+            zd.set_input_bits("b", (v >> 1) & 1);
+            zd.set_input_bits("c", (v >> 2) & 1);
+            zd.step();
+            assert_eq!(timed.output_bits("p"), zd.output_bits("p"), "v={v}");
+        }
+    }
+
+    #[test]
+    fn dff_capture_uses_pre_edge_value() {
+        let mut b = NetlistBuilder::new("reg");
+        let d = b.add_input("a0");
+        let q = b.add_cell(CellKind::Dff, &[d]);
+        b.add_output("p0", q);
+        let nl = b.build().unwrap();
+        let mut sim = TimedSim::new(&nl, &Library::cmos13());
+        sim.set_input_bits("a", 1);
+        sim.step();
+        assert_eq!(sim.output_bits("p"), None, "q captured pre-edge X");
+        sim.step();
+        assert_eq!(sim.output_bits("p"), Some(1));
+    }
+
+    #[test]
+    fn constants_and_quiet_cells_resolve() {
+        // Regression: a cell fed only by constants must leave X on the
+        // first cycle even though its inputs never "change".
+        let mut b = NetlistBuilder::new("const");
+        let one = b.add_cell(CellKind::Const1, &[]);
+        let zero = b.add_cell(CellKind::Const0, &[]);
+        let n = b.add_cell(CellKind::Nand2, &[one, zero]);
+        let x = b.add_input("a0");
+        let y = b.add_cell(CellKind::And2, &[n, x]);
+        b.add_output("p0", y);
+        let nl = b.build().unwrap();
+        let mut sim = TimedSim::new(&nl, &Library::cmos13());
+        sim.set_input_bits("a", 1);
+        sim.step();
+        assert_eq!(sim.output_bits("p"), Some(1));
+    }
+
+    #[test]
+    fn event_count_bounded_per_cycle() {
+        let nl = glitchy_xor();
+        let mut sim = TimedSim::new(&nl, &Library::cmos13());
+        sim.set_input_bits("a", 1);
+        sim.set_input_bits("b", 1);
+        let events = sim.step();
+        // 3 combinational cells, each re-evaluated a handful of times.
+        assert!(events < 20, "events = {events}");
+    }
+}

@@ -1,0 +1,202 @@
+//! Functional verification of multiplier netlists against `a × b`.
+
+use optpower_netlist::Netlist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{bus_inputs, bus_outputs, ZeroDelaySim};
+
+/// Outcome of [`verify_product`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyOutcome {
+    /// Every checked item matched `a × b` at a constant latency of the
+    /// given number of data items.
+    Correct {
+        /// Detected pipeline latency in data items.
+        latency_items: u32,
+    },
+    /// No constant latency explains the output stream; the payload is
+    /// a human-readable mismatch description.
+    Mismatch(String),
+}
+
+impl VerifyOutcome {
+    /// `true` for [`VerifyOutcome::Correct`].
+    pub fn is_correct(&self) -> bool {
+        matches!(self, Self::Correct { .. })
+    }
+}
+
+/// Checks that a netlist computes `p = a × b` on random operands.
+///
+/// Drives the `a`/`b` input buses with `items` random operand pairs,
+/// each held for `cycles_per_item` clock cycles, and reads the `p`
+/// output bus at the end of each item. If the design has a `rst`
+/// input bus it is held high for the first item (X-recovery for
+/// sequential controllers).
+///
+/// The design's pipeline latency is auto-detected: the output stream
+/// is matched against the product stream at every candidate latency
+/// `0..=max_latency_items`, and the unique consistent latency is
+/// reported. This makes the checker agnostic to pipelining depth,
+/// parallelisation latency and sequential-result timing.
+///
+/// # Panics
+///
+/// Panics if the netlist lacks `a`, `b` or `p` buses.
+pub fn verify_product(
+    netlist: &Netlist,
+    items: usize,
+    cycles_per_item: u32,
+    max_latency_items: u32,
+    seed: u64,
+) -> VerifyOutcome {
+    let a_w = bus_inputs(netlist, "a").len();
+    let b_w = bus_inputs(netlist, "b").len();
+    let p_w = bus_outputs(netlist, "p").len();
+    assert!(a_w > 0 && b_w > 0, "verify_product requires a/b buses");
+    assert!(p_w > 0, "verify_product requires a p output bus");
+    let has_rst = !bus_inputs(netlist, "rst").is_empty();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sim = ZeroDelaySim::new(netlist);
+    let mut applied: Vec<(u64, u64)> = Vec::with_capacity(items);
+    let mut observed: Vec<Option<u64>> = Vec::with_capacity(items);
+
+    for item in 0..items {
+        if has_rst {
+            sim.set_input_bits("rst", u64::from(item == 0));
+        }
+        let a = rng.gen::<u64>() & mask(a_w);
+        let b = rng.gen::<u64>() & mask(b_w);
+        sim.set_input_bits("a", a);
+        sim.set_input_bits("b", b);
+        for _ in 0..cycles_per_item.max(1) {
+            sim.step();
+        }
+        applied.push((a, b));
+        observed.push(sim.output_bits("p"));
+    }
+
+    // The first item may be a reset item; start scoring after the
+    // largest candidate latency plus the reset item.
+    let start = max_latency_items as usize + 1;
+    if items <= start + 4 {
+        return VerifyOutcome::Mismatch(format!("need more than {start} items to detect latency"));
+    }
+    'candidates: for lat in 0..=max_latency_items {
+        for t in start..items {
+            let (a, b) = applied[t - lat as usize];
+            let expect = (a as u128 * b as u128) as u64 & mask(p_w);
+            match observed[t] {
+                Some(got) if got == expect => {}
+                _ => continue 'candidates,
+            }
+        }
+        return VerifyOutcome::Correct { latency_items: lat };
+    }
+
+    // Build a diagnostic for the zero-latency hypothesis.
+    let t = start;
+    let (a, b) = applied[t];
+    VerifyOutcome::Mismatch(format!(
+        "no constant latency in 0..={max_latency_items} fits; e.g. item {t}: \
+         a={a} b={b} expect={} got={:?}",
+        (a as u128 * b as u128) as u64 & mask(p_w),
+        observed[t],
+    ))
+}
+
+fn mask(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optpower_netlist::{CellKind, NetId, NetlistBuilder};
+
+    /// 2×2-bit combinational multiplier built from first principles.
+    fn mult2x2() -> Netlist {
+        let mut b = NetlistBuilder::new("m22");
+        let a0 = b.add_input("a0");
+        let a1 = b.add_input("a1");
+        let b0 = b.add_input("b0");
+        let b1 = b.add_input("b1");
+        let pp00 = b.add_cell(CellKind::And2, &[a0, b0]);
+        let pp10 = b.add_cell(CellKind::And2, &[a1, b0]);
+        let pp01 = b.add_cell(CellKind::And2, &[a0, b1]);
+        let pp11 = b.add_cell(CellKind::And2, &[a1, b1]);
+        let p1 = b.add_cell(CellKind::Xor2, &[pp10, pp01]);
+        let c1 = b.add_cell(CellKind::And2, &[pp10, pp01]);
+        let p2 = b.add_cell(CellKind::Xor2, &[pp11, c1]);
+        let p3 = b.add_cell(CellKind::And2, &[pp11, c1]);
+        b.add_output("p0", pp00);
+        b.add_output("p1", p1);
+        b.add_output("p2", p2);
+        b.add_output("p3", p3);
+        b.build().unwrap()
+    }
+
+    /// The same multiplier with a one-stage output register.
+    fn mult2x2_registered() -> Netlist {
+        let mut b = NetlistBuilder::new("m22r");
+        let a0 = b.add_input("a0");
+        let a1 = b.add_input("a1");
+        let b0 = b.add_input("b0");
+        let b1 = b.add_input("b1");
+        let pp00 = b.add_cell(CellKind::And2, &[a0, b0]);
+        let pp10 = b.add_cell(CellKind::And2, &[a1, b0]);
+        let pp01 = b.add_cell(CellKind::And2, &[a0, b1]);
+        let pp11 = b.add_cell(CellKind::And2, &[a1, b1]);
+        let p1 = b.add_cell(CellKind::Xor2, &[pp10, pp01]);
+        let c1 = b.add_cell(CellKind::And2, &[pp10, pp01]);
+        let p2 = b.add_cell(CellKind::Xor2, &[pp11, c1]);
+        let p3 = b.add_cell(CellKind::And2, &[pp11, c1]);
+        let bits: Vec<NetId> = [pp00, p1, p2, p3]
+            .into_iter()
+            .map(|n| b.add_cell(CellKind::Dff, &[n]))
+            .collect();
+        for (i, q) in bits.into_iter().enumerate() {
+            b.add_output(format!("p{i}"), q);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn combinational_multiplier_verifies_at_zero_latency() {
+        let nl = mult2x2();
+        match verify_product(&nl, 40, 1, 3, 11) {
+            VerifyOutcome::Correct { latency_items } => assert_eq!(latency_items, 0),
+            VerifyOutcome::Mismatch(m) => panic!("{m}"),
+        }
+    }
+
+    #[test]
+    fn registered_multiplier_verifies_at_one_item_latency() {
+        let nl = mult2x2_registered();
+        match verify_product(&nl, 40, 1, 3, 11) {
+            VerifyOutcome::Correct { latency_items } => assert_eq!(latency_items, 1),
+            VerifyOutcome::Mismatch(m) => panic!("{m}"),
+        }
+    }
+
+    #[test]
+    fn broken_multiplier_is_rejected() {
+        // Swap two product bits: no latency can fix that.
+        let mut b = NetlistBuilder::new("broken");
+        let a0 = b.add_input("a0");
+        let b0 = b.add_input("b0");
+        let and = b.add_cell(CellKind::And2, &[a0, b0]);
+        let or = b.add_cell(CellKind::Or2, &[a0, b0]);
+        b.add_output("p0", or); // should be the AND
+        b.add_output("p1", and);
+        let nl = b.build().unwrap();
+        let out = verify_product(&nl, 40, 1, 3, 5);
+        assert!(!out.is_correct(), "{out:?}");
+    }
+}

@@ -1,0 +1,354 @@
+//! Arrival-time propagation and path statistics.
+
+use optpower_netlist::{CellId, CellKind, Library, NetId, Netlist};
+
+/// A reported timing path (for diagnostics and the Figure 3/4 report).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathReport {
+    /// Cells along the path, start point first.
+    pub cells: Vec<CellId>,
+    /// Path length in gate units.
+    pub length: f64,
+}
+
+/// The result of one static timing analysis.
+///
+/// Arrival times are measured in normalised gate units from the cycle
+/// edge. Start points (primary inputs, constants, DFF outputs) arrive
+/// at `0`; every combinational cell adds its library delay.
+#[derive(Debug, Clone)]
+pub struct TimingAnalysis {
+    max_arrival: Vec<f64>,
+    min_arrival: Vec<f64>,
+    logical_depth: f64,
+    shortest_endpoint_path: f64,
+    mean_input_skew: f64,
+    critical_endpoint: Option<CellId>,
+}
+
+impl TimingAnalysis {
+    /// Runs the analysis. Single topological pass; `O(cells + pins)`.
+    pub fn analyze(netlist: &Netlist, library: &Library) -> Self {
+        let n_nets = netlist.nets().len();
+        let mut max_arrival = vec![0.0f64; n_nets];
+        let mut min_arrival = vec![0.0f64; n_nets];
+
+        let mut skew_sum = 0.0f64;
+        let mut skew_cells = 0usize;
+
+        for &id in netlist.topo_order() {
+            let cell = netlist.cell(id);
+            let out = cell.output.index();
+            match cell.kind {
+                // Timing start points: arrive at the cycle edge.
+                CellKind::Input | CellKind::Const0 | CellKind::Const1 | CellKind::Dff => {
+                    max_arrival[out] = 0.0;
+                    min_arrival[out] = 0.0;
+                }
+                // Output markers are transparent.
+                CellKind::Output => {
+                    let i = cell.inputs[0].index();
+                    max_arrival[out] = max_arrival[i];
+                    min_arrival[out] = min_arrival[i];
+                }
+                _ => {
+                    let d = library.delay(cell.kind);
+                    let mut in_max = 0.0f64;
+                    let mut in_min = f64::INFINITY;
+                    for &pin in &cell.inputs {
+                        in_max = in_max.max(max_arrival[pin.index()]);
+                        in_min = in_min.min(min_arrival[pin.index()]);
+                    }
+                    if cell.inputs.len() >= 2 {
+                        skew_sum += in_max - in_min;
+                        skew_cells += 1;
+                    }
+                    max_arrival[out] = in_max + d;
+                    min_arrival[out] = in_min + d;
+                }
+            }
+        }
+
+        // Endpoints: primary outputs and DFF D pins.
+        let mut logical_depth = 0.0f64;
+        let mut shortest = f64::INFINITY;
+        let mut critical_endpoint = None;
+        let mut consider = |net: NetId, endpoint: CellId| {
+            let a = max_arrival[net.index()];
+            if a > logical_depth {
+                logical_depth = a;
+                critical_endpoint = Some(endpoint);
+            }
+            shortest = shortest.min(min_arrival[net.index()]);
+        };
+        for (i, cell) in netlist.cells().iter().enumerate() {
+            match cell.kind {
+                CellKind::Output | CellKind::Dff => {
+                    consider(cell.inputs[0], CellId(i as u32));
+                }
+                _ => {}
+            }
+        }
+        if !shortest.is_finite() {
+            shortest = 0.0;
+        }
+
+        Self {
+            max_arrival,
+            min_arrival,
+            logical_depth,
+            shortest_endpoint_path: shortest,
+            mean_input_skew: if skew_cells > 0 {
+                skew_sum / skew_cells as f64
+            } else {
+                0.0
+            },
+            critical_endpoint,
+        }
+    }
+
+    /// The paper's logical depth `LD`: the longest start-to-endpoint
+    /// combinational path in gate units.
+    pub fn logical_depth(&self) -> f64 {
+        self.logical_depth
+    }
+
+    /// The shortest endpoint path (lower bound of the path spread).
+    pub fn shortest_endpoint_path(&self) -> f64 {
+        self.shortest_endpoint_path
+    }
+
+    /// `LD − shortest path`: the global path-delay spread. Larger
+    /// spread ⇒ more glitch-prone (Section 4's diagonal-pipeline
+    /// observation).
+    pub fn path_spread(&self) -> f64 {
+        self.logical_depth - self.shortest_endpoint_path
+    }
+
+    /// Mean over multi-input cells of (latest − earliest input
+    /// arrival): a local glitch-proneness measure.
+    pub fn mean_input_skew(&self) -> f64 {
+        self.mean_input_skew
+    }
+
+    /// Latest arrival time of a net.
+    pub fn arrival(&self, net: NetId) -> f64 {
+        self.max_arrival[net.index()]
+    }
+
+    /// Earliest arrival time of a net.
+    pub fn min_arrival(&self, net: NetId) -> f64 {
+        self.min_arrival[net.index()]
+    }
+
+    /// The endpoint cell of the critical path, if any combinational
+    /// path exists.
+    pub fn critical_endpoint(&self) -> Option<CellId> {
+        self.critical_endpoint
+    }
+
+    /// Histogram of endpoint arrival times in `bins` uniform bins over
+    /// `[0, logical_depth]`. The spread of this histogram is the
+    /// glitch-proneness picture behind the paper's diagonal-pipeline
+    /// observation: a wide histogram means wildly unbalanced paths.
+    ///
+    /// Returns an all-zero histogram for a netlist with no endpoints
+    /// or zero depth.
+    pub fn arrival_histogram(&self, netlist: &Netlist, bins: usize) -> Vec<usize> {
+        let bins = bins.max(1);
+        let mut hist = vec![0usize; bins];
+        if self.logical_depth <= 0.0 {
+            return hist;
+        }
+        for cell in netlist.cells() {
+            let net = match cell.kind {
+                CellKind::Output | CellKind::Dff => cell.inputs[0],
+                _ => continue,
+            };
+            let a = self.max_arrival[net.index()];
+            let ix = ((a / self.logical_depth) * bins as f64) as usize;
+            hist[ix.min(bins - 1)] += 1;
+        }
+        hist
+    }
+
+    /// Reconstructs the critical path by walking back along
+    /// worst-arrival pins from the critical endpoint.
+    pub fn critical_path(&self, netlist: &Netlist, library: &Library) -> Option<PathReport> {
+        let endpoint = self.critical_endpoint?;
+        let mut cells = vec![endpoint];
+        let mut current = netlist.cell(endpoint).inputs[0];
+        loop {
+            let driver = netlist.net(current).driver;
+            cells.push(driver);
+            let cell = netlist.cell(driver);
+            let is_start = matches!(
+                cell.kind,
+                CellKind::Input | CellKind::Const0 | CellKind::Const1 | CellKind::Dff
+            );
+            if is_start || cell.inputs.is_empty() {
+                break;
+            }
+            // Follow the latest-arriving input.
+            let d = library.delay(cell.kind);
+            let target = self.max_arrival[cell.output.index()] - d;
+            current = *cell
+                .inputs
+                .iter()
+                .max_by(|a, b| {
+                    self.max_arrival[a.index()]
+                        .partial_cmp(&self.max_arrival[b.index()])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("non-start cells have inputs");
+            debug_assert!(self.max_arrival[current.index()] <= target + 1e-9);
+        }
+        cells.reverse();
+        Some(PathReport {
+            cells,
+            length: self.logical_depth,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optpower_netlist::NetlistBuilder;
+
+    #[test]
+    fn chain_depth_is_sum_of_delays() {
+        let lib = Library::cmos13();
+        let mut b = NetlistBuilder::new("chain");
+        let x = b.add_input("x0");
+        let n1 = b.add_cell(CellKind::Xor2, &[x, x]);
+        let n2 = b.add_cell(CellKind::Nand2, &[n1, x]);
+        b.add_output("y0", n2);
+        let nl = b.build().unwrap();
+        let sta = TimingAnalysis::analyze(&nl, &lib);
+        let expect = lib.delay(CellKind::Xor2) + lib.delay(CellKind::Nand2);
+        assert!((sta.logical_depth() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dff_cuts_paths() {
+        // in -> inv -> DFF -> inv -> out: depth is max(1, 1) = 1 inv,
+        // not 2 (the flop restarts timing).
+        let lib = Library::cmos13();
+        let mut b = NetlistBuilder::new("cut");
+        let x = b.add_input("x0");
+        let n1 = b.add_cell(CellKind::Inv, &[x]);
+        let q = b.add_cell(CellKind::Dff, &[n1]);
+        let n2 = b.add_cell(CellKind::Inv, &[q]);
+        b.add_output("y0", n2);
+        let nl = b.build().unwrap();
+        let sta = TimingAnalysis::analyze(&nl, &lib);
+        assert!((sta.logical_depth() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_tree_has_zero_skew() {
+        let lib = Library::cmos13();
+        let mut b = NetlistBuilder::new("bal");
+        let i0 = b.add_input("a0");
+        let i1 = b.add_input("a1");
+        let i2 = b.add_input("a2");
+        let i3 = b.add_input("a3");
+        let l = b.add_cell(CellKind::And2, &[i0, i1]);
+        let r = b.add_cell(CellKind::And2, &[i2, i3]);
+        let top = b.add_cell(CellKind::And2, &[l, r]);
+        b.add_output("y0", top);
+        let nl = b.build().unwrap();
+        let sta = TimingAnalysis::analyze(&nl, &lib);
+        assert!(sta.mean_input_skew().abs() < 1e-12);
+        assert!(sta.path_spread().abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbalanced_chain_has_skew() {
+        // XOR(x, buf(buf(x))): input skew = 2 buffer delays.
+        let lib = Library::cmos13();
+        let mut b = NetlistBuilder::new("skew");
+        let x = b.add_input("x0");
+        let d1 = b.add_cell(CellKind::Buf, &[x]);
+        let d2 = b.add_cell(CellKind::Buf, &[d1]);
+        let s = b.add_cell(CellKind::Xor2, &[x, d2]);
+        b.add_output("y0", s);
+        let nl = b.build().unwrap();
+        let sta = TimingAnalysis::analyze(&nl, &lib);
+        assert!((sta.mean_input_skew() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_reconstruction() {
+        let lib = Library::cmos13();
+        let mut b = NetlistBuilder::new("cp");
+        let x = b.add_input("x0");
+        let y = b.add_input("x1");
+        let slow1 = b.add_cell(CellKind::Xor2, &[x, y]);
+        let slow2 = b.add_cell(CellKind::Xor2, &[slow1, y]);
+        let fast = b.add_cell(CellKind::Inv, &[x]);
+        let top = b.add_cell(CellKind::And2, &[slow2, fast]);
+        b.add_output("y0", top);
+        let nl = b.build().unwrap();
+        let sta = TimingAnalysis::analyze(&nl, &lib);
+        let path = sta.critical_path(&nl, &lib).unwrap();
+        // Path: input -> xor -> xor -> and -> output = 5 cells listed.
+        assert_eq!(path.cells.len(), 5);
+        assert!((path.length - sta.logical_depth()).abs() < 1e-12);
+        // The slow XORs are on it; the fast inverter is not.
+        let kinds: Vec<CellKind> = path.cells.iter().map(|&c| nl.cell(c).kind).collect();
+        assert_eq!(kinds.iter().filter(|&&k| k == CellKind::Xor2).count(), 2);
+        assert!(!kinds.contains(&CellKind::Inv));
+    }
+
+    #[test]
+    fn pure_register_file_has_zero_depth() {
+        let lib = Library::cmos13();
+        let mut b = NetlistBuilder::new("regs");
+        let x = b.add_input("x0");
+        let q = b.add_cell(CellKind::Dff, &[x]);
+        b.add_output("y0", q);
+        let nl = b.build().unwrap();
+        let sta = TimingAnalysis::analyze(&nl, &lib);
+        assert_eq!(sta.logical_depth(), 0.0);
+        assert_eq!(sta.path_spread(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod histogram_tests {
+    use super::*;
+    use optpower_netlist::NetlistBuilder;
+
+    #[test]
+    fn histogram_counts_endpoints() {
+        let lib = Library::cmos13();
+        let mut b = NetlistBuilder::new("h");
+        let x = b.add_input("x0");
+        let fast = b.add_cell(CellKind::Inv, &[x]);
+        let s1 = b.add_cell(CellKind::Xor2, &[x, fast]);
+        let s2 = b.add_cell(CellKind::Xor2, &[s1, x]);
+        b.add_output("fast", fast);
+        b.add_output("slow", s2);
+        let nl = b.build().unwrap();
+        let sta = TimingAnalysis::analyze(&nl, &lib);
+        let hist = sta.arrival_histogram(&nl, 4);
+        assert_eq!(hist.iter().sum::<usize>(), 2, "two endpoints");
+        // One early endpoint, one in the last bin.
+        assert_eq!(hist[3], 1);
+        assert_eq!(hist[0], 1);
+    }
+
+    #[test]
+    fn histogram_of_registers_only_is_zero_depth() {
+        let lib = Library::cmos13();
+        let mut b = NetlistBuilder::new("r");
+        let x = b.add_input("x0");
+        let q = b.add_cell(CellKind::Dff, &[x]);
+        b.add_output("p0", q);
+        let nl = b.build().unwrap();
+        let sta = TimingAnalysis::analyze(&nl, &lib);
+        assert_eq!(sta.arrival_histogram(&nl, 8), vec![0; 8]);
+    }
+}

@@ -1,0 +1,579 @@
+//! The [`Technology`] model: alpha-power law, leakage, DIBL and delay.
+
+use core::fmt;
+
+use optpower_units::{thermal_voltage, Amps, Farads, Kelvin, Seconds, Volts, ROOM_TEMPERATURE};
+
+use crate::flavors::Flavor;
+
+/// Errors from evaluating the device models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TechError {
+    /// The gate overdrive `Vdd − Vth` is not positive, so the
+    /// alpha-power law on-current (Eq. 2) is undefined.
+    NonPositiveOverdrive {
+        /// Supply voltage requested.
+        vdd: Volts,
+        /// Threshold voltage requested.
+        vth: Volts,
+    },
+    /// A builder field was given a non-physical value.
+    InvalidParameter {
+        /// Which field was invalid.
+        field: &'static str,
+        /// The offending value (base SI units).
+        value: f64,
+    },
+}
+
+impl fmt::Display for TechError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonPositiveOverdrive { vdd, vth } => write!(
+                f,
+                "gate overdrive is not positive (vdd = {vdd}, vth = {vth})"
+            ),
+            Self::InvalidParameter { field, value } => {
+                write!(f, "invalid technology parameter {field} = {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TechError {}
+
+/// A CMOS technology characterised by the paper's parameter set.
+///
+/// Construct with [`Technology::stm_cmos09`] for the published STM
+/// flavours (Table 2), or via [`Technology::builder`] for custom nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Technology {
+    name: &'static str,
+    vdd_nom: Volts,
+    vth0_nom: Volts,
+    io: Amps,
+    zeta: Farads,
+    zeta_chain_length: f64,
+    alpha: f64,
+    n: f64,
+    eta: f64,
+    temperature: Kelvin,
+}
+
+impl Technology {
+    /// One of the published STM CMOS09 0.13 µm flavours (Table 2).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use optpower_tech::{Technology, Flavor};
+    /// let hs = Technology::stm_cmos09(Flavor::HighSpeed);
+    /// assert_eq!(hs.alpha(), 1.58);
+    /// ```
+    pub fn stm_cmos09(flavor: Flavor) -> Self {
+        flavor.technology()
+    }
+
+    /// Starts building a custom technology from explicit parameters.
+    pub fn builder(name: &'static str) -> TechnologyBuilder {
+        TechnologyBuilder::new(name)
+    }
+
+    /// Human-readable flavour name (e.g. `"STM CMOS09 LL"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Nominal supply voltage (1.2 V for all CMOS09 flavours).
+    pub fn vdd_nom(&self) -> Volts {
+        self.vdd_nom
+    }
+
+    /// Nominal zero-bias threshold voltage `Vth0`.
+    pub fn vth0_nom(&self) -> Volts {
+        self.vth0_nom
+    }
+
+    /// Average off-current per cell at `Vgs = Vth` (the paper's `Io`).
+    pub fn io(&self) -> Amps {
+        self.io
+    }
+
+    /// Delay fitting coefficient `ζ` of Eq. 4, in farads, as printed in
+    /// Table 2 (a ring-oscillator *chain* fit; see
+    /// [`Technology::zeta_per_gate`]).
+    pub fn zeta(&self) -> Farads {
+        self.zeta
+    }
+
+    /// Ring-oscillator chain length the printed `ζ` was fitted on.
+    ///
+    /// `1.0` for custom technologies (raw Eq. 4 semantics); `16.0` for
+    /// the published STM presets — the paper's Table 2 `ζ` values are
+    /// inverter-chain fits, and dividing by a 16-stage chain length is
+    /// the unique scale that makes every published optimal point
+    /// timing-feasible under Eq. 6 (recovered per-architecture
+    /// `ζ_eff` ∈ [0.24, 0.47] pF vs `ζ/16` ∈ [0.34, 0.47] pF;
+    /// documented substitution, DESIGN.md §2).
+    pub fn zeta_chain_length(&self) -> f64 {
+        self.zeta_chain_length
+    }
+
+    /// The per-gate (per unit of logical depth) delay coefficient
+    /// actually used by Eq. 4 and Eq. 6: `ζ / chain_length`.
+    pub fn zeta_per_gate(&self) -> Farads {
+        self.zeta / self.zeta_chain_length
+    }
+
+    /// Alpha-power-law exponent `α` (velocity-saturation index).
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Weak-inversion slope factor `n`.
+    pub fn n(&self) -> f64 {
+        self.n
+    }
+
+    /// DIBL coefficient `η` of Eq. 3. The paper proves the optimal
+    /// power (Eq. 13) is independent of `η`; it is retained for the
+    /// nominal-point models.
+    pub fn eta(&self) -> f64 {
+        self.eta
+    }
+
+    /// Junction temperature used for `Ut` (default 300 K).
+    pub fn temperature(&self) -> Kelvin {
+        self.temperature
+    }
+
+    /// Thermal voltage `Ut = kT/q` at this technology's temperature.
+    pub fn ut(&self) -> Volts {
+        thermal_voltage(self.temperature)
+    }
+
+    /// The sub-threshold swing voltage `n·Ut` (≈ 34.4 mV for LL at 300 K).
+    pub fn n_ut(&self) -> Volts {
+        self.ut() * self.n
+    }
+
+    /// DIBL-corrected threshold voltage at supply `vdd` (Eq. 3):
+    /// `Vth = Vth0 − η·Vdd`.
+    ///
+    /// # Examples
+    ///
+    /// The published flavour presets use `η = 0` (the paper shows Eq. 13
+    /// is independent of `η`); set it via [`TechnologyBuilder::eta`].
+    ///
+    /// ```
+    /// # use optpower_tech::Technology;
+    /// # use optpower_units::Volts;
+    /// let t = Technology::builder("short channel").eta(0.08).build()?;
+    /// let vth = t.dibl_vth(Volts::new(1.2));
+    /// assert!(vth.value() < t.vth0_nom().value());
+    /// # Ok::<(), optpower_tech::TechError>(())
+    /// ```
+    pub fn dibl_vth(&self, vdd: Volts) -> Volts {
+        self.vth0_nom - vdd * self.eta
+    }
+
+    /// Alpha-power-law on-current (Eq. 2):
+    /// `Ion = Io·(e·(Vdd−Vth)/(α·n·Ut))^α`.
+    ///
+    /// # Errors
+    ///
+    /// [`TechError::NonPositiveOverdrive`] when `vdd <= vth` — the
+    /// transistor never turns on and the delay model diverges.
+    pub fn on_current(&self, vdd: Volts, vth: Volts) -> Result<Amps, TechError> {
+        let overdrive = vdd - vth;
+        if overdrive.value() <= 0.0 {
+            return Err(TechError::NonPositiveOverdrive { vdd, vth });
+        }
+        let x = core::f64::consts::E * overdrive.value() / (self.alpha * self.n_ut().value());
+        Ok(self.io * x.powf(self.alpha))
+    }
+
+    /// Sub-threshold off-current per cell (static term of Eq. 1):
+    /// `Ioff = Io·exp(−Vth/(n·Ut))`.
+    ///
+    /// Note this uses the *applied* threshold voltage; pass the result
+    /// of [`Technology::dibl_vth`] to include DIBL.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use optpower_tech::{Technology, Flavor};
+    /// # use optpower_units::Volts;
+    /// let ll = Technology::stm_cmos09(Flavor::LowLeakage);
+    /// // Lowering Vth by one decade's worth of swing multiplies leakage by 10.
+    /// let swing = ll.n_ut() * std::f64::consts::LN_10;
+    /// let base = ll.off_current(Volts::new(0.3));
+    /// let hot = ll.off_current(Volts::new(0.3) - swing);
+    /// assert!((hot.value() / base.value() - 10.0).abs() < 1e-9);
+    /// ```
+    pub fn off_current(&self, vth: Volts) -> Amps {
+        self.io * (-vth.value() / self.n_ut().value()).exp()
+    }
+
+    /// Gate delay (Eq. 4): `t_gate = ζ·Vdd / Ion`.
+    ///
+    /// # Errors
+    ///
+    /// [`TechError::NonPositiveOverdrive`] when `vdd <= vth`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use optpower_tech::{Technology, Flavor};
+    /// # use optpower_units::Volts;
+    /// let ll = Technology::stm_cmos09(Flavor::LowLeakage);
+    /// // Delay shrinks as Vdd rises at fixed Vth.
+    /// let slow = ll.gate_delay(Volts::new(0.6), Volts::new(0.3))?;
+    /// let fast = ll.gate_delay(Volts::new(1.2), Volts::new(0.3))?;
+    /// assert!(fast.value() < slow.value());
+    /// # Ok::<(), optpower_tech::TechError>(())
+    /// ```
+    pub fn gate_delay(&self, vdd: Volts, vth: Volts) -> Result<Seconds, TechError> {
+        let ion = self.on_current(vdd, vth)?;
+        Ok(Seconds::new(
+            self.zeta_per_gate().value() * vdd.value() / ion.value(),
+        ))
+    }
+
+    /// Returns a copy of this technology with a different junction
+    /// temperature (for thermal-corner studies).
+    pub fn with_temperature(mut self, temperature: Kelvin) -> Self {
+        self.temperature = temperature;
+        self
+    }
+
+    /// Returns a copy with a different effective off-current.
+    ///
+    /// Used by the reverse-calibration path: the paper's unpublished
+    /// per-architecture leakage calibration is absorbed into an
+    /// effective `Io` (see DESIGN.md §2).
+    pub fn with_io(mut self, io: Amps) -> Self {
+        self.io = io;
+        self
+    }
+}
+
+/// Builder for custom [`Technology`] instances.
+///
+/// # Examples
+///
+/// ```
+/// use optpower_tech::Technology;
+/// use optpower_units::{Amps, Farads, Volts};
+///
+/// let custom = Technology::builder("my 90nm")
+///     .vdd_nom(Volts::new(1.0))
+///     .vth0_nom(Volts::new(0.30))
+///     .io(Amps::new(5.0e-6))
+///     .zeta(Farads::new(4.0e-12))
+///     .alpha(1.7)
+///     .n(1.3)
+///     .build()?;
+/// assert_eq!(custom.alpha(), 1.7);
+/// # Ok::<(), optpower_tech::TechError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TechnologyBuilder {
+    name: &'static str,
+    vdd_nom: Volts,
+    vth0_nom: Volts,
+    io: Amps,
+    zeta: Farads,
+    zeta_chain_length: f64,
+    alpha: f64,
+    n: f64,
+    eta: f64,
+    temperature: Kelvin,
+}
+
+impl TechnologyBuilder {
+    pub(crate) fn new(name: &'static str) -> Self {
+        // Defaults: the LL flavour, the paper's reference technology.
+        Self {
+            name,
+            vdd_nom: Volts::new(1.2),
+            vth0_nom: Volts::new(0.354),
+            io: Amps::new(3.34e-6),
+            zeta: Farads::new(5.5e-12),
+            zeta_chain_length: 1.0,
+            alpha: 1.86,
+            n: 1.33,
+            eta: 0.0,
+            temperature: ROOM_TEMPERATURE,
+        }
+    }
+
+    /// Sets the nominal supply voltage.
+    pub fn vdd_nom(mut self, v: Volts) -> Self {
+        self.vdd_nom = v;
+        self
+    }
+
+    /// Sets the nominal zero-bias threshold voltage.
+    pub fn vth0_nom(mut self, v: Volts) -> Self {
+        self.vth0_nom = v;
+        self
+    }
+
+    /// Sets the per-cell off-current `Io` at `Vgs = Vth`.
+    pub fn io(mut self, io: Amps) -> Self {
+        self.io = io;
+        self
+    }
+
+    /// Sets the delay coefficient `ζ` (Eq. 4).
+    pub fn zeta(mut self, zeta: Farads) -> Self {
+        self.zeta = zeta;
+        self
+    }
+
+    /// Sets the ring-oscillator chain length the `ζ` fit refers to
+    /// (see [`Technology::zeta_chain_length`]). Defaults to 1.
+    pub fn zeta_chain_length(mut self, len: f64) -> Self {
+        self.zeta_chain_length = len;
+        self
+    }
+
+    /// Sets the alpha-power-law exponent.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the weak-inversion slope factor.
+    pub fn n(mut self, n: f64) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// Sets the DIBL coefficient `η`.
+    pub fn eta(mut self, eta: f64) -> Self {
+        self.eta = eta;
+        self
+    }
+
+    /// Sets the junction temperature.
+    pub fn temperature(mut self, t: Kelvin) -> Self {
+        self.temperature = t;
+        self
+    }
+
+    /// Validates every parameter and builds the [`Technology`].
+    ///
+    /// # Errors
+    ///
+    /// [`TechError::InvalidParameter`] for non-positive voltages,
+    /// currents, capacitances or slope factors, `α` outside `(1, 3]`,
+    /// `η` outside `[0, 0.5)`, or a non-positive temperature.
+    pub fn build(self) -> Result<Technology, TechError> {
+        let check = |cond: bool, field: &'static str, value: f64| {
+            if cond {
+                Ok(())
+            } else {
+                Err(TechError::InvalidParameter { field, value })
+            }
+        };
+        check(self.vdd_nom.value() > 0.0, "vdd_nom", self.vdd_nom.value())?;
+        check(
+            self.vth0_nom.value() > 0.0,
+            "vth0_nom",
+            self.vth0_nom.value(),
+        )?;
+        check(self.io.value() > 0.0, "io", self.io.value())?;
+        check(self.zeta.value() > 0.0, "zeta", self.zeta.value())?;
+        check(
+            self.zeta_chain_length >= 1.0,
+            "zeta_chain_length",
+            self.zeta_chain_length,
+        )?;
+        check(self.alpha > 1.0 && self.alpha <= 3.0, "alpha", self.alpha)?;
+        check(self.n >= 1.0 && self.n < 3.0, "n", self.n)?;
+        check(self.eta >= 0.0 && self.eta < 0.5, "eta", self.eta)?;
+        check(
+            self.temperature.value() > 0.0,
+            "temperature",
+            self.temperature.value(),
+        )?;
+        Ok(Technology {
+            name: self.name,
+            vdd_nom: self.vdd_nom,
+            vth0_nom: self.vth0_nom,
+            io: self.io,
+            zeta: self.zeta,
+            zeta_chain_length: self.zeta_chain_length,
+            alpha: self.alpha,
+            n: self.n,
+            eta: self.eta,
+            temperature: self.temperature,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Flavor;
+
+    fn ll() -> Technology {
+        Technology::stm_cmos09(Flavor::LowLeakage)
+    }
+
+    #[test]
+    fn n_ut_matches_paper_value() {
+        // n = 1.33, Ut(300K) ≈ 25.85 mV → n·Ut ≈ 34.4 mV.
+        assert!((ll().n_ut().value() - 0.03438).abs() < 1e-4);
+    }
+
+    #[test]
+    fn on_current_rejects_negative_overdrive() {
+        let err = ll()
+            .on_current(Volts::new(0.2), Volts::new(0.3))
+            .unwrap_err();
+        assert!(matches!(err, TechError::NonPositiveOverdrive { .. }));
+    }
+
+    #[test]
+    fn on_current_alpha_power_scaling() {
+        // Doubling overdrive multiplies Ion by 2^alpha.
+        let t = ll();
+        let vth = Volts::new(0.2);
+        let i1 = t.on_current(Volts::new(0.4), vth).unwrap();
+        let i2 = t.on_current(Volts::new(0.6), vth).unwrap();
+        let ratio = i2.value() / i1.value();
+        assert!((ratio - 2f64.powf(t.alpha())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn off_current_decade_per_swing() {
+        let t = ll();
+        // Sub-threshold slope: S = n·Ut·ln(10) per decade.
+        let s = t.n_ut().value() * core::f64::consts::LN_10;
+        let i1 = t.off_current(Volts::new(0.3));
+        let i2 = t.off_current(Volts::new(0.3 + s));
+        assert!((i1.value() / i2.value() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn off_current_at_zero_vth_is_io() {
+        let t = ll();
+        assert!((t.off_current(Volts::ZERO).value() - t.io().value()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn gate_delay_monotonic_in_vth() {
+        // Raising Vth at fixed Vdd slows the gate.
+        let t = ll();
+        let d1 = t.gate_delay(Volts::new(0.8), Volts::new(0.2)).unwrap();
+        let d2 = t.gate_delay(Volts::new(0.8), Volts::new(0.35)).unwrap();
+        assert!(d2.value() > d1.value());
+    }
+
+    #[test]
+    fn dibl_lowers_threshold() {
+        let t = Technology::builder("dibl test").eta(0.05).build().unwrap();
+        let vth = t.dibl_vth(Volts::new(1.0));
+        assert!((vth.value() - (t.vth0_nom().value() - 0.05)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_validates_alpha() {
+        let err = Technology::builder("bad").alpha(0.9).build().unwrap_err();
+        assert!(matches!(
+            err,
+            TechError::InvalidParameter { field: "alpha", .. }
+        ));
+    }
+
+    #[test]
+    fn builder_validates_io() {
+        let err = Technology::builder("bad")
+            .io(Amps::new(-1.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TechError::InvalidParameter { field: "io", .. }
+        ));
+    }
+
+    #[test]
+    fn builder_validates_eta() {
+        let err = Technology::builder("bad").eta(0.9).build().unwrap_err();
+        assert!(matches!(
+            err,
+            TechError::InvalidParameter { field: "eta", .. }
+        ));
+    }
+
+    #[test]
+    fn with_io_overrides_leakage_only() {
+        let t = ll();
+        let t2 = t.with_io(Amps::new(1e-5));
+        assert_eq!(t2.alpha(), t.alpha());
+        assert!((t2.off_current(Volts::ZERO).value() - 1e-5).abs() < 1e-18);
+    }
+
+    #[test]
+    fn temperature_scaling_raises_leakage() {
+        let cold = ll();
+        let hot = ll().with_temperature(Kelvin::new(358.0));
+        // Same Vth, higher Ut → larger exp(−Vth/nUt) → more leakage.
+        let vth = Volts::new(0.3);
+        assert!(hot.off_current(vth).value() > cold.off_current(vth).value());
+    }
+
+    #[test]
+    fn error_display() {
+        let err = TechError::NonPositiveOverdrive {
+            vdd: Volts::new(0.2),
+            vth: Volts::new(0.3),
+        };
+        assert!(err.to_string().contains("overdrive"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::Flavor;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Ion is strictly increasing in Vdd for any valid overdrive.
+        #[test]
+        fn ion_monotonic_in_vdd(vth in 0.1f64..0.5, dv in 0.01f64..0.7) {
+            let t = Technology::stm_cmos09(Flavor::LowLeakage);
+            let v1 = Volts::new(vth + dv);
+            let v2 = Volts::new(vth + dv + 0.01);
+            let i1 = t.on_current(v1, Volts::new(vth)).unwrap();
+            let i2 = t.on_current(v2, Volts::new(vth)).unwrap();
+            prop_assert!(i2.value() > i1.value());
+        }
+
+        /// Off-current is strictly decreasing in Vth and always positive.
+        #[test]
+        fn ioff_monotonic_in_vth(vth in 0.0f64..1.0) {
+            let t = Technology::stm_cmos09(Flavor::UltraLowLeakage);
+            let i1 = t.off_current(Volts::new(vth));
+            let i2 = t.off_current(Volts::new(vth + 0.01));
+            prop_assert!(i1.value() > i2.value());
+            prop_assert!(i2.value() > 0.0);
+        }
+
+        /// Delay · Ion == ζ · Vdd exactly (Eq. 4 is self-consistent).
+        #[test]
+        fn delay_identity(vdd in 0.4f64..1.2, vth in 0.1f64..0.35) {
+            let t = Technology::stm_cmos09(Flavor::HighSpeed);
+            let d = t.gate_delay(Volts::new(vdd), Volts::new(vth)).unwrap();
+            let ion = t.on_current(Volts::new(vdd), Volts::new(vth)).unwrap();
+            let lhs = d.value() * ion.value();
+            let rhs = t.zeta_per_gate().value() * vdd;
+            prop_assert!(((lhs - rhs) / rhs).abs() < 1e-12);
+        }
+    }
+}

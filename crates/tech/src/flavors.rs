@@ -1,0 +1,156 @@
+//! The published STM CMOS09 0.13 µm technology flavours (Table 2).
+
+use core::fmt;
+
+use optpower_units::{Amps, Farads, Volts};
+
+use crate::device::Technology;
+
+/// The three flavours of the STM CMOS09 0.13 µm process evaluated in
+/// the paper (Table 2).
+///
+/// | flavour | Vth0 \[V\] | Io \[µA\] | ζ \[pF\] | α |
+/// |---------|----------|---------|--------|-----|
+/// | ULL     | 0.466    | 2.11    | 7.5    | 1.95 |
+/// | LL      | 0.354    | 3.34    | 5.5    | 1.86 |
+/// | HS      | 0.328    | 7.08    | 6.1    | 1.58 |
+///
+/// All flavours share `Vdd_nom = 1.2 V`; the weak-inversion slope
+/// `n = 1.33` is only published for LL and is applied to all three
+/// (documented substitution, DESIGN.md §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Flavor {
+    /// Ultra-Low-Leakage: high Vth, low Io, slow (`ζ` large).
+    UltraLowLeakage,
+    /// Low-Leakage: the paper's reference flavour and overall winner.
+    LowLeakage,
+    /// High-Speed: low Vth, leaky, low α (strong velocity saturation).
+    HighSpeed,
+}
+
+impl Flavor {
+    /// All flavours, in the paper's Table 2 order.
+    pub const ALL: [Flavor; 3] = [
+        Flavor::UltraLowLeakage,
+        Flavor::LowLeakage,
+        Flavor::HighSpeed,
+    ];
+
+    /// Short name used in the paper's tables ("ULL", "LL", "HS").
+    pub fn abbreviation(self) -> &'static str {
+        match self {
+            Self::UltraLowLeakage => "ULL",
+            Self::LowLeakage => "LL",
+            Self::HighSpeed => "HS",
+        }
+    }
+
+    /// The full [`Technology`] preset for this flavour.
+    pub(crate) fn technology(self) -> Technology {
+        let b = Technology::builder(match self {
+            Self::UltraLowLeakage => "STM CMOS09 ULL",
+            Self::LowLeakage => "STM CMOS09 LL",
+            Self::HighSpeed => "STM CMOS09 HS",
+        });
+        let b = match self {
+            Self::UltraLowLeakage => b
+                .vth0_nom(Volts::new(0.466))
+                .io(Amps::new(2.11e-6))
+                .zeta(Farads::new(7.5e-12))
+                .alpha(1.95),
+            Self::LowLeakage => b
+                .vth0_nom(Volts::new(0.354))
+                .io(Amps::new(3.34e-6))
+                .zeta(Farads::new(5.5e-12))
+                .alpha(1.86),
+            Self::HighSpeed => b
+                .vth0_nom(Volts::new(0.328))
+                .io(Amps::new(7.08e-6))
+                .zeta(Farads::new(6.1e-12))
+                .alpha(1.58),
+        };
+        b.vdd_nom(Volts::new(1.2))
+            .n(1.33)
+            .zeta_chain_length(16.0)
+            .build()
+            .expect("published Table 2 presets are valid by construction")
+    }
+}
+
+impl fmt::Display for Flavor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbreviation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values_ll() {
+        let t = Technology::stm_cmos09(Flavor::LowLeakage);
+        assert_eq!(t.vdd_nom(), Volts::new(1.2));
+        assert_eq!(t.vth0_nom(), Volts::new(0.354));
+        assert_eq!(t.io(), Amps::new(3.34e-6));
+        assert_eq!(t.zeta(), Farads::new(5.5e-12));
+        assert_eq!(t.alpha(), 1.86);
+        assert_eq!(t.n(), 1.33);
+    }
+
+    #[test]
+    fn table2_values_ull() {
+        let t = Technology::stm_cmos09(Flavor::UltraLowLeakage);
+        assert_eq!(t.vth0_nom(), Volts::new(0.466));
+        assert_eq!(t.io(), Amps::new(2.11e-6));
+        assert_eq!(t.zeta(), Farads::new(7.5e-12));
+        assert_eq!(t.alpha(), 1.95);
+    }
+
+    #[test]
+    fn table2_values_hs() {
+        let t = Technology::stm_cmos09(Flavor::HighSpeed);
+        assert_eq!(t.vth0_nom(), Volts::new(0.328));
+        assert_eq!(t.io(), Amps::new(7.08e-6));
+        assert_eq!(t.zeta(), Farads::new(6.1e-12));
+        assert_eq!(t.alpha(), 1.58);
+    }
+
+    #[test]
+    fn leakage_ordering_hs_worst() {
+        // At equal Vth the flavour off-currents order HS > LL > ULL.
+        let vth = Volts::new(0.3);
+        let ull = Technology::stm_cmos09(Flavor::UltraLowLeakage).off_current(vth);
+        let ll = Technology::stm_cmos09(Flavor::LowLeakage).off_current(vth);
+        let hs = Technology::stm_cmos09(Flavor::HighSpeed).off_current(vth);
+        assert!(hs.value() > ll.value());
+        assert!(ll.value() > ull.value());
+    }
+
+    #[test]
+    fn speed_ordering_near_threshold() {
+        // In the low-Vdd regime where the optimal points live
+        // (0.3–0.5 V), HS is the fastest flavour and ULL the slowest —
+        // the effect Section 5 attributes to "low Io and high ζ of ULL".
+        let delay = |f: Flavor| {
+            let t = Technology::stm_cmos09(f);
+            t.gate_delay(Volts::new(0.5), t.vth0_nom()).unwrap().value()
+        };
+        assert!(delay(Flavor::HighSpeed) < delay(Flavor::LowLeakage));
+        assert!(delay(Flavor::LowLeakage) < delay(Flavor::UltraLowLeakage));
+    }
+
+    #[test]
+    fn display_abbreviations() {
+        assert_eq!(Flavor::UltraLowLeakage.to_string(), "ULL");
+        assert_eq!(Flavor::LowLeakage.to_string(), "LL");
+        assert_eq!(Flavor::HighSpeed.to_string(), "HS");
+    }
+
+    #[test]
+    fn all_contains_three_distinct() {
+        assert_eq!(Flavor::ALL.len(), 3);
+        assert_ne!(Flavor::ALL[0], Flavor::ALL[1]);
+        assert_ne!(Flavor::ALL[1], Flavor::ALL[2]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Device-physics models for the `optpower` workspace.
+//!
+//! Implements the technology-side equations of Schuster et al.
+//! (DATE 2006):
+//!
+//! * the modified **alpha-power law** on-current, Eq. 2
+//!   (`Ion = Io·(e·(Vdd−Vth)/(α·n·Ut))^α`),
+//! * **sub-threshold leakage** per cell (`Io·exp(−Vth/(n·Ut))`, the
+//!   static term of Eq. 1),
+//! * the **DIBL** threshold shift, Eq. 3 (`Vth = Vth0 − η·Vdd`),
+//! * the **gate delay** model, Eq. 4 (`t_gate = ζ·Vdd/Ion`),
+//! * the **Vdd^{1/α} linearisation**, Eq. 7
+//!   (`Vdd^{1/α} ≈ A·Vdd + B`, Figure 2),
+//! * the three published **STM CMOS09 0.13 µm flavours** (Table 2):
+//!   Ultra-Low-Leakage, Low-Leakage and High-Speed.
+//!
+//! # Examples
+//!
+//! ```
+//! use optpower_tech::{Technology, Flavor};
+//! use optpower_units::Volts;
+//!
+//! let ll = Technology::stm_cmos09(Flavor::LowLeakage);
+//! // On-current grows with overdrive:
+//! let i1 = ll.on_current(Volts::new(1.2), Volts::new(0.354))?;
+//! let i2 = ll.on_current(Volts::new(1.0), Volts::new(0.354))?;
+//! assert!(i1.value() > i2.value());
+//! # Ok::<(), optpower_tech::TechError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod flavors;
+mod linearize;
+mod scaling;
+
+pub use device::{TechError, Technology, TechnologyBuilder};
+pub use flavors::Flavor;
+pub use linearize::{Linearization, PAPER_FIT_RANGE};
+pub use scaling::ScaledNode;

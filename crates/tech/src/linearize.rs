@@ -1,0 +1,202 @@
+//! The Eq. 7 linearisation `Vdd^{1/α} ≈ A·Vdd + B` (Figure 2).
+
+use optpower_numeric::{fit_line, linspace, NumericError};
+use optpower_units::Volts;
+
+/// The fitting range used throughout the paper's evaluation: Vdd in
+/// 0.3 V to 1.0 V ("The values of A and B used in Eq.13 were obtained
+/// by minimizing the approximation error (7) for Vdd in the range of
+/// 0.3-1.0V").
+pub const PAPER_FIT_RANGE: (Volts, Volts) = (Volts::new(0.3), Volts::new(1.0));
+
+/// A fitted linearisation of `Vdd^{1/α}` over a voltage range.
+///
+/// The coefficients `A` and `B` are the paper's fitting variables of
+/// Eq. 7; for the LL flavour (α = 1.86) on the paper's range the fit
+/// reproduces the published A = 0.671, B = 0.347.
+///
+/// # Examples
+///
+/// ```
+/// use optpower_tech::{Linearization, PAPER_FIT_RANGE};
+/// let lin = Linearization::fit(1.86, PAPER_FIT_RANGE.0, PAPER_FIT_RANGE.1)?;
+/// assert!((lin.a() - 0.671).abs() < 0.01);
+/// assert!((lin.b() - 0.347).abs() < 0.01);
+/// # Ok::<(), optpower_numeric::NumericError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Linearization {
+    alpha: f64,
+    a: f64,
+    b: f64,
+    lo: Volts,
+    hi: Volts,
+    max_error: f64,
+}
+
+impl Linearization {
+    /// Number of uniform samples used by [`Linearization::fit`]
+    /// (1 mV resolution over the paper's 0.7 V range).
+    pub const FIT_SAMPLES: usize = 701;
+
+    /// Least-squares fit of `Vdd^{1/α}` over `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NumericError`] from the underlying line fit
+    /// (degenerate range, non-finite samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha <= 0` — there is no meaningful exponent to fit.
+    pub fn fit(alpha: f64, lo: Volts, hi: Volts) -> Result<Self, NumericError> {
+        assert!(alpha > 0.0, "alpha must be positive, got {alpha}");
+        let samples: Vec<(f64, f64)> = linspace(lo.value(), hi.value(), Self::FIT_SAMPLES)
+            .into_iter()
+            .map(|v| (v, v.powf(1.0 / alpha)))
+            .collect();
+        let fit = fit_line(&samples)?;
+        Ok(Self {
+            alpha,
+            a: fit.slope,
+            b: fit.intercept,
+            lo,
+            hi,
+            max_error: fit.max_error,
+        })
+    }
+
+    /// Fit over the paper's published range (0.3 V – 1.0 V).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Linearization::fit`].
+    pub fn fit_paper_range(alpha: f64) -> Result<Self, NumericError> {
+        Self::fit(alpha, PAPER_FIT_RANGE.0, PAPER_FIT_RANGE.1)
+    }
+
+    /// The alpha exponent this linearisation was fitted for.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Fitted slope `A` of Eq. 7.
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// Fitted intercept `B` of Eq. 7.
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+
+    /// Lower end of the fitted voltage range.
+    pub fn lo(&self) -> Volts {
+        self.lo
+    }
+
+    /// Upper end of the fitted voltage range.
+    pub fn hi(&self) -> Volts {
+        self.hi
+    }
+
+    /// Worst-case absolute approximation error over the fitted range.
+    pub fn max_error(&self) -> f64 {
+        self.max_error
+    }
+
+    /// Evaluates the linear approximation `A·Vdd + B`.
+    pub fn approx(&self, vdd: Volts) -> f64 {
+        self.a * vdd.value() + self.b
+    }
+
+    /// Evaluates the exact curve `Vdd^{1/α}`.
+    pub fn exact(&self, vdd: Volts) -> f64 {
+        vdd.value().powf(1.0 / self.alpha)
+    }
+
+    /// Signed residual `approx − exact` at `vdd`.
+    pub fn residual(&self, vdd: Volts) -> f64 {
+        self.approx(vdd) - self.exact(vdd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_published_a_b_for_ll_alpha() {
+        // Paper: A = 0.671, B = 0.347 for alpha = 1.86 on 0.3–1.0 V.
+        let lin = Linearization::fit_paper_range(1.86).unwrap();
+        assert!((lin.a() - 0.671).abs() < 0.005, "A = {}", lin.a());
+        assert!((lin.b() - 0.347).abs() < 0.005, "B = {}", lin.b());
+    }
+
+    #[test]
+    fn figure2_alpha_15_fit_is_tight() {
+        // Figure 2 plots alpha = 1.5 over 0.3–0.9 V; the visual match in
+        // the figure corresponds to a worst-case error of ~17 mV^(1/α).
+        let lin = Linearization::fit(1.5, Volts::new(0.3), Volts::new(0.9)).unwrap();
+        assert!(lin.max_error() < 0.02, "max err {}", lin.max_error());
+    }
+
+    #[test]
+    fn approximation_brackets_curve() {
+        // line − concave curve is convex: the least-squares residual is
+        // positive at the range ends and negative in the middle.
+        let lin = Linearization::fit_paper_range(1.86).unwrap();
+        assert!(lin.residual(Volts::new(0.3)) > 0.0);
+        assert!(lin.residual(Volts::new(1.0)) > 0.0);
+        assert!(lin.residual(Volts::new(0.65)) < 0.0);
+    }
+
+    #[test]
+    fn alpha_one_is_exactly_linear() {
+        let lin = Linearization::fit_paper_range(1.0).unwrap();
+        assert!((lin.a() - 1.0).abs() < 1e-9);
+        assert!(lin.b().abs() < 1e-9);
+        assert!(lin.max_error() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn rejects_non_positive_alpha() {
+        let _ = Linearization::fit_paper_range(0.0);
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        let lin = Linearization::fit(2.0, Volts::new(0.4), Volts::new(0.8)).unwrap();
+        assert_eq!(lin.alpha(), 2.0);
+        assert_eq!(lin.lo(), Volts::new(0.4));
+        assert_eq!(lin.hi(), Volts::new(0.8));
+        assert!((lin.approx(Volts::new(0.5)) - (lin.a() * 0.5 + lin.b())).abs() < 1e-15);
+        assert!((lin.exact(Volts::new(0.49)) - 0.7).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// For any alpha in the physical range the fit error stays small
+        /// on the paper's range — the assumption behind Eq. 8.
+        #[test]
+        fn fit_error_bounded(alpha in 1.2f64..2.5) {
+            let lin = Linearization::fit_paper_range(alpha).unwrap();
+            prop_assert!(lin.max_error() < 0.03, "alpha={alpha} err={}", lin.max_error());
+        }
+
+        /// A is positive and B is non-negative for alpha > 1 on 0.3-1.0V:
+        /// the curve is increasing and concave.
+        #[test]
+        fn coefficients_signs(alpha in 1.05f64..2.8) {
+            let lin = Linearization::fit_paper_range(alpha).unwrap();
+            prop_assert!(lin.a() > 0.0);
+            prop_assert!(lin.b() > 0.0);
+        }
+    }
+}

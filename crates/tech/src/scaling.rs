@@ -1,0 +1,129 @@
+//! Synthetic scaled technology nodes for the paper's closing remark:
+//! "a smaller technology node with ultra-high speed and large leakage
+//! might consume more than a larger techno with better balanced α, Io,
+//! ζ, etc. at its optimal working point when considering the same
+//! performances."
+//!
+//! These presets are *not* measured silicon — they are constructed from
+//! first-order constant-field scaling rules applied to the published
+//! 0.13 µm LL parameters, with the leakage trend of real sub-130 nm
+//! nodes (off-current rising ~5–10× per node as Vth scales down):
+//!
+//! * capacitances (and thus `ζ`) shrink ≈ ×0.7 per node,
+//! * `α` falls toward 1.3–1.5 (stronger velocity saturation),
+//! * `Io` rises steeply, `Vth0` falls, `Vdd_nom` falls.
+
+use optpower_units::{Amps, Farads, Volts};
+
+use crate::{TechError, Technology};
+
+/// First-order synthetic scaled nodes derived from the 0.13 µm LL data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScaledNode {
+    /// The published 0.13 µm LL baseline.
+    Node130,
+    /// A synthetic 90 nm "general purpose" node: faster, leakier.
+    Node90,
+    /// A synthetic 65 nm node: fastest, leakiest — the paper's
+    /// cautionary "ultra-high speed and large leakage" case.
+    Node65,
+}
+
+impl ScaledNode {
+    /// All nodes, largest first.
+    pub const ALL: [ScaledNode; 3] = [ScaledNode::Node130, ScaledNode::Node90, ScaledNode::Node65];
+
+    /// Drawn gate length label (e.g. `"130nm"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Node130 => "130nm",
+            Self::Node90 => "90nm",
+            Self::Node65 => "65nm",
+        }
+    }
+
+    /// The synthetic [`Technology`] for this node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TechError`] from validation (unreachable — the
+    /// presets are valid by construction).
+    pub fn technology(self) -> Result<Technology, TechError> {
+        let b = Technology::builder(match self {
+            Self::Node130 => "scaled 130nm (LL baseline)",
+            Self::Node90 => "scaled 90nm (synthetic)",
+            Self::Node65 => "scaled 65nm (synthetic)",
+        })
+        .n(1.33)
+        .zeta_chain_length(16.0);
+        let b = match self {
+            Self::Node130 => b
+                .vdd_nom(Volts::new(1.2))
+                .vth0_nom(Volts::new(0.354))
+                .io(Amps::new(3.34e-6))
+                .zeta(Farads::new(5.5e-12))
+                .alpha(1.86),
+            Self::Node90 => b
+                .vdd_nom(Volts::new(1.0))
+                .vth0_nom(Volts::new(0.30))
+                .io(Amps::new(2.0e-5))
+                .zeta(Farads::new(3.85e-12))
+                .alpha(1.6),
+            Self::Node65 => b
+                .vdd_nom(Volts::new(0.9))
+                .vth0_nom(Volts::new(0.25))
+                .io(Amps::new(1.2e-4))
+                .zeta(Farads::new(2.7e-12))
+                .alpha(1.4),
+        };
+        b.build()
+    }
+}
+
+impl core::fmt::Display for ScaledNode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_nodes_build() {
+        for node in ScaledNode::ALL {
+            let t = node.technology().unwrap();
+            assert!(t.alpha() > 1.0);
+        }
+    }
+
+    #[test]
+    fn smaller_nodes_are_faster() {
+        // Gate delay at equal overdrive falls with scaling (smaller ζ).
+        let delay = |n: ScaledNode| {
+            let t = n.technology().unwrap();
+            t.gate_delay(Volts::new(0.6), Volts::new(0.25))
+                .unwrap()
+                .value()
+        };
+        assert!(delay(ScaledNode::Node90) < delay(ScaledNode::Node130));
+        assert!(delay(ScaledNode::Node65) < delay(ScaledNode::Node90));
+    }
+
+    #[test]
+    fn smaller_nodes_leak_more() {
+        let leak = |n: ScaledNode| {
+            let t = n.technology().unwrap();
+            t.off_current(t.vth0_nom()).value()
+        };
+        assert!(leak(ScaledNode::Node90) > 3.0 * leak(ScaledNode::Node130));
+        assert!(leak(ScaledNode::Node65) > 3.0 * leak(ScaledNode::Node90));
+    }
+
+    #[test]
+    fn labels_distinct() {
+        assert_eq!(ScaledNode::Node130.to_string(), "130nm");
+        assert_eq!(ScaledNode::Node65.label(), "65nm");
+    }
+}

@@ -1,0 +1,112 @@
+//! SI-prefixed display formatting shared by all quantities.
+
+use core::fmt;
+
+/// SI prefixes from atto to tera, with their decimal exponents.
+const PREFIXES: &[(i32, &str)] = &[
+    (-18, "a"),
+    (-15, "f"),
+    (-12, "p"),
+    (-9, "n"),
+    (-6, "u"),
+    (-3, "m"),
+    (0, ""),
+    (3, "k"),
+    (6, "M"),
+    (9, "G"),
+    (12, "T"),
+];
+
+/// Formats `value` with an SI prefix so the mantissa lands in `[1, 1000)`.
+///
+/// Used by the `Display` impls of every quantity in this crate; exposed
+/// so downstream report code can format raw floats the same way.
+pub(crate) fn format_si(f: &mut fmt::Formatter<'_>, value: f64, symbol: &str) -> fmt::Result {
+    let (mantissa, prefix) = split_si(value);
+    match f.precision() {
+        Some(p) => write!(f, "{mantissa:.p$} {prefix}{symbol}"),
+        None => write!(f, "{mantissa:.3} {prefix}{symbol}"),
+    }
+}
+
+/// Splits a value into an SI mantissa and prefix string.
+fn split_si(value: f64) -> (f64, &'static str) {
+    if value == 0.0 || !value.is_finite() {
+        return (value, "");
+    }
+    let exp3 = (value.abs().log10() / 3.0).floor() as i32 * 3;
+    let exp3 = exp3.clamp(-18, 12);
+    let prefix = PREFIXES
+        .iter()
+        .find(|(e, _)| *e == exp3)
+        .map(|(_, p)| *p)
+        .unwrap_or("");
+    (value / 10f64.powi(exp3), prefix)
+}
+
+/// Extension trait formatting a raw `f64` with an SI prefix and unit.
+///
+/// # Examples
+///
+/// ```
+/// use optpower_units::SiFormat;
+/// assert_eq!(191.44e-6.si_format("W"), "191.440 uW");
+/// ```
+pub trait SiFormat {
+    /// Renders the value with an SI prefix, three decimals, and `unit`.
+    fn si_format(&self, unit: &str) -> String;
+}
+
+impl SiFormat for f64 {
+    fn si_format(&self, unit: &str) -> String {
+        let (mantissa, prefix) = split_si(*self);
+        format!("{mantissa:.3} {prefix}{unit}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Volts, Watts};
+
+    #[test]
+    fn display_micro_watts() {
+        assert_eq!(format!("{}", Watts::new(191.44e-6)), "191.440 uW");
+    }
+
+    #[test]
+    fn display_with_precision() {
+        assert_eq!(format!("{:.1}", Volts::new(0.478)), "478.0 mV");
+    }
+
+    #[test]
+    fn display_zero() {
+        assert_eq!(format!("{}", Watts::new(0.0)), "0.000 W");
+    }
+
+    #[test]
+    fn display_plain_units() {
+        assert_eq!(format!("{}", Volts::new(1.2)), "1.200 V");
+    }
+
+    #[test]
+    fn display_large() {
+        assert_eq!(format!("{}", crate::Hertz::new(31.25e6)), "31.250 MHz");
+    }
+
+    #[test]
+    fn si_format_trait() {
+        assert_eq!(3.34e-6.si_format("A"), "3.340 uA");
+        assert_eq!(5.5e-12.si_format("F"), "5.500 pF");
+    }
+
+    #[test]
+    fn split_handles_extremes() {
+        let (m, p) = split_si(1e-21);
+        assert_eq!(p, "a");
+        assert!((m - 1e-3).abs() < 1e-15);
+        let (m, p) = split_si(1e15);
+        assert_eq!(p, "T");
+        assert!((m - 1e3).abs() < 1e-9);
+    }
+}

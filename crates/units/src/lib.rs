@@ -1,0 +1,66 @@
+//! Typed physical quantities for the `optpower` workspace.
+//!
+//! Every quantity that crosses a crate boundary in this workspace is a
+//! newtype over `f64` carrying its unit: [`Volts`], [`Amps`], [`Watts`],
+//! [`Farads`], [`Seconds`], [`Hertz`], [`Kelvin`] and [`SquareMicrons`].
+//! This statically prevents the classic modelling bugs (passing a
+//! threshold voltage where a supply voltage is expected is still
+//! possible — both are volts — but passing a capacitance where a
+//! current is expected is not).
+//!
+//! Arithmetic between quantities is implemented only where it is
+//! dimensionally meaningful, e.g. `Volts * Amps = Watts` and
+//! `Farads * Volts / Seconds` is not provided directly but
+//! `Coulombs / Seconds = Amps` is.
+//!
+//! # Examples
+//!
+//! ```
+//! use optpower_units::{Volts, Amps, Watts};
+//! let p: Watts = Volts::new(1.2) * Amps::new(0.5);
+//! assert_eq!(p, Watts::new(0.6));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod display;
+mod quantity;
+mod thermal;
+
+pub use display::SiFormat;
+pub use quantity::{
+    Amps, Coulombs, Farads, Hertz, Kelvin, Seconds, SquareMicrons, Unitless, Volts, Watts,
+};
+pub use thermal::{thermal_voltage, BOLTZMANN, ELEMENTARY_CHARGE, ROOM_TEMPERATURE};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volts_times_amps_is_watts() {
+        assert_eq!(Volts::new(2.0) * Amps::new(3.0), Watts::new(6.0));
+    }
+
+    #[test]
+    fn watts_divided_by_volts_is_amps() {
+        assert_eq!(Watts::new(6.0) / Volts::new(2.0), Amps::new(3.0));
+    }
+
+    #[test]
+    fn farads_times_volts_is_coulombs() {
+        assert_eq!(Farads::new(1e-15) * Volts::new(1.0), Coulombs::new(1e-15));
+    }
+
+    #[test]
+    fn hertz_inverts_to_seconds() {
+        assert_eq!(Hertz::new(31.25e6).period(), Seconds::new(1.0 / 31.25e6));
+    }
+
+    #[test]
+    fn thermal_voltage_at_room_temperature() {
+        let ut = thermal_voltage(ROOM_TEMPERATURE);
+        assert!((ut.value() - 0.02585).abs() < 1e-4, "Ut = {ut:?}");
+    }
+}

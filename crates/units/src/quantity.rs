@@ -1,0 +1,362 @@
+//! The quantity newtypes and their dimensional arithmetic.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Declares a `f64` newtype quantity with the standard constructors,
+/// accessors, same-unit arithmetic and scalar scaling.
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $symbol:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero value of this quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Wraps a raw `f64` value expressed in the base SI unit.
+            ///
+            /// # Examples
+            ///
+            /// ```
+            /// # use optpower_units::Volts;
+            /// let vdd = Volts::new(1.2);
+            /// assert_eq!(vdd.value(), 1.2);
+            /// ```
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw value in the base SI unit.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// The SI symbol for this unit (e.g. `"V"`).
+            pub const SYMBOL: &'static str = $symbol;
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the smaller of two quantities.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of two quantities.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// `true` when the underlying value is finite (not NaN/∞).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Dimensionless ratio of two like quantities.
+            ///
+            /// # Examples
+            ///
+            /// ```
+            /// # use optpower_units::Volts;
+            /// assert_eq!(Volts::new(1.2).ratio(Volts::new(0.6)), 2.0);
+            /// ```
+            #[inline]
+            pub fn ratio(self, other: Self) -> f64 {
+                self.0 / other.0
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                crate::display::format_si(f, self.0, $symbol)
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+quantity!(
+    /// Electric current in amperes.
+    Amps,
+    "A"
+);
+quantity!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+quantity!(
+    /// Capacitance in farads.
+    Farads,
+    "F"
+);
+quantity!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+quantity!(
+    /// Frequency in hertz.
+    Hertz,
+    "Hz"
+);
+quantity!(
+    /// Absolute temperature in kelvin.
+    Kelvin,
+    "K"
+);
+quantity!(
+    /// Electric charge in coulombs.
+    Coulombs,
+    "C"
+);
+quantity!(
+    /// Silicon area in square micrometres.
+    SquareMicrons,
+    "um2"
+);
+quantity!(
+    /// A dimensionless quantity that still benefits from the common API.
+    Unitless,
+    ""
+);
+
+// ---- cross-unit arithmetic (only dimensionally valid combinations) ----
+
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Volts> for Amps {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Volts) -> Watts {
+        rhs * self
+    }
+}
+
+impl Div<Volts> for Watts {
+    type Output = Amps;
+    #[inline]
+    fn div(self, rhs: Volts) -> Amps {
+        Amps::new(self.value() / rhs.value())
+    }
+}
+
+impl Div<Amps> for Watts {
+    type Output = Volts;
+    #[inline]
+    fn div(self, rhs: Amps) -> Volts {
+        Volts::new(self.value() / rhs.value())
+    }
+}
+
+impl Mul<Volts> for Farads {
+    type Output = Coulombs;
+    #[inline]
+    fn mul(self, rhs: Volts) -> Coulombs {
+        Coulombs::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Farads> for Volts {
+    type Output = Coulombs;
+    #[inline]
+    fn mul(self, rhs: Farads) -> Coulombs {
+        rhs * self
+    }
+}
+
+impl Div<Seconds> for Coulombs {
+    type Output = Amps;
+    #[inline]
+    fn div(self, rhs: Seconds) -> Amps {
+        Amps::new(self.value() / rhs.value())
+    }
+}
+
+impl Div<Amps> for Coulombs {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, rhs: Amps) -> Seconds {
+        Seconds::new(self.value() / rhs.value())
+    }
+}
+
+impl Hertz {
+    /// The period `1/f`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use optpower_units::{Hertz, Seconds};
+    /// assert_eq!(Hertz::new(2.0).period(), Seconds::new(0.5));
+    /// ```
+    #[inline]
+    pub fn period(self) -> Seconds {
+        Seconds::new(self.value().recip())
+    }
+}
+
+impl Seconds {
+    /// The frequency `1/t`.
+    #[inline]
+    pub fn frequency(self) -> Hertz {
+        Hertz::new(self.value().recip())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_unit_arithmetic() {
+        let a = Volts::new(0.3);
+        let b = Volts::new(0.1);
+        assert_eq!(a + b, Volts::new(0.4));
+        assert!((a - b).value() - 0.2 < 1e-12);
+        assert_eq!(-a, Volts::new(-0.3));
+        assert_eq!(a * 2.0, Volts::new(0.6));
+        assert_eq!(2.0 * a, Volts::new(0.6));
+        assert!((a / 3.0 - Volts::new(0.1)).abs().value() < 1e-12);
+        assert!((a / b - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut p = Watts::new(1.0);
+        p += Watts::new(0.5);
+        p -= Watts::new(0.25);
+        assert_eq!(p, Watts::new(1.25));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Watts = (1..=4).map(|i| Watts::new(f64::from(i))).sum();
+        assert_eq!(total, Watts::new(10.0));
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = Volts::new(-0.5);
+        let b = Volts::new(0.2);
+        assert_eq!(a.abs(), Volts::new(0.5));
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn charge_over_time_is_current() {
+        let q = Farads::new(2e-15) * Volts::new(1.0);
+        let i = q / Seconds::new(1e-9);
+        assert!((i.value() - 2e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn zero_and_default_agree() {
+        assert_eq!(Volts::ZERO, Volts::default());
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Volts::new(1.0).is_finite());
+        assert!(!Volts::new(f64::NAN).is_finite());
+        assert!(!Volts::new(f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,48 @@
+//! Physical constants and the thermal voltage `Ut = kT/q`.
+
+use crate::{Kelvin, Volts};
+
+/// Boltzmann constant in J/K (2019 SI exact value).
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Elementary charge in coulombs (2019 SI exact value).
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Room temperature (300 K) used throughout the paper's evaluation.
+pub const ROOM_TEMPERATURE: Kelvin = Kelvin::new(300.0);
+
+/// Thermal voltage `Ut = kT/q`.
+///
+/// At 300 K this is ≈ 25.85 mV; the paper's weak-inversion slope term
+/// `n·Ut` multiplies this by n = 1.33 for the STM LL flavour.
+///
+/// # Examples
+///
+/// ```
+/// use optpower_units::{thermal_voltage, ROOM_TEMPERATURE};
+/// let ut = thermal_voltage(ROOM_TEMPERATURE);
+/// assert!((ut.value() - 0.025852).abs() < 1e-5);
+/// ```
+#[inline]
+pub fn thermal_voltage(temperature: Kelvin) -> Volts {
+    Volts::new(BOLTZMANN * temperature.value() / ELEMENTARY_CHARGE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_linearly_with_temperature() {
+        let t1 = thermal_voltage(Kelvin::new(300.0));
+        let t2 = thermal_voltage(Kelvin::new(600.0));
+        assert!((t2.value() - 2.0 * t1.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_silicon_thermal_voltage() {
+        // 85 °C = 358.15 K, a common industrial corner.
+        let ut = thermal_voltage(Kelvin::new(358.15));
+        assert!((ut.value() - 0.030863).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: find the optimal (Vdd, Vth) working point of a circuit
+//! and compare the closed-form Eq. 13 against the full numerical
+//! optimisation — the paper's core result in ~40 lines.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use optpower::{ArchParams, PowerModel};
+use optpower_tech::{Flavor, Technology};
+use optpower_units::{Farads, Hertz, SiFormat};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The basic 16-bit ripple-carry array multiplier of Table 1:
+    // 608 cells, activity 0.5056, logical depth 61, at 31.25 MHz.
+    let arch = ArchParams::builder("RCA 16x16")
+        .cells(608)
+        .activity(0.5056)
+        .logical_depth(61.0)
+        .cap_per_cell(Farads::new(70.5e-15))
+        .build()?;
+
+    let tech = Technology::stm_cmos09(Flavor::LowLeakage);
+    let model = PowerModel::from_technology(tech, arch, Hertz::new(31.25e6))?;
+
+    // Running at nominal voltages wastes power...
+    let nominal = model.power_at(tech.vdd_nom(), tech.vth0_nom());
+    println!(
+        "at nominal (1.2 V / 354 mV): {}",
+        nominal.total().value().si_format("W")
+    );
+
+    // ...the optimal working point is far cheaper:
+    let opt = model.optimize()?;
+    println!(
+        "optimal point: Vdd = {}, Vth = {}, Ptot = {} (Pdyn/Pstat = {:.2})",
+        opt.vdd(),
+        opt.vth(),
+        opt.ptot().value().si_format("W"),
+        opt.breakdown().dyn_static_ratio(),
+    );
+
+    // The paper's Eq. 13 predicts the same optimum in closed form:
+    let cf = model.closed_form()?;
+    let err = (cf.ptot.value() - opt.ptot().value()) / opt.ptot().value() * 100.0;
+    println!(
+        "Eq. 13: Vdd = {}, Ptot = {}  (error vs numerical: {err:+.2} %)",
+        cf.vdd,
+        cf.ptot.value().si_format("W"),
+    );
+    println!(
+        "savings vs nominal: {:.1}x",
+        nominal.total().value() / opt.ptot().value()
+    );
+    Ok(())
+}

@@ -1,0 +1,98 @@
+//! Technology selection (the paper's Section 5): evaluate the same
+//! Wallace-family architectures on all three STM CMOS09 flavours and
+//! show that the moderate Low-Leakage flavour beats both extremes —
+//! plus a frequency sweep locating the crossovers.
+//!
+//! Run with: `cargo run --example technology_selection`
+
+use optpower::reference::wallace_structure;
+use optpower::{ArchParams, PowerModel};
+use optpower_tech::{Flavor, Technology};
+use optpower_units::{Farads, Hertz};
+
+fn model_for(
+    flavor: Flavor,
+    wallace_index: usize,
+    freq: Hertz,
+) -> Result<PowerModel, optpower::ModelError> {
+    let row = wallace_structure(wallace_index);
+    // Per-cell capacitance back-computed from the published Pdyn of the
+    // LL table; the structural parameters are flavour-independent.
+    let c =
+        row.pdyn_uw * 1e-6 / (f64::from(row.cells) * row.activity * 31.25e6 * row.vdd * row.vdd);
+    let arch = ArchParams::builder(row.name)
+        .cells(row.cells)
+        .activity(row.activity)
+        .logical_depth(row.ld_eff)
+        .cap_per_cell(Farads::new(c))
+        .build()?;
+    PowerModel::from_technology(Technology::stm_cmos09(flavor), arch, freq)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let f0 = Hertz::new(31.25e6);
+    println!("Wallace family optimal power per flavour (f = 31.25 MHz):\n");
+    println!(
+        "{:<18} {:>10} {:>10} {:>10}",
+        "arch", "ULL [uW]", "LL [uW]", "HS [uW]"
+    );
+    for i in 0..3 {
+        let mut cells = Vec::new();
+        for flavor in [
+            Flavor::UltraLowLeakage,
+            Flavor::LowLeakage,
+            Flavor::HighSpeed,
+        ] {
+            let p = model_for(flavor, i, f0)?.optimize()?.ptot().value() * 1e6;
+            cells.push(p);
+        }
+        println!(
+            "{:<18} {:>10.2} {:>10.2} {:>10.2}",
+            wallace_structure(i).name,
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+
+    println!("\nfrequency sweep, basic Wallace — which flavour wins where:\n");
+    println!(
+        "{:>10}  {:>10} {:>10} {:>10}  winner",
+        "f [MHz]", "ULL", "LL", "HS"
+    );
+    for mhz in [2.0, 8.0, 31.25, 125.0, 250.0, 500.0] {
+        let f = Hertz::new(mhz * 1e6);
+        let mut best = (f64::INFINITY, "-");
+        let mut row = Vec::new();
+        for flavor in [
+            Flavor::UltraLowLeakage,
+            Flavor::LowLeakage,
+            Flavor::HighSpeed,
+        ] {
+            let p = match model_for(flavor, 0, f)?.optimize() {
+                Ok(opt) => opt.ptot().value() * 1e6,
+                Err(_) => f64::NAN,
+            };
+            if p < best.0 {
+                best = (p, flavor.abbreviation());
+            }
+            row.push(p);
+        }
+        println!(
+            "{:>10.2}  {:>10.2} {:>10.2} {:>10.2}  {}",
+            mhz, row[0], row[1], row[2], best.1
+        );
+    }
+    println!(
+        "\nSection 5's structure reproduces: ULL always loses at the paper's\n\
+         operating point, parallelisation *hurts* on HS (its leakage taxes\n\
+         the doubled cell count) while it helps on ULL/LL, and the frequency\n\
+         sweep shows the flavour crossovers — slow/low-leakage wins at low f,\n\
+         fast/leaky as timing tightens. With the datasheet Io (no per-design\n\
+         leakage calibration) the LL/HS crossover lands almost exactly at\n\
+         31.25 MHz; the calibrated reproduction (`cargo run -p\n\
+         optpower-report --bin table3`/`table4`) recovers the paper's exact\n\
+         LL win."
+    );
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Umbrella crate holding the workspace examples and integration tests.
+//!
+//! The library API lives in the [`optpower`] crate (re-exported here as
+//! [`core_api`]); the experiment harness lives in `optpower-report`.
+
+pub use optpower as core_api;

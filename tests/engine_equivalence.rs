@@ -1,0 +1,138 @@
+//! Property tests over *randomly generated netlists*: the two
+//! simulation engines must agree on settled values, and the timing
+//! engine's glitch counting must only ever add transitions.
+
+use optpower_netlist::{CellKind, Library, Netlist, NetlistBuilder};
+use optpower_sim::{TimedSim, ZeroDelaySim};
+use proptest::prelude::*;
+
+/// Builds a random combinational DAG with `n_inputs` inputs and
+/// `n_cells` gates whose inputs are drawn from earlier nets.
+fn random_netlist(n_inputs: usize, picks: &[(u8, u32, u32, u32)]) -> Netlist {
+    let mut b = NetlistBuilder::new("random");
+    let mut nets = Vec::new();
+    for i in 0..n_inputs {
+        nets.push(b.add_input(format!("a{i}")));
+    }
+    for &(kind_ix, x, y, z) in picks {
+        let kinds = [
+            CellKind::Buf,
+            CellKind::Inv,
+            CellKind::And2,
+            CellKind::Nand2,
+            CellKind::Or2,
+            CellKind::Nor2,
+            CellKind::Xor2,
+            CellKind::Xnor2,
+            CellKind::Mux2,
+            CellKind::Xor3,
+            CellKind::Maj3,
+        ];
+        let kind = kinds[kind_ix as usize % kinds.len()];
+        let pick = |v: u32| nets[v as usize % nets.len()];
+        let ins: Vec<_> = match kind.arity() {
+            1 => vec![pick(x)],
+            2 => vec![pick(x), pick(y)],
+            _ => vec![pick(x), pick(y), pick(z)],
+        };
+        nets.push(b.add_cell(kind, &ins));
+    }
+    // Expose the last few nets as outputs.
+    for (i, net) in nets.iter().rev().take(4).enumerate() {
+        b.add_output(format!("p{i}"), *net);
+    }
+    b.build().expect("random DAG is valid by construction")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Settled outputs of the inertial-delay engine equal the
+    /// zero-delay fixpoint on every cycle, for arbitrary DAGs and
+    /// stimulus.
+    #[test]
+    fn engines_agree_on_settled_values(
+        picks in prop::collection::vec((any::<u8>(), any::<u32>(), any::<u32>(), any::<u32>()), 5..60),
+        stimulus in prop::collection::vec(any::<u64>(), 3..12),
+    ) {
+        let nl = random_netlist(4, &picks);
+        let lib = Library::cmos13();
+        let mut timed = TimedSim::new(&nl, &lib);
+        let mut zd = ZeroDelaySim::new(&nl);
+        for s in &stimulus {
+            timed.set_input_bits("a", s & 0xF);
+            zd.set_input_bits("a", s & 0xF);
+            timed.step();
+            zd.step();
+            prop_assert_eq!(timed.output_bits("p"), zd.output_bits("p"));
+        }
+    }
+
+    /// Glitches only ever add transitions: the timed count dominates
+    /// the zero-delay count after identical stimulus.
+    #[test]
+    fn timed_transitions_dominate_zero_delay(
+        picks in prop::collection::vec((any::<u8>(), any::<u32>(), any::<u32>(), any::<u32>()), 5..60),
+        stimulus in prop::collection::vec(any::<u64>(), 4..12),
+    ) {
+        let nl = random_netlist(4, &picks);
+        let lib = Library::cmos13();
+        let mut timed = TimedSim::new(&nl, &lib);
+        let mut zd = ZeroDelaySim::new(&nl);
+        // Warm up one vector so both sides leave X-land together.
+        timed.set_input_bits("a", 0);
+        zd.set_input_bits("a", 0);
+        timed.step();
+        zd.step();
+        timed.reset_transitions();
+        zd.reset_transitions();
+        for s in &stimulus {
+            timed.set_input_bits("a", s & 0xF);
+            zd.set_input_bits("a", s & 0xF);
+            timed.step();
+            zd.step();
+        }
+        prop_assert!(timed.logic_transitions() >= zd.logic_transitions());
+    }
+
+    /// STA's logical depth upper-bounds the settling horizon: every
+    /// event in the timed engine fires no later than the critical path
+    /// (sanity link between the STA and simulation substrates).
+    #[test]
+    fn sta_depth_is_positive_iff_logic_exists(
+        picks in prop::collection::vec((any::<u8>(), any::<u32>(), any::<u32>(), any::<u32>()), 1..40),
+    ) {
+        let nl = random_netlist(3, &picks);
+        let lib = Library::cmos13();
+        let sta = optpower_sta::TimingAnalysis::analyze(&nl, &lib);
+        prop_assert!(sta.logical_depth() > 0.0);
+        prop_assert!(sta.logical_depth() >= sta.shortest_endpoint_path());
+        prop_assert!(sta.path_spread() >= 0.0);
+    }
+}
+
+/// A sequential random structure: the engines also agree through
+/// flip-flops (state capture ordering is identical).
+#[test]
+fn engines_agree_through_registers() {
+    let mut b = NetlistBuilder::new("seq_random");
+    let x = b.add_input("a0");
+    let y = b.add_input("a1");
+    let g1 = b.add_cell(CellKind::Xor2, &[x, y]);
+    let q1 = b.add_cell(CellKind::Dff, &[g1]);
+    let g2 = b.add_cell(CellKind::Nand2, &[q1, x]);
+    let q2 = b.add_cell(CellKind::Dff, &[g2]);
+    let g3 = b.add_cell(CellKind::Mux2, &[q1, q2, y]);
+    b.add_output("p0", g3);
+    let nl = b.build().expect("valid");
+    let lib = Library::cmos13();
+    let mut timed = TimedSim::new(&nl, &lib);
+    let mut zd = ZeroDelaySim::new(&nl);
+    for s in 0..32u64 {
+        timed.set_input_bits("a", s & 3);
+        zd.set_input_bits("a", s & 3);
+        timed.step();
+        zd.step();
+        assert_eq!(timed.output_bits("p"), zd.output_bits("p"), "cycle {s}");
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end ab-initio flow tests: generate a netlist, prove it
+//! multiplies, measure its parameters, and optimise its power — the
+//! complete substrate chain with no reference to the paper's numbers.
+
+use optpower::{ArchParams, PowerModel};
+use optpower_mult::Architecture;
+use optpower_netlist::{Library, NetlistStats};
+use optpower_sim::{measure_activity, verify_product, Engine, VerifyOutcome};
+use optpower_sta::TimingAnalysis;
+use optpower_tech::{Flavor, Technology};
+use optpower_units::{Farads, Hertz};
+
+fn run_flow(arch: Architecture) -> (f64, f64, f64) {
+    let lib = Library::cmos13();
+    let design = arch.generate(16).expect("generator is valid");
+
+    // 1. Functional correctness.
+    let outcome = verify_product(&design.netlist, 40, design.cycles_per_item, 8, 1234);
+    assert!(outcome.is_correct(), "{arch}: {outcome:?}");
+
+    // 2. Measurements.
+    let stats = NetlistStats::measure(&design.netlist, &lib);
+    let sta = TimingAnalysis::analyze(&design.netlist, &lib);
+    let activity = measure_activity(
+        &design.netlist,
+        &lib,
+        Engine::Timed,
+        50,
+        design.cycles_per_item,
+        4,
+        7,
+    );
+    assert!(activity.activity > 0.0, "{arch}: no switching measured");
+
+    // 3. Optimisation.
+    let params = ArchParams::builder(arch.paper_name())
+        .cells(stats.logic_cells as u32)
+        .activity(activity.activity)
+        .logical_depth(design.effective_logical_depth(sta.logical_depth()))
+        .cap_per_cell(Farads::new(stats.avg_switched_cap_f))
+        .build()
+        .expect("measured parameters are valid");
+    let model = PowerModel::from_technology(
+        Technology::stm_cmos09(Flavor::LowLeakage),
+        params,
+        Hertz::new(31.25e6),
+    )
+    .expect("model builds");
+    let opt = model.optimize().expect("optimum exists");
+    (
+        opt.ptot().value() * 1e6,
+        opt.vdd().value(),
+        activity.activity,
+    )
+}
+
+#[test]
+fn full_flow_rca() {
+    let (ptot, vdd, _) = run_flow(Architecture::Rca);
+    assert!(ptot > 10.0 && ptot < 2000.0, "ptot {ptot}");
+    assert!(vdd > 0.2 && vdd < 1.0, "vdd {vdd}");
+}
+
+#[test]
+fn full_flow_wallace() {
+    let (ptot_w, _, a_w) = run_flow(Architecture::Wallace);
+    let (ptot_r, _, a_r) = run_flow(Architecture::Rca);
+    // The Wallace tree wins on both activity and optimal power.
+    assert!(a_w < a_r, "wallace a {a_w} vs rca {a_r}");
+    assert!(ptot_w < ptot_r, "wallace {ptot_w} vs rca {ptot_r}");
+}
+
+#[test]
+fn full_flow_pipelines() {
+    let (ptot_h, _, a_h) = run_flow(Architecture::RcaHorPipe2);
+    let (ptot_d, _, a_d) = run_flow(Architecture::RcaDiagPipe2);
+    let (ptot_base, _, _) = run_flow(Architecture::Rca);
+    // Pipelining helps; diagonal is glitchier than horizontal.
+    assert!(ptot_h < ptot_base);
+    assert!(ptot_d < ptot_base);
+    assert!(a_d > a_h, "diag a {a_d} vs hor a {a_h}");
+}
+
+#[test]
+fn full_flow_parallel() {
+    let (ptot_p2, _, a_p2) = run_flow(Architecture::RcaParallel2);
+    let (ptot_base, _, a_base) = run_flow(Architecture::Rca);
+    assert!(a_p2 < a_base, "par2 a {a_p2} vs base {a_base}");
+    assert!(ptot_p2 < ptot_base, "par2 {ptot_p2} vs base {ptot_base}");
+}
+
+#[test]
+fn full_flow_sequential() {
+    let (ptot_seq, vdd_seq, a_seq) = run_flow(Architecture::Sequential);
+    let (ptot_base, vdd_base, _) = run_flow(Architecture::Rca);
+    // The paper's strongest conclusion: sequential loses massively and
+    // needs a much higher supply to close timing.
+    assert!(a_seq > 1.0, "sequential activity {a_seq} must exceed 1");
+    assert!(ptot_seq > 3.0 * ptot_base);
+    assert!(vdd_seq > vdd_base);
+}
+
+#[test]
+fn all_thirteen_multiply_correctly() {
+    for arch in Architecture::ALL {
+        let design = arch.generate(16).expect("generator valid");
+        let outcome = verify_product(&design.netlist, 30, design.cycles_per_item, 8, 99);
+        assert!(
+            matches!(outcome, VerifyOutcome::Correct { .. }),
+            "{arch}: {outcome:?}"
+        );
+    }
+}
+
+#[test]
+fn smaller_widths_also_multiply() {
+    for arch in [
+        Architecture::Rca,
+        Architecture::Wallace,
+        Architecture::RcaHorPipe2,
+        Architecture::RcaDiagPipe2,
+        Architecture::Sequential,
+        Architecture::Seq4Wallace,
+    ] {
+        let design = arch.generate(8).expect("8-bit generator valid");
+        let outcome = verify_product(&design.netlist, 30, design.cycles_per_item, 8, 5);
+        assert!(outcome.is_correct(), "{arch} @8: {outcome:?}");
+    }
+}
