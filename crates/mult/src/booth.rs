@@ -43,7 +43,7 @@ use crate::adders::{kogge_stone_adder, reduce_columns};
 /// pad digit this generator does not implement).
 pub fn booth_radix4(width: usize) -> Result<Netlist, NetlistError> {
     assert!(
-        width >= 4 && width % 2 == 0,
+        width >= 4 && width.is_multiple_of(2),
         "booth radix-4 needs an even width >= 4, got {width}"
     );
     let w = width;
@@ -131,8 +131,8 @@ pub fn booth_radix4(width: usize) -> Result<Netlist, NetlistError> {
     let (row_a, row_b) = reduce_columns(&mut b, columns);
     // Wrap-around addition: drop carries above 2W-1.
     let sum = kogge_stone_adder(&mut b, &row_a[..2 * w], &row_b[..2 * w], None);
-    for k in 0..2 * w {
-        b.add_output(format!("p{k}"), sum[k]);
+    for (k, &s) in sum.iter().take(2 * w).enumerate() {
+        b.add_output(format!("p{k}"), s);
     }
     b.build()
 }

@@ -1,0 +1,97 @@
+//! Integration coverage of the dimensional-arithmetic contract: only
+//! physically meaningful unit combinations exist, and every quantity
+//! renders with SI-prefixed `Display`.
+
+use optpower_units::{
+    Amps, Coulombs, Farads, Hertz, Seconds, SiFormat, SquareMicrons, Unitless, Volts, Watts,
+};
+
+#[test]
+fn volts_times_amps_is_watts() {
+    let p: Watts = Volts::new(1.2) * Amps::new(0.5);
+    assert_eq!(p, Watts::new(0.6));
+    // Commutes.
+    assert_eq!(Amps::new(0.5) * Volts::new(1.2), p);
+}
+
+#[test]
+fn watts_divide_back_into_factors() {
+    let p = Watts::new(0.6);
+    let i: Amps = p / Volts::new(1.2);
+    let v: Volts = p / Amps::new(0.5);
+    assert!((i.value() - 0.5).abs() < 1e-15);
+    assert!((v.value() - 1.2).abs() < 1e-15);
+}
+
+#[test]
+fn coulombs_over_seconds_is_amps() {
+    let q: Coulombs = Farads::new(2.0e-15) * Volts::new(0.5);
+    assert_eq!(q, Coulombs::new(1.0e-15));
+    let i: Amps = q / Seconds::new(1.0e-9);
+    assert!((i.value() - 1.0e-6).abs() < 1e-18);
+    // ... and charge over current recovers the time.
+    let t: Seconds = q / i;
+    assert!((t.value() - 1.0e-9).abs() < 1e-21);
+}
+
+#[test]
+fn charge_commutes_and_period_inverts() {
+    assert_eq!(
+        Volts::new(0.5) * Farads::new(2.0),
+        Farads::new(2.0) * Volts::new(0.5)
+    );
+    let f = Hertz::new(31.25e6);
+    assert!((f.period().value() - 32e-9).abs() < 1e-18);
+    assert!((f.period().frequency().value() - f.value()).abs() < 1e-3);
+}
+
+#[test]
+fn scalar_and_same_unit_arithmetic() {
+    let v = Volts::new(0.3) + Volts::new(0.1) * 2.0;
+    assert!((v.value() - 0.5).abs() < 1e-15);
+    let half = 0.5 * Volts::new(1.0) - Volts::new(1.0) / 2.0;
+    assert!(half.value().abs() < 1e-15);
+    // Ratio of like quantities is a plain f64.
+    assert!((Watts::new(3.0).ratio(Watts::new(2.0)) - 1.5).abs() < 1e-15);
+    assert!((Volts::new(-0.3).abs().value() - 0.3).abs() < 1e-15);
+    assert_eq!(Volts::new(0.2).min(Volts::new(0.3)), Volts::new(0.2));
+    assert_eq!(Volts::new(0.2).max(Volts::new(0.3)), Volts::new(0.3));
+}
+
+#[test]
+fn display_uses_si_prefixes() {
+    // The paper's own numbers, as the report crate prints them.
+    assert_eq!(format!("{}", Watts::new(191.44e-6)), "191.440 uW");
+    assert_eq!(format!("{}", Volts::new(0.478)), "478.000 mV");
+    assert_eq!(format!("{}", Farads::new(70.5e-15)), "70.500 fF");
+    assert_eq!(format!("{}", Hertz::new(31.25e6)), "31.250 MHz");
+    assert_eq!(format!("{}", Seconds::new(32e-9)), "32.000 ns");
+    assert_eq!(format!("{}", Amps::new(3.0)), "3.000 A");
+}
+
+#[test]
+fn display_respects_precision_and_degenerate_values() {
+    assert_eq!(format!("{:.1}", Volts::new(0.478)), "478.0 mV");
+    assert_eq!(format!("{:.0}", Watts::new(1.0)), "1 W");
+    // Zero keeps no prefix.
+    assert_eq!(format!("{}", Watts::new(0.0)), "0.000 W");
+    // Negative values keep their sign on the mantissa.
+    assert_eq!(format!("{}", Volts::new(-0.25)), "-250.000 mV");
+}
+
+#[test]
+fn si_format_extension_matches_display() {
+    assert_eq!(
+        191.44e-6.si_format("W"),
+        format!("{}", Watts::new(191.44e-6))
+    );
+    assert_eq!(1.5e3.si_format("Hz"), "1.500 kHz");
+}
+
+#[test]
+fn dimensionless_units_round_trip() {
+    let a = Unitless::new(0.5056);
+    assert!((a.value() - 0.5056).abs() < 1e-15);
+    let area = SquareMicrons::new(11038.0);
+    assert_eq!(format!("{:.0}", area), "11 kum2");
+}

@@ -1,0 +1,413 @@
+//! Offline stand-in for the subset of the `proptest` crate this
+//! workspace uses: the `proptest!` test macro with an inline
+//! `#![proptest_config(...)]`, range and `any::<T>()` strategies, and
+//! the `prop_assert!` family.
+//!
+//! The build environment has no network access, so the real crates.io
+//! `proptest` cannot be fetched; `[workspace.dependencies]` points
+//! `proptest` at this path instead. Differences from the real crate:
+//! inputs are sampled uniformly (no bias toward boundary values) and
+//! failing cases are **not shrunk** — the panic message reports the
+//! exact inputs of the failing case instead.
+//!
+//! The number of cases per property comes from
+//! [`ProptestConfig::with_cases`] (or `ProptestConfig::default()`), and
+//! can be overridden globally with the `PROPTEST_CASES` environment
+//! variable, mirroring the real crate's behaviour.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Everything a `proptest!`-using test file needs in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::StdRng;
+
+    /// Strategy for `Vec<T>` with a random length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy: each element from `element`, length from `size`
+    /// (a `usize`, `Range<usize>` or `RangeInclusive<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn pick(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.pick_len(rng);
+            (0..len).map(|_| self.element.pick(rng)).collect()
+        }
+    }
+}
+
+/// Length specification for collection strategies.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl SizeRange {
+    fn pick_len(&self, rng: &mut StdRng) -> usize {
+        (self.lo..=self.hi_inclusive).pick(rng)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+/// Per-property configuration (subset of the real `ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run for each property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property (still overridable
+    /// by the `PROPTEST_CASES` environment variable).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }.env_override()
+    }
+
+    fn env_override(self) -> Self {
+        self.override_from(std::env::var("PROPTEST_CASES").ok().as_deref())
+    }
+
+    fn override_from(mut self, var: Option<&str>) -> Self {
+        if let Some(n) = var.and_then(|v| v.trim().parse::<u32>().ok()) {
+            self.cases = n;
+        }
+        self
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }.env_override()
+    }
+}
+
+/// Error type carried by `prop_assert!` failures (kept for API
+/// compatibility; the shim macro panics directly).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+/// A source of random test inputs (subset of the real `Strategy`).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draw one input for the current test case.
+    fn pick(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<u8>()
+    }
+}
+
+impl Arbitrary for u16 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<u16>()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<u32>()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<u64>()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<usize>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<f64>()
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The canonical strategy for `T`: any representable value.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range strategy");
+                // u128 arithmetic: `hi - lo + 1` overflows u64 on a
+                // full-domain range like `0u64..=u64::MAX`.
+                let span = (hi - lo) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.gen::<u64>() as $t;
+                }
+                lo + (rng.gen_range(0..span as u64) as $t)
+            }
+        }
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.gen_range(0..span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn pick(&self, rng: &mut StdRng) -> f64 {
+        self.start + rng.gen::<f64>() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn pick(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.pick(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0 / 0, S1 / 1);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
+
+/// Derives the per-property RNG. Seeded from the property name so each
+/// property gets a distinct but reproducible stream.
+pub fn test_rng(property_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+    for b in property_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    let mut rng = StdRng::seed_from_u64(h);
+    // Decorrelate from the raw seed.
+    let _ = rng.next_u64();
+    rng
+}
+
+/// Defines property tests. Supports the real crate's block form with an
+/// optional leading `#![proptest_config(...)]`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(12))]
+///     #[test]
+///     fn doubling(x in 0u32..=1000) { prop_assert_eq!(2 * x, x + x); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::pick(&($strat), &mut __rng);)+
+                let __inputs = format!(
+                    concat!("case ", "{}", $(" ", stringify!($arg), "={:?}",)+),
+                    __case $(, $arg)+
+                );
+                let __run = || -> () { $body };
+                if let Err(__panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run)) {
+                    eprintln!("proptest[{}]: failed at {}", stringify!($name), __inputs);
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property, reporting the failing inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Sanity: the macro wires strategies, config and assertions.
+        #[test]
+        fn addition_commutes(a in 0u32..=1000, b in 0u32..=1000, flip in any::<bool>()) {
+            let (x, y) = if flip { (b, a) } else { (a, b) };
+            prop_assert_eq!(x + y, a + b);
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::test_rng("ranges_respect_bounds");
+        for _ in 0..200 {
+            let v = (2usize..=20).pick(&mut rng);
+            assert!((2..=20).contains(&v));
+            let w = (4u32..9).pick(&mut rng);
+            assert!((4..9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn env_var_overrides_cases() {
+        // Exercises the override logic directly rather than mutating
+        // the process-global environment (tests run in parallel).
+        assert_eq!(
+            ProptestConfig { cases: 1000 }
+                .override_from(Some("3"))
+                .cases,
+            3
+        );
+        assert_eq!(
+            ProptestConfig { cases: 1000 }
+                .override_from(Some(" 7 "))
+                .cases,
+            7
+        );
+        assert_eq!(
+            ProptestConfig { cases: 1000 }
+                .override_from(Some("junk"))
+                .cases,
+            1000
+        );
+        assert_eq!(
+            ProptestConfig { cases: 1000 }.override_from(None).cases,
+            1000
+        );
+    }
+
+    #[test]
+    fn full_domain_inclusive_range_samples() {
+        let mut rng = crate::test_rng("full_domain_inclusive_range_samples");
+        // Must not overflow the span computation.
+        let _ = (0u64..=u64::MAX).pick(&mut rng);
+        let v = (u64::MAX - 1..=u64::MAX).pick(&mut rng);
+        assert!(v >= u64::MAX - 1);
+    }
+}

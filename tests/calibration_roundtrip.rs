@@ -1,0 +1,97 @@
+//! Reverse calibration must round-trip the published data: feeding a
+//! Table 1 row's optimal point and power breakdown into
+//! `calibrate::from_breakdown` yields a model that reproduces exactly
+//! that breakdown — and whose optimum lands back on the printed point.
+
+use optpower::calibrate::{build_model, from_breakdown};
+use optpower::reference::{PAPER_FREQUENCY, TABLE1};
+use optpower::ArchParams;
+use optpower_tech::{Flavor, Technology};
+use optpower_units::{Farads, Volts, Watts};
+
+fn arch_for(row: &optpower::reference::Table1Row, cap: Farads) -> ArchParams {
+    ArchParams::builder(row.name)
+        .cells(row.cells)
+        .activity(row.activity)
+        .logical_depth(row.ld_eff)
+        .cap_per_cell(cap)
+        .build()
+        .expect("published rows are valid arch params")
+}
+
+#[test]
+fn from_breakdown_round_trips_rca_row() {
+    let tech = Technology::stm_cmos09(Flavor::LowLeakage);
+    let row = &TABLE1[0]; // RCA: 608 cells, a = 0.5056, LD = 61
+    let (vdd, vth) = (Volts::new(row.vdd), Volts::new(row.vth));
+    let (pdyn, pstat) = (
+        Watts::new(row.pdyn_uw * 1e-6),
+        Watts::new(row.pstat_uw * 1e-6),
+    );
+
+    let cal = from_breakdown(
+        &tech,
+        vdd,
+        vth,
+        pdyn,
+        pstat,
+        f64::from(row.cells),
+        row.activity,
+        PAPER_FREQUENCY,
+    )
+    .expect("published row calibrates");
+
+    // The calibrated constraint passes through the published point.
+    assert!(
+        (cal.constraint.vth_at(vdd).value() - vth.value()).abs() < 1e-12,
+        "constraint misses the published (Vdd*, Vth*)"
+    );
+
+    // Rebuilding the model and evaluating Eq. 1 at the published point
+    // must return the published breakdown (this is the round-trip).
+    let model = build_model(tech, arch_for(row, cal.cap_per_cell), PAPER_FREQUENCY, cal)
+        .expect("calibrated model builds");
+    let bd = model.power_at(vdd, vth);
+    let dyn_err = (bd.pdyn().value() - pdyn.value()).abs() / pdyn.value();
+    let stat_err = (bd.pstat().value() - pstat.value()).abs() / pstat.value();
+    assert!(dyn_err < 1e-9, "pdyn relative error {dyn_err:e}");
+    assert!(stat_err < 1e-9, "pstat relative error {stat_err:e}");
+
+    // And the model's own optimum lands back on (a refinement of) the
+    // printed optimal point: sub-1% in Ptot, a few mV in voltages.
+    let opt = model.optimize().expect("calibrated model solves");
+    let ptot_pub = row.ptot_uw * 1e-6;
+    let ptot_err = (opt.ptot().value() - ptot_pub).abs() / ptot_pub;
+    assert!(ptot_err < 0.01, "ptot relative error {ptot_err}");
+    assert!((opt.vdd().value() - row.vdd).abs() < 0.02, "vdd drifted");
+    assert!((opt.vth().value() - row.vth).abs() < 0.02, "vth drifted");
+}
+
+#[test]
+fn from_breakdown_round_trips_every_table1_row() {
+    let tech = Technology::stm_cmos09(Flavor::LowLeakage);
+    for row in &TABLE1 {
+        let (vdd, vth) = (Volts::new(row.vdd), Volts::new(row.vth));
+        let (pdyn, pstat) = (
+            Watts::new(row.pdyn_uw * 1e-6),
+            Watts::new(row.pstat_uw * 1e-6),
+        );
+        let cal = from_breakdown(
+            &tech,
+            vdd,
+            vth,
+            pdyn,
+            pstat,
+            f64::from(row.cells),
+            row.activity,
+            PAPER_FREQUENCY,
+        )
+        .unwrap_or_else(|e| panic!("{}: calibration failed: {e}", row.name));
+        let model = build_model(tech, arch_for(row, cal.cap_per_cell), PAPER_FREQUENCY, cal)
+            .unwrap_or_else(|e| panic!("{}: model failed: {e}", row.name));
+        let bd = model.power_at(vdd, vth);
+        let total_pub = (row.pdyn_uw + row.pstat_uw) * 1e-6;
+        let err = (bd.total().value() - total_pub).abs() / total_pub;
+        assert!(err < 1e-9, "{}: total power error {err:e}", row.name);
+    }
+}

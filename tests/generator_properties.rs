@@ -4,7 +4,7 @@
 
 use optpower_mult::{booth_radix4, rca, rca_pipelined, wallace, PipelineStyle};
 use optpower_netlist::{Cell, CellKind, Netlist, NetlistBuilder};
-use optpower_sim::{verify_product, VerifyOutcome};
+use optpower_sim::verify_product;
 use proptest::prelude::*;
 
 proptest! {
