@@ -144,6 +144,42 @@ impl PowerModel {
             });
         }
         let lin = Linearization::fit_paper_range(constraint.alpha())?;
+        Self::with_linearization(tech, arch, freq, constraint, lin)
+    }
+
+    /// Builds a model from an explicit constraint *and* a pre-fitted
+    /// Eq. 7 linearisation.
+    ///
+    /// [`Linearization::fit_paper_range`] is a pure function of the
+    /// constraint's `α`, so callers evaluating many models that share a
+    /// technology (the parallel exploration engine in
+    /// `optpower-explore`) can fit once per `α` and reuse the result —
+    /// the model produced is bit-identical to the one
+    /// [`PowerModel::with_constraint`] would build.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::InvalidFrequency`] for a non-positive frequency,
+    /// * [`ModelError::InvalidCalibration`] if `lin` was fitted for a
+    ///   different `α` than the constraint's.
+    pub fn with_linearization(
+        tech: Technology,
+        arch: ArchParams,
+        freq: Hertz,
+        constraint: TimingConstraint,
+        lin: Linearization,
+    ) -> Result<Self, ModelError> {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must fail the check
+        if !(freq.value() > 0.0) || !freq.value().is_finite() {
+            return Err(ModelError::InvalidFrequency {
+                hertz: freq.value(),
+            });
+        }
+        if lin.alpha() != constraint.alpha() {
+            return Err(ModelError::InvalidCalibration {
+                reason: "linearization alpha does not match the timing constraint",
+            });
+        }
         Ok(Self {
             tech,
             arch,
@@ -461,6 +497,36 @@ mod tests {
             .map(|(_, p)| p.total().value())
             .fold(f64::INFINITY, f64::min);
         assert!((min_sweep - opt.ptot().value()) / opt.ptot().value() < 1e-4);
+    }
+
+    #[test]
+    fn with_linearization_is_bit_identical_to_with_constraint() {
+        let m = rca_model();
+        let cached = PowerModel::with_linearization(
+            *m.tech(),
+            m.arch().clone(),
+            m.freq(),
+            m.constraint(),
+            m.linearization(),
+        )
+        .unwrap();
+        assert_eq!(m.optimize().unwrap(), cached.optimize().unwrap());
+        assert_eq!(m.closed_form().unwrap(), cached.closed_form().unwrap());
+    }
+
+    #[test]
+    fn with_linearization_rejects_alpha_mismatch() {
+        let m = rca_model();
+        let other = Linearization::fit_paper_range(m.constraint().alpha() * 1.1).unwrap();
+        let err = PowerModel::with_linearization(
+            *m.tech(),
+            m.arch().clone(),
+            m.freq(),
+            m.constraint(),
+            other,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelError::InvalidCalibration { .. }));
     }
 
     #[test]

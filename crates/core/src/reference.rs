@@ -6,7 +6,9 @@
 //! headline ±3 % Eq. 13 accuracy claim row by row.
 
 use optpower_tech::Flavor;
-use optpower_units::Hertz;
+use optpower_units::{Farads, Hertz, SquareMicrons};
+
+use crate::{ArchParams, ModelError};
 
 /// The throughput frequency of every experiment in the paper:
 /// 31.25 MHz (a 32 ns data period; the sequential multipliers run an
@@ -321,6 +323,39 @@ pub fn wallace_structure(index: usize) -> &'static Table1Row {
     &TABLE1[7 + index]
 }
 
+/// The thirteen Table 1 architectures as [`ArchParams`], with the
+/// per-cell capacitance back-computed from each row's published
+/// dynamic power: `C = Pdyn / (N·a·f·Vdd²)` at the paper's frequency.
+///
+/// This is the canonical "full Table 1 grid" axis used by the
+/// design-space exploration engine, its equivalence tests and the
+/// sweep benchmarks.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] from the builder (cannot happen for the
+/// published data).
+pub fn table1_arch_params() -> Result<Vec<ArchParams>, ModelError> {
+    TABLE1
+        .iter()
+        .map(|row| {
+            let c = row.pdyn_uw * 1e-6
+                / (f64::from(row.cells)
+                    * row.activity
+                    * PAPER_FREQUENCY.value()
+                    * row.vdd
+                    * row.vdd);
+            ArchParams::builder(row.name)
+                .cells(row.cells)
+                .activity(row.activity)
+                .logical_depth(row.ld_eff)
+                .cap_per_cell(Farads::new(c))
+                .area(SquareMicrons::new(row.area_um2))
+                .build()
+        })
+        .collect()
+}
+
 /// The flavour each published table corresponds to.
 pub fn table_flavor(table: u8) -> Option<Flavor> {
     match table {
@@ -436,5 +471,24 @@ mod tests {
         assert_eq!(wallace_structure(0).name, "Wallace");
         assert_eq!(wallace_structure(1).name, "Wallace parallel");
         assert_eq!(wallace_structure(2).name, "Wallace par4");
+    }
+
+    #[test]
+    fn table1_arch_params_back_compute_published_pdyn() {
+        let archs = table1_arch_params().unwrap();
+        assert_eq!(archs.len(), 13);
+        for (arch, row) in archs.iter().zip(TABLE1.iter()) {
+            assert_eq!(arch.name(), row.name);
+            // C was solved from Pdyn = N·a·C·f·Vdd²; plugging it back
+            // must reproduce the published dynamic power exactly.
+            let pdyn = arch.cells()
+                * arch.activity()
+                * arch.cap_per_cell().value()
+                * PAPER_FREQUENCY.value()
+                * row.vdd
+                * row.vdd;
+            let rel = (pdyn - row.pdyn_uw * 1e-6) / (row.pdyn_uw * 1e-6);
+            assert!(rel.abs() < 1e-12, "{}: {rel}", row.name);
+        }
     }
 }

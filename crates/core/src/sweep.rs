@@ -1,27 +1,159 @@
 //! Parameter sweeps and technology-selection studies built on the
 //! optimal-power model — the quantitative form of Section 5.
+//!
+//! The primitives here ([`log_frequency_axis`], [`sample_at`],
+//! [`optimal_ptot`], [`SweepOutcome::classify`]) are shared with the
+//! parallel exploration engine (`optpower-explore`), which guarantees
+//! the parallel sweeps are bit-identical to the serial ones: both paths
+//! evaluate exactly the same functions at exactly the same points.
 
 use optpower_numeric::{bisect, linspace};
 use optpower_tech::Technology;
-use optpower_units::Hertz;
+use optpower_units::{Hertz, Volts};
 
-use crate::{ArchParams, ModelError, OperatingPoint, PowerModel};
+use crate::{ArchParams, ModelError, OperatingPoint, OptimizerConfig, PowerModel};
+
+/// Width of the guard band inside the `[vdd_min, vdd_max]` search
+/// window within which an optimum is treated as pinned to the search
+/// boundary rather than interior.
+///
+/// With the default [`OptimizerConfig`] (`vdd_max` = 1.5 V) this puts
+/// the upper boundary at 1.45 V — the historical cut-off the serial
+/// sweep used before outcomes were made explicit. The lower wall is
+/// guarded too: far past the closable frequency range the constraint
+/// curve flips (`dVth/dVdd < 0` everywhere) and the optimiser walks
+/// into `vdd_min` instead, producing an astronomically leaky
+/// pseudo-optimum that must not be mistaken for timing closure.
+pub const BOUNDARY_MARGIN: Volts = Volts::new(0.05);
+
+/// What happened when optimising one `(tech, arch, f)` point.
+///
+/// The distinction between [`SweepOutcome::BoundaryPinned`] and
+/// [`SweepOutcome::Failed`] matters to design-space consumers:
+/// boundary-pinned means *timing cannot close in the search window*
+/// (the optimiser ran fine but walked into the `vdd_max` wall chasing
+/// an ever-lower leakage), while failed means the optimiser itself
+/// errored out.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepOutcome {
+    /// The optimiser found an interior optimum: timing closes.
+    Closed(OperatingPoint),
+    /// The optimiser pinned at the search boundary: timing effectively
+    /// cannot close at this frequency. The point is reported for
+    /// diagnostics but is not a usable optimum.
+    BoundaryPinned(OperatingPoint),
+    /// Model building or optimisation failed outright.
+    Failed(ModelError),
+}
+
+impl SweepOutcome {
+    /// Classifies an optimiser result against the search window of
+    /// `config`: an optimum within [`BOUNDARY_MARGIN`] of `vdd_max` is
+    /// [`SweepOutcome::BoundaryPinned`].
+    pub fn classify(result: Result<OperatingPoint, ModelError>, config: &OptimizerConfig) -> Self {
+        match result {
+            Ok(opt)
+                if opt.vdd() < config.vdd_max - BOUNDARY_MARGIN
+                    && opt.vdd() > config.vdd_min + BOUNDARY_MARGIN =>
+            {
+                Self::Closed(opt)
+            }
+            Ok(opt) => Self::BoundaryPinned(opt),
+            Err(e) => Self::Failed(e),
+        }
+    }
+
+    /// The interior optimum, if timing closed.
+    pub fn closed(&self) -> Option<OperatingPoint> {
+        match self {
+            Self::Closed(opt) => Some(*opt),
+            _ => None,
+        }
+    }
+
+    /// True when the optimum pinned at the search boundary.
+    pub fn is_boundary_pinned(&self) -> bool {
+        matches!(self, Self::BoundaryPinned(_))
+    }
+
+    /// The operating point the optimiser produced, interior or pinned.
+    pub fn point(&self) -> Option<OperatingPoint> {
+        match self {
+            Self::Closed(opt) | Self::BoundaryPinned(opt) => Some(*opt),
+            Self::Failed(_) => None,
+        }
+    }
+}
 
 /// One sample of a frequency sweep.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FrequencySample {
     /// The swept frequency.
     pub frequency: Hertz,
-    /// The optimal working point at that frequency, if timing closes.
-    pub optimum: Option<OperatingPoint>,
+    /// What the optimiser did at that frequency.
+    pub outcome: SweepOutcome,
+}
+
+impl FrequencySample {
+    /// The optimal working point at this frequency, if timing closes.
+    ///
+    /// Boundary-pinned and failed points both yield `None`; inspect
+    /// [`FrequencySample::outcome`] to tell them apart.
+    pub fn optimum(&self) -> Option<OperatingPoint> {
+        self.outcome.closed()
+    }
+}
+
+/// The logarithmic frequency axis a sweep evaluates: `points` samples
+/// (at least 2) uniform in `log10 f` over `[f_lo, f_hi]`.
+///
+/// # Errors
+///
+/// [`ModelError::InvalidFrequency`] if the range is non-positive or
+/// inverted.
+pub fn log_frequency_axis(
+    f_lo: Hertz,
+    f_hi: Hertz,
+    points: usize,
+) -> Result<Vec<Hertz>, ModelError> {
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must fail the check
+    if !(f_lo.value() > 0.0) || !(f_hi.value() > f_lo.value()) || !f_hi.value().is_finite() {
+        return Err(ModelError::InvalidFrequency {
+            hertz: if f_hi.value().is_finite() {
+                f_lo.value()
+            } else {
+                f_hi.value()
+            },
+        });
+    }
+    let lo = f_lo.value().log10();
+    let hi = f_hi.value().log10();
+    Ok(linspace(lo, hi, points.max(2))
+        .into_iter()
+        .map(|exp| Hertz::new(10f64.powf(exp)))
+        .collect())
+}
+
+/// Evaluates one `(tech, arch, f)` point with the default optimiser
+/// window and classifies the outcome.
+///
+/// This is the unit of work of both the serial [`frequency_sweep`] and
+/// the parallel engine in `optpower-explore`.
+pub fn sample_at(tech: Technology, arch: &ArchParams, f: Hertz) -> FrequencySample {
+    let result = PowerModel::from_technology(tech, arch.clone(), f).and_then(|m| m.optimize());
+    FrequencySample {
+        frequency: f,
+        outcome: SweepOutcome::classify(result, &OptimizerConfig::default()),
+    }
 }
 
 /// Sweeps the optimal working point of `(tech, arch)` across a
 /// logarithmic frequency range.
 ///
-/// Frequencies where the optimiser fails (or the optimum pins at the
-/// search boundary, i.e. timing effectively cannot close) yield
-/// `optimum: None`.
+/// Frequencies where the optimiser pins at the search boundary (timing
+/// effectively cannot close) are reported as
+/// [`SweepOutcome::BoundaryPinned`]; outright failures as
+/// [`SweepOutcome::Failed`].
 ///
 /// # Errors
 ///
@@ -34,36 +166,17 @@ pub fn frequency_sweep(
     f_hi: Hertz,
     points: usize,
 ) -> Result<Vec<FrequencySample>, ModelError> {
-    #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must fail the check
-    if !(f_lo.value() > 0.0) || !(f_hi.value() > f_lo.value()) {
-        return Err(ModelError::InvalidFrequency {
-            hertz: f_lo.value(),
-        });
-    }
-    let lo = f_lo.value().log10();
-    let hi = f_hi.value().log10();
-    let mut out = Vec::with_capacity(points.max(2));
-    for exp in linspace(lo, hi, points.max(2)) {
-        let f = Hertz::new(10f64.powf(exp));
-        let optimum = PowerModel::from_technology(tech, arch.clone(), f)
-            .and_then(|m| m.optimize())
-            .ok()
-            .filter(|opt| opt.vdd().value() < 1.45); // boundary = no close
-        out.push(FrequencySample {
-            frequency: f,
-            optimum,
-        });
-    }
-    Ok(out)
+    Ok(log_frequency_axis(f_lo, f_hi, points)?
+        .into_iter()
+        .map(|f| sample_at(tech, arch, f))
+        .collect())
 }
 
 /// Optimal total power of `(tech, arch)` at `f`, in watts; `None` when
 /// timing cannot close in the search window.
-fn ptot_at(tech: Technology, arch: &ArchParams, f: Hertz) -> Option<f64> {
-    PowerModel::from_technology(tech, arch.clone(), f)
-        .and_then(|m| m.optimize())
-        .ok()
-        .filter(|opt| opt.vdd().value() < 1.45)
+pub fn optimal_ptot(tech: Technology, arch: &ArchParams, f: Hertz) -> Option<f64> {
+    sample_at(tech, arch, f)
+        .optimum()
         .map(|opt| opt.ptot().value())
 }
 
@@ -86,7 +199,7 @@ pub fn flavor_crossover(
 ) -> Option<Hertz> {
     let diff = |log_f: f64| -> f64 {
         let f = Hertz::new(10f64.powf(log_f));
-        match (ptot_at(tech_a, arch, f), ptot_at(tech_b, arch, f)) {
+        match (optimal_ptot(tech_a, arch, f), optimal_ptot(tech_b, arch, f)) {
             (Some(pa), Some(pb)) => pa - pb,
             _ => f64::NAN,
         }
@@ -116,17 +229,26 @@ impl TechnologyRanking {
     pub fn winner(&self) -> Option<&'static str> {
         self.ranking.first().map(|(name, _)| *name)
     }
+
+    /// Sorts `(name, Ptot)` pairs cheapest-first into a ranking.
+    ///
+    /// Shared with the parallel counterpart in `optpower-explore` so
+    /// both paths order ties identically (stable sort on total order).
+    pub fn from_pairs(mut ranking: Vec<(&'static str, f64)>) -> Self {
+        ranking.sort_by(|a, b| a.1.total_cmp(&b.1));
+        TechnologyRanking { ranking }
+    }
 }
 
 /// Ranks `techs` by optimal total power for `(arch, f)` — the paper's
 /// technology-selection use case as an API.
 pub fn rank_technologies(techs: &[Technology], arch: &ArchParams, f: Hertz) -> TechnologyRanking {
-    let mut ranking: Vec<(&'static str, f64)> = techs
-        .iter()
-        .filter_map(|t| ptot_at(*t, arch, f).map(|p| (t.name(), p)))
-        .collect();
-    ranking.sort_by(|a, b| a.1.total_cmp(&b.1));
-    TechnologyRanking { ranking }
+    TechnologyRanking::from_pairs(
+        techs
+            .iter()
+            .filter_map(|t| optimal_ptot(*t, arch, f).map(|p| (t.name(), p)))
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -160,7 +282,7 @@ mod tests {
         .unwrap();
         let powers: Vec<f64> = sweep
             .iter()
-            .filter_map(|s| s.optimum.map(|o| o.ptot().value()))
+            .filter_map(|s| s.optimum().map(|o| o.ptot().value()))
             .collect();
         assert!(powers.len() >= 10, "most points close timing");
         for pair in powers.windows(2) {
@@ -184,7 +306,7 @@ mod tests {
         .unwrap();
         let vths: Vec<f64> = sweep
             .iter()
-            .filter_map(|s| s.optimum.map(|o| o.vth().value()))
+            .filter_map(|s| s.optimum().map(|o| o.vth().value()))
             .collect();
         for pair in vths.windows(2) {
             assert!(pair[1] < pair[0], "vth must fall with f: {vths:?}");
@@ -193,15 +315,80 @@ mod tests {
 
     #[test]
     fn sweep_rejects_bad_range() {
-        let err = frequency_sweep(
+        for (lo, hi) in [
+            (10e6, 1e6),
+            (0.0, 1e6),
+            (1e6, f64::INFINITY),
+            (1e6, f64::NAN),
+        ] {
+            let err = frequency_sweep(
+                Technology::stm_cmos09(Flavor::LowLeakage),
+                &wallace_arch(),
+                Hertz::new(lo),
+                Hertz::new(hi),
+                4,
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, ModelError::InvalidFrequency { .. }),
+                "({lo}, {hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_pinning_is_distinguished_from_failure() {
+        // Push the Wallace multiplier far beyond any closable
+        // frequency: the optimiser walks into the vdd_max wall chasing
+        // lower leakage. That must surface as BoundaryPinned — the
+        // optimiser itself worked — not as Failed, and not be silently
+        // conflated with "no optimum".
+        let sweep = frequency_sweep(
             Technology::stm_cmos09(Flavor::LowLeakage),
             &wallace_arch(),
-            Hertz::new(10e6),
-            Hertz::new(1e6),
+            Hertz::new(5e9),
+            Hertz::new(50e9),
             4,
         )
-        .unwrap_err();
-        assert!(matches!(err, ModelError::InvalidFrequency { .. }));
+        .unwrap();
+        for s in &sweep {
+            assert!(
+                s.outcome.is_boundary_pinned(),
+                "expected BoundaryPinned at {:?}, got {:?}",
+                s.frequency,
+                s.outcome
+            );
+            assert_eq!(s.optimum(), None, "pinned points expose no optimum");
+            // The pinned point itself is still reported, at a wall.
+            let pinned = s.outcome.point().expect("pinned point is reported");
+            let cfg = OptimizerConfig::default();
+            assert!(
+                pinned.vdd() >= cfg.vdd_max - BOUNDARY_MARGIN
+                    || pinned.vdd() <= cfg.vdd_min + BOUNDARY_MARGIN
+            );
+        }
+    }
+
+    #[test]
+    fn classify_splits_interior_boundary_failed() {
+        let cfg = OptimizerConfig::default();
+        let m = PowerModel::from_technology(
+            Technology::stm_cmos09(Flavor::LowLeakage),
+            wallace_arch(),
+            Hertz::new(31.25e6),
+        )
+        .unwrap();
+        let interior = m.optimize().unwrap();
+        assert!(matches!(
+            SweepOutcome::classify(Ok(interior), &cfg),
+            SweepOutcome::Closed(_)
+        ));
+        let wall = m.point_on_curve(cfg.vdd_max);
+        assert!(SweepOutcome::classify(Ok(wall), &cfg).is_boundary_pinned());
+        let failed =
+            SweepOutcome::classify(Err(ModelError::InvalidFrequency { hertz: -1.0 }), &cfg);
+        assert!(matches!(failed, SweepOutcome::Failed(_)));
+        assert_eq!(failed.point(), None);
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! The exploration engine: shards a [`Grid`] across a scoped-thread
+//! worker pool and streams classified results into a [`ResultSet`].
+
+use std::collections::HashMap;
+
+use optpower::sweep::SweepOutcome;
+use optpower::{ModelError, OptimizerConfig, PowerModel, TimingConstraint};
+use optpower_tech::Linearization;
+
+use crate::grid::{Grid, GridPoint};
+use crate::pool::{par_map_indexed, Workers};
+use crate::result::{EvalRecord, ResultSet};
+
+/// Configuration of one exploration run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ExploreConfig {
+    /// Worker-count policy.
+    pub workers: Workers,
+    /// Search window handed to every per-point optimiser call.
+    pub optimizer: OptimizerConfig,
+}
+
+impl ExploreConfig {
+    /// An explicit worker count with the default optimiser window.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers: Workers::Fixed(workers),
+            ..Self::default()
+        }
+    }
+}
+
+/// Memoised per-technology calibration shared by every worker.
+///
+/// Building a [`PowerModel`] refits the Eq. 7 linearisation — a
+/// 701-sample least-squares fit that depends *only* on the
+/// technology's `α`. A grid with `T` technologies, `A` architectures
+/// and `F` frequencies would refit it `T·A·F` times; the cache fits
+/// once per distinct `α` up front and hands out copies. Because the
+/// fit is a pure function of `α`, cached models are bit-identical to
+/// individually built ones (asserted by the engine equivalence tests).
+#[derive(Debug, Clone, Default)]
+pub struct CalibrationCache {
+    linearizations: HashMap<u64, Result<Linearization, ModelError>>,
+}
+
+impl CalibrationCache {
+    /// Pre-fits the linearisation for every distinct `α` in the grid's
+    /// technology axis.
+    pub fn for_grid(grid: &Grid) -> Self {
+        let mut linearizations = HashMap::new();
+        for tech in grid.technologies() {
+            linearizations
+                .entry(tech.alpha().to_bits())
+                .or_insert_with(|| {
+                    Linearization::fit_paper_range(tech.alpha()).map_err(ModelError::Numeric)
+                });
+        }
+        Self { linearizations }
+    }
+
+    /// Number of distinct `α` values cached.
+    pub fn len(&self) -> usize {
+        self.linearizations.len()
+    }
+
+    /// True when nothing has been cached.
+    pub fn is_empty(&self) -> bool {
+        self.linearizations.is_empty()
+    }
+
+    /// The cached fit for `alpha`, falling back to fitting on the spot
+    /// for values the grid axis did not cover.
+    fn linearization(&self, alpha: f64) -> Result<Linearization, ModelError> {
+        match self.linearizations.get(&alpha.to_bits()) {
+            Some(cached) => cached.clone(),
+            None => Linearization::fit_paper_range(alpha).map_err(ModelError::Numeric),
+        }
+    }
+}
+
+/// Evaluates one grid point with the shared calibration cache —
+/// exactly the computation of `optpower::sweep::sample_at`, with the
+/// linearisation fit served from the cache instead of refitted.
+fn evaluate_point(
+    point: &GridPoint<'_>,
+    cache: &CalibrationCache,
+    optimizer: &OptimizerConfig,
+) -> EvalRecord {
+    let constraint =
+        TimingConstraint::from_technology(point.tech, point.arch.logical_depth(), point.frequency);
+    let result = cache.linearization(constraint.alpha()).and_then(|lin| {
+        PowerModel::with_linearization(
+            *point.tech,
+            point.arch.clone(),
+            point.frequency,
+            constraint,
+            lin,
+        )?
+        .optimize_with(*optimizer)
+    });
+    EvalRecord {
+        tech: point.tech.name(),
+        arch: point.arch.name().to_string(),
+        frequency: point.frequency,
+        outcome: SweepOutcome::classify(result, optimizer),
+    }
+}
+
+/// Explores the whole grid in parallel and collects the results in
+/// grid order.
+///
+/// Work is sharded point-by-point across the worker pool (stealing, so
+/// expensive interior optimisations and cheap pinned points balance
+/// out), repeated `(tech, arch)` calibrations are served from a
+/// [`CalibrationCache`], and the output is independent of the worker
+/// count — bit-identical to a serial evaluation of the same grid.
+pub fn explore(grid: &Grid, config: &ExploreConfig) -> ResultSet {
+    let cache = CalibrationCache::for_grid(grid);
+    let workers = config.workers.resolve(grid.len());
+    let records = par_map_indexed(grid.len(), workers, |i| {
+        evaluate_point(&grid.point(i), &cache, &config.optimizer)
+    });
+    ResultSet::new(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optpower::sweep::sample_at;
+    use optpower::ArchParams;
+    use optpower_tech::{Flavor, Technology};
+    use optpower_units::{Farads, Hertz};
+
+    fn small_grid() -> Grid {
+        let arch = |name: &str, cells, act, ld| {
+            ArchParams::builder(name)
+                .cells(cells)
+                .activity(act)
+                .logical_depth(ld)
+                .cap_per_cell(Farads::new(60e-15))
+                .build()
+                .unwrap()
+        };
+        Grid::builder()
+            .technologies([
+                Technology::stm_cmos09(Flavor::LowLeakage),
+                Technology::stm_cmos09(Flavor::HighSpeed),
+            ])
+            .architectures([arch("w", 729, 0.2976, 17.0), arch("r", 608, 0.5056, 61.0)])
+            .frequencies([Hertz::new(1e6), Hertz::new(31.25e6), Hertz::new(200e6)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn engine_matches_serial_sample_at_bitwise() {
+        let grid = small_grid();
+        let rs = explore(&grid, &ExploreConfig::with_workers(3));
+        assert_eq!(rs.len(), grid.len());
+        for (record, point) in rs.records().iter().zip(grid.points()) {
+            let serial = sample_at(*point.tech, point.arch, point.frequency);
+            assert_eq!(record.frequency, serial.frequency);
+            assert_eq!(record.outcome, serial.outcome, "at index {}", point.index);
+            assert_eq!(record.tech, point.tech.name());
+            assert_eq!(record.arch, point.arch.name());
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let grid = small_grid();
+        let reference = explore(&grid, &ExploreConfig::with_workers(1));
+        for workers in [2, 5, 16] {
+            let rs = explore(&grid, &ExploreConfig::with_workers(workers));
+            assert_eq!(rs, reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn cache_holds_one_fit_per_distinct_alpha() {
+        let grid = small_grid();
+        let cache = CalibrationCache::for_grid(&grid);
+        let mut alphas: Vec<u64> = grid
+            .technologies()
+            .iter()
+            .map(|t| t.alpha().to_bits())
+            .collect();
+        alphas.sort_unstable();
+        alphas.dedup();
+        assert_eq!(cache.len(), alphas.len());
+        assert!(!cache.is_empty());
+        // Cache misses still produce the right fit.
+        let lin = cache.linearization(1.5).unwrap();
+        assert_eq!(lin, Linearization::fit_paper_range(1.5).unwrap());
+    }
+
+    #[test]
+    fn custom_optimizer_window_is_respected() {
+        let grid = small_grid();
+        let mut config = ExploreConfig::with_workers(2);
+        // A window so narrow every optimum pins at a wall.
+        config.optimizer.vdd_min = optpower_units::Volts::new(1.30);
+        config.optimizer.vdd_max = optpower_units::Volts::new(1.44);
+        let rs = explore(&grid, &config);
+        assert_eq!(rs.summary().closed, 0);
+        assert_eq!(rs.summary().boundary_pinned, grid.len());
+    }
+}

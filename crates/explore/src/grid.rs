@@ -1,0 +1,368 @@
+//! The design space: a cartesian grid of
+//! `(Technology, ArchParams, Hertz)` points.
+
+use optpower::reference::table1_arch_params;
+use optpower::sweep::log_frequency_axis;
+use optpower::{ArchParams, ModelError};
+use optpower_tech::{Flavor, Technology};
+use optpower_units::Hertz;
+
+/// One point of the design space (borrowed from the owning [`Grid`]).
+#[derive(Debug, Clone, Copy)]
+pub struct GridPoint<'a> {
+    /// Linear index of this point in grid order (frequency fastest,
+    /// then architecture, then technology).
+    pub index: usize,
+    /// The technology to evaluate in.
+    pub tech: &'a Technology,
+    /// The architecture to evaluate.
+    pub arch: &'a ArchParams,
+    /// The throughput frequency.
+    pub frequency: Hertz,
+}
+
+/// A cartesian design-space grid: every technology × every
+/// architecture × every frequency.
+///
+/// Points are enumerated with frequency as the fastest-moving axis and
+/// technology as the slowest — the same order a serial
+/// `for tech { for arch { for f { … } } }` loop visits them, so result
+/// sets line up with serial reference computations row by row.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    techs: Vec<Technology>,
+    archs: Vec<ArchParams>,
+    freqs: Vec<Hertz>,
+}
+
+impl Grid {
+    /// Starts building a grid.
+    pub fn builder() -> GridBuilder {
+        GridBuilder {
+            techs: Vec::new(),
+            archs: Vec::new(),
+            freqs: Vec::new(),
+        }
+    }
+
+    /// The paper's full Table 1 design space: all thirteen 16-bit
+    /// multiplier architectures × the three STM CMOS09 flavours ×
+    /// `freq_points` log-spaced frequencies over `[f_lo, f_hi]`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidFrequency`] for a non-positive or inverted
+    /// frequency range.
+    pub fn paper_full(f_lo: Hertz, f_hi: Hertz, freq_points: usize) -> Result<Self, ModelError> {
+        Ok(Grid::builder()
+            .technologies(Flavor::ALL.iter().map(|&fl| Technology::stm_cmos09(fl)))
+            .architectures(table1_arch_params()?)
+            .frequencies(log_frequency_axis(f_lo, f_hi, freq_points)?)
+            .build()
+            .expect("all three axes are non-empty and validated"))
+    }
+
+    /// Number of points in the grid.
+    pub fn len(&self) -> usize {
+        self.techs.len() * self.archs.len() * self.freqs.len()
+    }
+
+    /// True when any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The technology axis.
+    pub fn technologies(&self) -> &[Technology] {
+        &self.techs
+    }
+
+    /// The architecture axis.
+    pub fn architectures(&self) -> &[ArchParams] {
+        &self.archs
+    }
+
+    /// The frequency axis.
+    pub fn frequencies(&self) -> &[Hertz] {
+        &self.freqs
+    }
+
+    /// Decodes linear index `index` into its grid point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn point(&self, index: usize) -> GridPoint<'_> {
+        assert!(index < self.len(), "grid index {index} out of bounds");
+        let nf = self.freqs.len();
+        let na = self.archs.len();
+        GridPoint {
+            index,
+            tech: &self.techs[index / (nf * na)],
+            arch: &self.archs[(index / nf) % na],
+            frequency: self.freqs[index % nf],
+        }
+    }
+
+    /// Encodes axis positions into the linear grid index — the inverse
+    /// of [`Grid::point`], for looking up a specific point in a
+    /// [`ResultSet`](crate::ResultSet) (whose records are in grid
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any axis position is out of range.
+    pub fn index_of(&self, tech_ix: usize, arch_ix: usize, freq_ix: usize) -> usize {
+        assert!(
+            tech_ix < self.techs.len(),
+            "tech index {tech_ix} out of bounds"
+        );
+        assert!(
+            arch_ix < self.archs.len(),
+            "arch index {arch_ix} out of bounds"
+        );
+        assert!(
+            freq_ix < self.freqs.len(),
+            "freq index {freq_ix} out of bounds"
+        );
+        (tech_ix * self.archs.len() + arch_ix) * self.freqs.len() + freq_ix
+    }
+
+    /// Iterates every point in grid order.
+    pub fn points(&self) -> impl Iterator<Item = GridPoint<'_>> + '_ {
+        (0..self.len()).map(|i| self.point(i))
+    }
+}
+
+/// Why a [`GridBuilder`] refused to build.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridError {
+    /// An axis has no entries.
+    EmptyAxis(&'static str),
+    /// A frequency is not positive and finite.
+    InvalidFrequency(f64),
+}
+
+impl core::fmt::Display for GridError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::EmptyAxis(axis) => write!(f, "grid axis '{axis}' is empty"),
+            Self::InvalidFrequency(hz) => write!(f, "invalid grid frequency {hz} Hz"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+/// Builder for [`Grid`]; see [`Grid::builder`].
+#[derive(Debug, Clone)]
+pub struct GridBuilder {
+    techs: Vec<Technology>,
+    archs: Vec<ArchParams>,
+    freqs: Vec<Hertz>,
+}
+
+impl GridBuilder {
+    /// Appends one technology to the technology axis.
+    pub fn technology(mut self, tech: Technology) -> Self {
+        self.techs.push(tech);
+        self
+    }
+
+    /// Appends technologies to the technology axis.
+    pub fn technologies(mut self, techs: impl IntoIterator<Item = Technology>) -> Self {
+        self.techs.extend(techs);
+        self
+    }
+
+    /// Appends one architecture to the architecture axis.
+    pub fn architecture(mut self, arch: ArchParams) -> Self {
+        self.archs.push(arch);
+        self
+    }
+
+    /// Appends architectures to the architecture axis.
+    pub fn architectures(mut self, archs: impl IntoIterator<Item = ArchParams>) -> Self {
+        self.archs.extend(archs);
+        self
+    }
+
+    /// Appends one frequency to the frequency axis.
+    pub fn frequency(mut self, f: Hertz) -> Self {
+        self.freqs.push(f);
+        self
+    }
+
+    /// Appends frequencies to the frequency axis.
+    pub fn frequencies(mut self, freqs: impl IntoIterator<Item = Hertz>) -> Self {
+        self.freqs.extend(freqs);
+        self
+    }
+
+    /// Validates the axes and builds the grid.
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::EmptyAxis`] when an axis has no entries,
+    /// [`GridError::InvalidFrequency`] for a non-positive or non-finite
+    /// frequency (such a point would poison the whole evaluation: the
+    /// timing-constraint derivation asserts on it).
+    pub fn build(self) -> Result<Grid, GridError> {
+        if self.techs.is_empty() {
+            return Err(GridError::EmptyAxis("technologies"));
+        }
+        if self.archs.is_empty() {
+            return Err(GridError::EmptyAxis("architectures"));
+        }
+        if self.freqs.is_empty() {
+            return Err(GridError::EmptyAxis("frequencies"));
+        }
+        for f in &self.freqs {
+            #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must fail the check
+            if !(f.value() > 0.0) || !f.value().is_finite() {
+                return Err(GridError::InvalidFrequency(f.value()));
+            }
+        }
+        Ok(Grid {
+            techs: self.techs,
+            archs: self.archs,
+            freqs: self.freqs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optpower_units::Farads;
+
+    fn arch(name: &str) -> ArchParams {
+        ArchParams::builder(name)
+            .cells(100)
+            .activity(0.3)
+            .logical_depth(10.0)
+            .cap_per_cell(Farads::new(50e-15))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn index_decoding_matches_nested_loop_order() {
+        let grid = Grid::builder()
+            .technology(Technology::stm_cmos09(Flavor::LowLeakage))
+            .technology(Technology::stm_cmos09(Flavor::HighSpeed))
+            .architectures([arch("a"), arch("b"), arch("c")])
+            .frequencies([Hertz::new(1e6), Hertz::new(2e6)])
+            .build()
+            .unwrap();
+        assert_eq!(grid.len(), 2 * 3 * 2);
+        let mut expect = Vec::new();
+        for t in grid.technologies() {
+            for a in grid.architectures() {
+                for f in grid.frequencies() {
+                    expect.push((t.name(), a.name().to_string(), f.value()));
+                }
+            }
+        }
+        let got: Vec<_> = grid
+            .points()
+            .map(|p| {
+                (
+                    p.tech.name(),
+                    p.arch.name().to_string(),
+                    p.frequency.value(),
+                )
+            })
+            .collect();
+        assert_eq!(got, expect);
+        for (i, p) in grid.points().enumerate() {
+            assert_eq!(p.index, i);
+        }
+    }
+
+    #[test]
+    fn index_of_inverts_point() {
+        let grid = Grid::builder()
+            .technology(Technology::stm_cmos09(Flavor::LowLeakage))
+            .technology(Technology::stm_cmos09(Flavor::HighSpeed))
+            .architectures([arch("a"), arch("b"), arch("c")])
+            .frequencies([Hertz::new(1e6), Hertz::new(2e6)])
+            .build()
+            .unwrap();
+        for (t, tech) in grid.technologies().iter().enumerate() {
+            for (a, ar) in grid.architectures().iter().enumerate() {
+                for (f, freq) in grid.frequencies().iter().enumerate() {
+                    let p = grid.point(grid.index_of(t, a, f));
+                    assert_eq!(p.tech.name(), tech.name());
+                    assert_eq!(p.arch.name(), ar.name());
+                    assert_eq!(p.frequency, *freq);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arch index")]
+    fn index_of_rejects_out_of_range() {
+        let grid = Grid::builder()
+            .technology(Technology::stm_cmos09(Flavor::LowLeakage))
+            .architecture(arch("a"))
+            .frequency(Hertz::new(1e6))
+            .build()
+            .unwrap();
+        let _ = grid.index_of(0, 1, 0);
+    }
+
+    #[test]
+    fn empty_axes_are_rejected() {
+        let err = Grid::builder().build().unwrap_err();
+        assert_eq!(err, GridError::EmptyAxis("technologies"));
+        let err = Grid::builder()
+            .technology(Technology::stm_cmos09(Flavor::LowLeakage))
+            .frequency(Hertz::new(1e6))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, GridError::EmptyAxis("architectures"));
+        let err = Grid::builder()
+            .technology(Technology::stm_cmos09(Flavor::LowLeakage))
+            .architecture(arch("a"))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, GridError::EmptyAxis("frequencies"));
+    }
+
+    #[test]
+    fn bad_frequencies_are_rejected() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = Grid::builder()
+                .technology(Technology::stm_cmos09(Flavor::LowLeakage))
+                .architecture(arch("a"))
+                .frequency(Hertz::new(bad))
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(err, GridError::InvalidFrequency(_)),
+                "{bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_full_grid_shape() {
+        let grid = Grid::paper_full(Hertz::new(1e6), Hertz::new(250e6), 5).unwrap();
+        assert_eq!(grid.technologies().len(), 3);
+        assert_eq!(grid.architectures().len(), 13);
+        assert_eq!(grid.frequencies().len(), 5);
+        assert_eq!(grid.len(), 195);
+        let err = Grid::paper_full(Hertz::new(1e6), Hertz::new(1e3), 5).unwrap_err();
+        assert!(matches!(err, ModelError::InvalidFrequency { .. }));
+    }
+
+    #[test]
+    fn grid_error_displays() {
+        assert!(GridError::EmptyAxis("technologies")
+            .to_string()
+            .contains("technologies"));
+        assert!(GridError::InvalidFrequency(-2.0).to_string().contains("-2"));
+    }
+}

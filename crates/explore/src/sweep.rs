@@ -1,0 +1,124 @@
+//! Parallel counterparts of the serial sweeps in `optpower::sweep`.
+//!
+//! Both functions delegate the per-point computation to the *same*
+//! primitives the serial versions use (`sample_at`, `optimal_ptot`,
+//! `TechnologyRanking::from_pairs`), so their results are bit-identical
+//! to the serial path for every worker count — the pool only changes
+//! who computes each point, never what is computed.
+
+use optpower::sweep::{
+    log_frequency_axis, optimal_ptot, sample_at, FrequencySample, TechnologyRanking,
+};
+use optpower::{ArchParams, ModelError};
+use optpower_tech::Technology;
+use optpower_units::Hertz;
+
+use crate::pool::{par_map, Workers};
+
+/// Parallel version of [`optpower::sweep::frequency_sweep`]: sweeps
+/// the optimal working point of `(tech, arch)` across a logarithmic
+/// frequency range, sharding the frequencies over the worker pool.
+///
+/// # Errors
+///
+/// [`ModelError::InvalidFrequency`] if the range is non-positive or
+/// inverted — the same contract as the serial sweep.
+pub fn parallel_frequency_sweep(
+    tech: Technology,
+    arch: &ArchParams,
+    f_lo: Hertz,
+    f_hi: Hertz,
+    points: usize,
+    workers: Workers,
+) -> Result<Vec<FrequencySample>, ModelError> {
+    let freqs = log_frequency_axis(f_lo, f_hi, points)?;
+    let n = workers.resolve(freqs.len());
+    Ok(par_map(&freqs, n, |&f| sample_at(tech, arch, f)))
+}
+
+/// Parallel version of [`optpower::sweep::rank_technologies`]: ranks
+/// `techs` by optimal total power for `(arch, f)`, optimising each
+/// technology on its own worker.
+pub fn parallel_rank_technologies(
+    techs: &[Technology],
+    arch: &ArchParams,
+    f: Hertz,
+    workers: Workers,
+) -> TechnologyRanking {
+    let n = workers.resolve(techs.len());
+    let pairs = par_map(techs, n, |t| {
+        optimal_ptot(*t, arch, f).map(|p| (t.name(), p))
+    });
+    TechnologyRanking::from_pairs(pairs.into_iter().flatten().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optpower::sweep::{frequency_sweep, rank_technologies};
+    use optpower_tech::Flavor;
+    use optpower_units::Farads;
+
+    fn wallace_arch() -> ArchParams {
+        let c = 56.69e-6 / (729.0 * 0.2976 * 31.25e6 * 0.372 * 0.372);
+        ArchParams::builder("Wallace")
+            .cells(729)
+            .activity(0.2976)
+            .logical_depth(17.0)
+            .cap_per_cell(Farads::new(c))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let tech = Technology::stm_cmos09(Flavor::LowLeakage);
+        let arch = wallace_arch();
+        let (lo, hi) = (Hertz::new(1e6), Hertz::new(10e9));
+        let serial = frequency_sweep(tech, &arch, lo, hi, 14).unwrap();
+        for workers in [1, 2, 8] {
+            let par =
+                parallel_frequency_sweep(tech, &arch, lo, hi, 14, Workers::Fixed(workers)).unwrap();
+            assert_eq!(par, serial, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_rejects_bad_range() {
+        let err = parallel_frequency_sweep(
+            Technology::stm_cmos09(Flavor::LowLeakage),
+            &wallace_arch(),
+            Hertz::new(10e6),
+            Hertz::new(1e6),
+            4,
+            Workers::Auto,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelError::InvalidFrequency { .. }));
+    }
+
+    #[test]
+    fn parallel_ranking_matches_serial() {
+        let techs = [
+            Technology::stm_cmos09(Flavor::UltraLowLeakage),
+            Technology::stm_cmos09(Flavor::LowLeakage),
+            Technology::stm_cmos09(Flavor::HighSpeed),
+        ];
+        let arch = wallace_arch();
+        for f_hz in [0.2e6, 31.25e6, 200e6] {
+            let serial = rank_technologies(&techs, &arch, Hertz::new(f_hz));
+            for workers in [1, 2, 8] {
+                let par = parallel_rank_technologies(
+                    &techs,
+                    &arch,
+                    Hertz::new(f_hz),
+                    Workers::Fixed(workers),
+                );
+                assert_eq!(
+                    par.ranking, serial.ranking,
+                    "f = {f_hz}, workers = {workers}"
+                );
+            }
+        }
+    }
+}

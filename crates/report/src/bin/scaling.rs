@@ -1,11 +1,15 @@
-//! Prints the technology-scaling study (the paper's closing remark).
+//! Prints the technology-scaling study (the paper's closing remark),
+//! evaluating the frequency rows in parallel on the
+//! `optpower-explore` worker pool.
+use optpower_explore::Workers;
+
 fn main() -> Result<(), optpower::ModelError> {
     let freqs = [1.0, 4.0, 31.25, 125.0, 250.0];
     println!("== wire-dominated port (capacitance does not scale) ==");
-    let rows = optpower_report::extended::scaling_study(&freqs, false)?;
+    let rows = optpower_report::extended::scaling_study_parallel(&freqs, false, Workers::Auto)?;
     println!("{}", optpower_report::extended::render_scaling(&rows));
     println!("== full gate-capacitance scaling (x0.7 per node) ==");
-    let rows = optpower_report::extended::scaling_study(&freqs, true)?;
+    let rows = optpower_report::extended::scaling_study_parallel(&freqs, true, Workers::Auto)?;
     println!("{}", optpower_report::extended::render_scaling(&rows));
     Ok(())
 }

@@ -1,6 +1,10 @@
-//! Prints the Eq. 13 sensitivity report for all 13 architectures.
+//! Prints the Eq. 13 sensitivity report for all 13 architectures,
+//! calibrating and differentiating each on its own
+//! `optpower-explore` worker.
+use optpower_explore::Workers;
+
 fn main() -> Result<(), optpower::ModelError> {
-    let rows = optpower_report::extended::sensitivity_report()?;
+    let rows = optpower_report::extended::sensitivity_report_parallel(Workers::Auto)?;
     println!("{}", optpower_report::extended::render_sensitivities(&rows));
     Ok(())
 }

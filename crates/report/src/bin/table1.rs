@@ -1,6 +1,10 @@
-//! Prints the Table 1 reproduction (13 multipliers, LL flavour).
+//! Prints the Table 1 reproduction (13 multipliers, LL flavour),
+//! calibrating and re-solving the rows in parallel on the
+//! `optpower-explore` worker pool.
+use optpower_explore::Workers;
+
 fn main() -> Result<(), optpower::ModelError> {
-    let rows = optpower_report::table1()?;
+    let rows = optpower_report::table1_parallel(Workers::Auto)?;
     println!(
         "{}",
         optpower_report::render_rows(

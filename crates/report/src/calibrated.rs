@@ -7,6 +7,7 @@ use optpower::reference::{
     Table1Row, WallaceFlavorRow, PAPER_FREQUENCY, TABLE1, TABLE3_ULL, TABLE4_HS,
 };
 use optpower::{ArchParams, ModelError, PowerModel};
+use optpower_explore::{par_map, Workers};
 use optpower_tech::{Flavor, Technology};
 use optpower_units::{Farads, SquareMicrons, Volts, Watts};
 
@@ -79,6 +80,31 @@ fn arch_from_row(row: &Table1Row) -> Result<ArchParams, ModelError> {
         .build()
 }
 
+/// Calibrates and re-solves one Table 1 row — the unit of work shared
+/// by the serial [`table1`] and parallel [`table1_parallel`] paths.
+fn table1_row(tech: &Technology, row: &Table1Row) -> Result<RowComparison, ModelError> {
+    let cal = from_breakdown(
+        tech,
+        Volts::new(row.vdd),
+        Volts::new(row.vth),
+        Watts::new(row.pdyn_uw * 1e-6),
+        Watts::new(row.pstat_uw * 1e-6),
+        f64::from(row.cells),
+        row.activity,
+        PAPER_FREQUENCY,
+    )?;
+    let model = build_model(*tech, arch_from_row(row)?, PAPER_FREQUENCY, cal)?;
+    RowComparison::from_model(
+        row.name,
+        &model,
+        row.vdd,
+        row.vth,
+        row.ptot_uw,
+        row.eq13_uw,
+        row.eq13_err_pct,
+    )
+}
+
 /// Reproduces Table 1: all thirteen multipliers on the LL flavour,
 /// calibrated from the published power *breakdown*.
 ///
@@ -87,31 +113,23 @@ fn arch_from_row(row: &Table1Row) -> Result<ArchParams, ModelError> {
 /// Propagates [`ModelError`] from calibration or solving.
 pub fn table1() -> Result<Vec<RowComparison>, ModelError> {
     let tech = Technology::stm_cmos09(Flavor::LowLeakage);
-    TABLE1
-        .iter()
-        .map(|row| {
-            let cal = from_breakdown(
-                &tech,
-                Volts::new(row.vdd),
-                Volts::new(row.vth),
-                Watts::new(row.pdyn_uw * 1e-6),
-                Watts::new(row.pstat_uw * 1e-6),
-                f64::from(row.cells),
-                row.activity,
-                PAPER_FREQUENCY,
-            )?;
-            let model = build_model(tech, arch_from_row(row)?, PAPER_FREQUENCY, cal)?;
-            RowComparison::from_model(
-                row.name,
-                &model,
-                row.vdd,
-                row.vth,
-                row.ptot_uw,
-                row.eq13_uw,
-                row.eq13_err_pct,
-            )
-        })
-        .collect()
+    TABLE1.iter().map(|row| table1_row(&tech, row)).collect()
+}
+
+/// [`table1`] with each row calibrated and re-solved on its own
+/// worker. Produces the same rows in the same order for any worker
+/// policy.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] from calibration or solving.
+pub fn table1_parallel(workers: Workers) -> Result<Vec<RowComparison>, ModelError> {
+    let tech = Technology::stm_cmos09(Flavor::LowLeakage);
+    par_map(&TABLE1, workers.resolve(TABLE1.len()), |row| {
+        table1_row(&tech, row)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Prints Table 2 (the published flavour parameters) from the presets.
@@ -244,6 +262,15 @@ mod tests {
             // Totals within 2%.
             let rel = (r.our_ptot_uw - r.paper_ptot_uw) / r.paper_ptot_uw;
             assert!(rel.abs() < 0.02, "{}: ptot rel {rel}", r.name);
+        }
+    }
+
+    #[test]
+    fn table1_parallel_matches_serial_for_any_worker_count() {
+        let serial = table1().unwrap();
+        for workers in [1, 2, 8] {
+            let par = table1_parallel(Workers::Fixed(workers)).unwrap();
+            assert_eq!(par, serial, "workers = {workers}");
         }
     }
 

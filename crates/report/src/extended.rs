@@ -10,16 +10,17 @@
 //!   Section 4's reasoning).
 
 use optpower::calibrate::{build_model, from_breakdown};
-use optpower::reference::{PAPER_FREQUENCY, TABLE1};
+use optpower::reference::{Table1Row, PAPER_FREQUENCY, TABLE1};
 use optpower::sweep::rank_technologies;
 use optpower::{ArchParams, ModelError, Sensitivities};
+use optpower_explore::{par_map, Workers};
 use optpower_tech::{Flavor, ScaledNode, Technology};
 use optpower_units::{Farads, Hertz, SquareMicrons, Volts, Watts};
 
 use crate::render::{fnum, Table};
 
 /// One frequency row of the scaling study.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScalingRow {
     /// Evaluated frequency \[MHz\].
     pub f_mhz: f64,
@@ -53,6 +54,36 @@ pub fn scaling_study(
     frequencies_mhz: &[f64],
     scale_capacitance: bool,
 ) -> Result<Vec<ScalingRow>, ModelError> {
+    frequencies_mhz
+        .iter()
+        .map(|&f_mhz| scaling_row(f_mhz, scale_capacitance))
+        .collect()
+}
+
+/// [`scaling_study`] with each frequency row evaluated on its own
+/// worker. Produces the same rows in the same order for any worker
+/// policy.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] from model building.
+pub fn scaling_study_parallel(
+    frequencies_mhz: &[f64],
+    scale_capacitance: bool,
+    workers: Workers,
+) -> Result<Vec<ScalingRow>, ModelError> {
+    par_map(
+        frequencies_mhz,
+        workers.resolve(frequencies_mhz.len()),
+        |&f_mhz| scaling_row(f_mhz, scale_capacitance),
+    )
+    .into_iter()
+    .collect()
+}
+
+/// Evaluates one frequency row of the scaling study — the unit of work
+/// shared by the serial and parallel paths.
+fn scaling_row(f_mhz: f64, scale_capacitance: bool) -> Result<ScalingRow, ModelError> {
     // Wallace structure with the LL-calibrated per-cell capacitance.
     let c130 = 56.69e-6 / (729.0 * 0.2976 * 31.25e6 * 0.372 * 0.372);
     let cap_for = |node: ScaledNode| match (scale_capacitance, node) {
@@ -61,37 +92,33 @@ pub fn scaling_study(
         (true, ScaledNode::Node65) => c130 * 0.49,
         (false, _) => c130,
     };
-    let mut out = Vec::new();
-    for &f_mhz in frequencies_mhz {
-        let f = Hertz::new(f_mhz * 1e6);
-        let mut ptot_uw = Vec::new();
-        let mut winner: Option<(&'static str, f64)> = None;
-        for node in ScaledNode::ALL {
-            let tech = node.technology().expect("presets are valid");
-            let arch = ArchParams::builder("Wallace")
-                .cells(729)
-                .activity(0.2976)
-                .logical_depth(17.0)
-                .cap_per_cell(Farads::new(cap_for(node)))
-                .build()?;
-            let ranking = rank_technologies(&[tech], &arch, f);
-            let p = ranking
-                .ranking
-                .first()
-                .map(|&(_, p)| p * 1e6)
-                .unwrap_or(f64::NAN);
-            if p.is_finite() && winner.is_none_or(|(_, best)| p < best) {
-                winner = Some((node.label(), p));
-            }
-            ptot_uw.push((node.label(), p));
+    let f = Hertz::new(f_mhz * 1e6);
+    let mut ptot_uw = Vec::new();
+    let mut winner: Option<(&'static str, f64)> = None;
+    for node in ScaledNode::ALL {
+        let tech = node.technology().expect("presets are valid");
+        let arch = ArchParams::builder("Wallace")
+            .cells(729)
+            .activity(0.2976)
+            .logical_depth(17.0)
+            .cap_per_cell(Farads::new(cap_for(node)))
+            .build()?;
+        let ranking = rank_technologies(&[tech], &arch, f);
+        let p = ranking
+            .ranking
+            .first()
+            .map(|&(_, p)| p * 1e6)
+            .unwrap_or(f64::NAN);
+        if p.is_finite() && winner.is_none_or(|(_, best)| p < best) {
+            winner = Some((node.label(), p));
         }
-        out.push(ScalingRow {
-            f_mhz,
-            ptot_uw,
-            winner: winner.map(|(n, _)| n),
-        });
+        ptot_uw.push((node.label(), p));
     }
-    Ok(out)
+    Ok(ScalingRow {
+        f_mhz,
+        ptot_uw,
+        winner: winner.map(|(n, _)| n),
+    })
 }
 
 /// Renders the scaling study.
@@ -120,7 +147,7 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
 }
 
 /// One architecture's Eq. 13 sensitivities.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SensitivityRow {
     /// Architecture name.
     pub name: &'static str,
@@ -138,32 +165,52 @@ pub fn sensitivity_report() -> Result<Vec<SensitivityRow>, ModelError> {
     let tech = Technology::stm_cmos09(Flavor::LowLeakage);
     TABLE1
         .iter()
-        .map(|row| {
-            let cal = from_breakdown(
-                &tech,
-                Volts::new(row.vdd),
-                Volts::new(row.vth),
-                Watts::new(row.pdyn_uw * 1e-6),
-                Watts::new(row.pstat_uw * 1e-6),
-                f64::from(row.cells),
-                row.activity,
-                PAPER_FREQUENCY,
-            )?;
-            let arch = ArchParams::builder(row.name)
-                .cells(row.cells)
-                .activity(row.activity)
-                .logical_depth(row.ld_eff)
-                .cap_per_cell(Farads::new(1e-15))
-                .area(SquareMicrons::new(row.area_um2))
-                .build()?;
-            let model = build_model(tech, arch, PAPER_FREQUENCY, cal)?;
-            let sens = Sensitivities::at(&model)?;
-            Ok(SensitivityRow {
-                name: row.name,
-                sens,
-            })
-        })
+        .map(|row| sensitivity_row(&tech, row))
         .collect()
+}
+
+/// [`sensitivity_report`] with each architecture calibrated and
+/// differentiated on its own worker. Produces the same rows in the
+/// same order for any worker policy.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] from calibration or the closed form.
+pub fn sensitivity_report_parallel(workers: Workers) -> Result<Vec<SensitivityRow>, ModelError> {
+    let tech = Technology::stm_cmos09(Flavor::LowLeakage);
+    par_map(&TABLE1, workers.resolve(TABLE1.len()), |row| {
+        sensitivity_row(&tech, row)
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Calibrates one Table 1 row and computes its Eq. 13 sensitivities —
+/// the unit of work shared by the serial and parallel paths.
+fn sensitivity_row(tech: &Technology, row: &Table1Row) -> Result<SensitivityRow, ModelError> {
+    let cal = from_breakdown(
+        tech,
+        Volts::new(row.vdd),
+        Volts::new(row.vth),
+        Watts::new(row.pdyn_uw * 1e-6),
+        Watts::new(row.pstat_uw * 1e-6),
+        f64::from(row.cells),
+        row.activity,
+        PAPER_FREQUENCY,
+    )?;
+    let arch = ArchParams::builder(row.name)
+        .cells(row.cells)
+        .activity(row.activity)
+        .logical_depth(row.ld_eff)
+        .cap_per_cell(Farads::new(1e-15))
+        .area(SquareMicrons::new(row.area_um2))
+        .build()?;
+    let model = build_model(*tech, arch, PAPER_FREQUENCY, cal)?;
+    let sens = Sensitivities::at(&model)?;
+    Ok(SensitivityRow {
+        name: row.name,
+        sens,
+    })
 }
 
 /// Renders the sensitivity report.
@@ -222,6 +269,25 @@ mod tests {
         let s = render_scaling(&rows);
         assert!(s.contains("130nm"));
         assert!(s.contains("31.25"));
+    }
+
+    #[test]
+    fn parallel_studies_match_serial_for_any_worker_count() {
+        let freqs = [1.0, 31.25, 250.0];
+        let serial_scaling = scaling_study(&freqs, false).unwrap();
+        let serial_sens = sensitivity_report().unwrap();
+        for workers in [1, 2, 8] {
+            assert_eq!(
+                scaling_study_parallel(&freqs, false, Workers::Fixed(workers)).unwrap(),
+                serial_scaling,
+                "scaling, workers = {workers}"
+            );
+            assert_eq!(
+                sensitivity_report_parallel(Workers::Fixed(workers)).unwrap(),
+                serial_sens,
+                "sensitivity, workers = {workers}"
+            );
+        }
     }
 
     #[test]

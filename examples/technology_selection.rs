@@ -1,58 +1,57 @@
-//! Technology selection (the paper's Section 5): evaluate the same
-//! Wallace-family architectures on all three STM CMOS09 flavours and
-//! show that the moderate Low-Leakage flavour beats both extremes —
-//! plus a frequency sweep locating the crossovers.
+//! Technology selection (the paper's Section 5), driven by the
+//! parallel design-space exploration engine: evaluate the Wallace
+//! family on all three STM CMOS09 flavours across a frequency range in
+//! one `Grid`, then read the flavour table, the per-frequency winners
+//! and the power/throughput Pareto front straight off the `ResultSet`.
 //!
 //! Run with: `cargo run --example technology_selection`
 
-use optpower::reference::wallace_structure;
-use optpower::{ArchParams, PowerModel};
+use optpower::reference::table1_arch_params;
+use optpower_explore::{explore, ExploreConfig, Grid};
 use optpower_tech::{Flavor, Technology};
-use optpower_units::{Farads, Hertz};
-
-fn model_for(
-    flavor: Flavor,
-    wallace_index: usize,
-    freq: Hertz,
-) -> Result<PowerModel, optpower::ModelError> {
-    let row = wallace_structure(wallace_index);
-    // Per-cell capacitance back-computed from the published Pdyn of the
-    // LL table; the structural parameters are flavour-independent.
-    let c =
-        row.pdyn_uw * 1e-6 / (f64::from(row.cells) * row.activity * 31.25e6 * row.vdd * row.vdd);
-    let arch = ArchParams::builder(row.name)
-        .cells(row.cells)
-        .activity(row.activity)
-        .logical_depth(row.ld_eff)
-        .cap_per_cell(Farads::new(c))
-        .build()?;
-    PowerModel::from_technology(Technology::stm_cmos09(flavor), arch, freq)
-}
+use optpower_units::Hertz;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let flavors = [
+        Flavor::UltraLowLeakage,
+        Flavor::LowLeakage,
+        Flavor::HighSpeed,
+    ];
+    // The Wallace family rows of Table 1 (indices 7..10), with the
+    // per-cell capacitance back-computed from the published Pdyn; the
+    // structural parameters are flavour-independent.
+    let wallace_family: Vec<_> = table1_arch_params()?.drain(7..10).collect();
     let f0 = Hertz::new(31.25e6);
+    let sweep_mhz = [2.0, 8.0, 31.25, 125.0, 250.0, 500.0];
+
+    // One grid covers the whole study: 3 flavours x 3 architectures x
+    // (paper frequency + sweep frequencies).
+    let grid = Grid::builder()
+        .technologies(flavors.iter().map(|&fl| Technology::stm_cmos09(fl)))
+        .architectures(wallace_family.iter().cloned())
+        .frequency(f0)
+        .frequencies(sweep_mhz.iter().map(|&mhz| Hertz::new(mhz * 1e6)))
+        .build()?;
+    let results = explore(&grid, &ExploreConfig::default());
+
+    // Records are in grid order: look points up via Grid::index_of.
+    let ptot_uw = |flavor_ix: usize, arch_ix: usize, freq_ix: usize| {
+        results.records()[grid.index_of(flavor_ix, arch_ix, freq_ix)]
+            .optimum()
+            .map(|o| o.ptot().value() * 1e6)
+    };
+
     println!("Wallace family optimal power per flavour (f = 31.25 MHz):\n");
     println!(
         "{:<18} {:>10} {:>10} {:>10}",
         "arch", "ULL [uW]", "LL [uW]", "HS [uW]"
     );
-    for i in 0..3 {
-        let mut cells = Vec::new();
-        for flavor in [
-            Flavor::UltraLowLeakage,
-            Flavor::LowLeakage,
-            Flavor::HighSpeed,
-        ] {
-            let p = model_for(flavor, i, f0)?.optimize()?.ptot().value() * 1e6;
-            cells.push(p);
-        }
-        println!(
-            "{:<18} {:>10.2} {:>10.2} {:>10.2}",
-            wallace_structure(i).name,
-            cells[0],
-            cells[1],
-            cells[2]
-        );
+    for (a, arch) in grid.architectures().iter().enumerate() {
+        let cell = |t: usize| match ptot_uw(t, a, 0) {
+            Some(p) => format!("{p:>10.2}"),
+            None => format!("{:>10}", "-"),
+        };
+        println!("{:<18} {} {} {}", arch.name(), cell(0), cell(1), cell(2));
     }
 
     println!("\nfrequency sweep, basic Wallace — which flavour wins where:\n");
@@ -60,19 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:>10}  {:>10} {:>10} {:>10}  winner",
         "f [MHz]", "ULL", "LL", "HS"
     );
-    for mhz in [2.0, 8.0, 31.25, 125.0, 250.0, 500.0] {
-        let f = Hertz::new(mhz * 1e6);
+    for (fi, &mhz) in sweep_mhz.iter().enumerate() {
         let mut best = (f64::INFINITY, "-");
         let mut row = Vec::new();
-        for flavor in [
-            Flavor::UltraLowLeakage,
-            Flavor::LowLeakage,
-            Flavor::HighSpeed,
-        ] {
-            let p = match model_for(flavor, 0, f)?.optimize() {
-                Ok(opt) => opt.ptot().value() * 1e6,
-                Err(_) => f64::NAN,
-            };
+        for (t, flavor) in flavors.iter().enumerate() {
+            let p = ptot_uw(t, 0, fi + 1).unwrap_or(f64::NAN);
             if p < best.0 {
                 best = (p, flavor.abbreviation());
             }
@@ -81,6 +72,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{:>10.2}  {:>10.2} {:>10.2} {:>10.2}  {}",
             mhz, row[0], row[1], row[2], best.1
+        );
+    }
+
+    let summary = results.summary();
+    println!(
+        "\nexplored {} design points on {} worker(s): {} closed, {} boundary-pinned, {} failed",
+        summary.points,
+        optpower_explore::available_workers(),
+        summary.closed,
+        summary.boundary_pinned,
+        summary.failed,
+    );
+    println!("\nPareto front over (throughput, optimal total power):");
+    for r in results.pareto_front() {
+        let opt = r.optimum().expect("front members closed timing");
+        println!(
+            "  {:>8.2} MHz  {:>9.2} uW  {} / {}",
+            r.frequency.value() / 1e6,
+            opt.ptot().value() * 1e6,
+            r.tech,
+            r.arch,
         );
     }
     println!(

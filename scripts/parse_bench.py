@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Parse `cargo bench` output (the workspace's criterion shim) into the
+committed BENCH_*.json summary format.
+
+The shim prints one line per benchmark:
+
+    bench <id>    mean <value> <unit> min <value> <unit>
+
+This script normalises every timing to nanoseconds, derives the
+serial-vs-parallel speedups the CI bench job tracks, and writes a JSON
+document:
+
+    {
+      "schema": "optpower-bench/v1",
+      "bench": "<bench target name>",
+      "commit": "<sha or null>",
+      "entries": [{"id": ..., "mean_ns": ..., "min_ns": ...}, ...],
+      "speedups": {"<label>": {"serial_mean_ns": ..., "parallel_mean_ns": ...,
+                               "speedup": ...}, ...}
+    }
+
+Usage: parse_bench.py <bench-output.txt> <out.json> [--bench NAME]
+"""
+
+import json
+import os
+import re
+import sys
+
+LINE = re.compile(
+    r"^bench\s+(?P<id>\S+)\s+mean\s+(?P<mean>[0-9.]+)\s*(?P<mean_unit>ns|µs|us|ms|s)"
+    r"\s+min\s+(?P<min>[0-9.]+)\s*(?P<min_unit>ns|µs|us|ms|s)\s*$"
+)
+
+NS_PER = {"ns": 1.0, "us": 1e3, "µs": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def to_ns(value: str, unit: str) -> float:
+    return float(value) * NS_PER[unit]
+
+
+def parse(text: str):
+    entries = []
+    for line in text.splitlines():
+        m = LINE.match(line.strip())
+        if m:
+            entries.append(
+                {
+                    "id": m.group("id"),
+                    "mean_ns": to_ns(m.group("mean"), m.group("mean_unit")),
+                    "min_ns": to_ns(m.group("min"), m.group("min_unit")),
+                }
+            )
+    return entries
+
+
+def derive_speedups(entries):
+    """Pairs sweep/serial_core/<label> with sweep/parallel/<label>."""
+    by_id = {e["id"]: e for e in entries}
+    speedups = {}
+    for eid, entry in by_id.items():
+        m = re.match(r"^(?P<prefix>.+)/serial_core/(?P<label>.+)$", eid)
+        if not m:
+            continue
+        partner = f"{m.group('prefix')}/parallel/{m.group('label')}"
+        if partner not in by_id:
+            continue
+        serial, parallel = entry["mean_ns"], by_id[partner]["mean_ns"]
+        speedups[m.group("label")] = {
+            "serial_mean_ns": serial,
+            "parallel_mean_ns": parallel,
+            "speedup": serial / parallel if parallel > 0 else None,
+        }
+    return speedups
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    src, dst = argv[1], argv[2]
+    bench_name = argv[4] if len(argv) > 4 and argv[3] == "--bench" else "sweep"
+    with open(src, encoding="utf-8") as f:
+        entries = parse(f.read())
+    if not entries:
+        print(f"error: no bench lines found in {src}", file=sys.stderr)
+        return 1
+    doc = {
+        "schema": "optpower-bench/v1",
+        "bench": bench_name,
+        "commit": os.environ.get("GITHUB_SHA"),
+        "entries": entries,
+        "speedups": derive_speedups(entries),
+    }
+    with open(dst, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(f"wrote {dst}: {len(entries)} entries, {len(doc['speedups'])} speedup pairs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
