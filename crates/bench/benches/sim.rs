@@ -1,0 +1,76 @@
+//! Scalar vs bit-parallel activity measurement on a Wallace-tree
+//! netlist — the hot loop of the ab-initio characterization.
+//!
+//! Both engines measure the *same total stimulus volume* (640 vectors):
+//! the scalar zero-delay engine runs 640 items on one stream, the
+//! bit-parallel engine runs 10 items across 64 lanes. The ids use the
+//! `serial_core`/`parallel` naming so `scripts/parse_bench.py` derives
+//! the speedup pair the CI bench job tracks (acceptance: ≥ 10×).
+//! Equivalence of the two engines' counts is asserted by
+//! `tests/sim_differential.rs`; here only the clock runs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use optpower_mult::Architecture;
+use optpower_netlist::Library;
+use optpower_sim::{measure_activity, Engine, LANES};
+
+fn bench_activity_measurement(c: &mut Criterion) {
+    let design = Architecture::Wallace.generate(16).expect("wallace builds");
+    let lib = Library::cmos13();
+    let total_vectors = 640u64;
+    c.bench_function("sim/serial_core/wallace16_640v", |b| {
+        b.iter(|| {
+            black_box(measure_activity(
+                &design.netlist,
+                &lib,
+                Engine::ZeroDelay,
+                total_vectors,
+                1,
+                2,
+                42,
+            ))
+        })
+    });
+    c.bench_function("sim/parallel/wallace16_640v", |b| {
+        b.iter(|| {
+            black_box(measure_activity(
+                &design.netlist,
+                &lib,
+                Engine::BitParallel,
+                total_vectors / LANES as u64,
+                1,
+                2,
+                42,
+            ))
+        })
+    });
+    // Context row: the glitch-counting engine the timed activity
+    // column pays for (fewer items — event-driven is the slow path).
+    c.bench_function("sim/timed/wallace16_64v", |b| {
+        b.iter(|| {
+            black_box(measure_activity(
+                &design.netlist,
+                &lib,
+                Engine::Timed,
+                64,
+                1,
+                2,
+                42,
+            ))
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(core::time::Duration::from_secs(2))
+        .warm_up_time(core::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_activity_measurement
+}
+criterion_main!(benches);

@@ -1,8 +1,16 @@
 //! The ab-initio reproduction (Table 1′): every architectural
 //! parameter measured from our own netlists, simulator and STA — no
 //! calibration against the paper's numbers at all.
+//!
+//! Characterization (netlist generation → STA `LD` → activity
+//! measurement → optimisation) is independent per architecture, so
+//! [`characterize_parallel`] shards the thirteen architectures across
+//! the `optpower-explore` worker pool, and the glitch-free baseline
+//! uses the 64-lane [`optpower_sim::BitParallelSim`] engine — 64×
+//! the stimulus volume of a scalar zero-delay run at the same cost.
 
 use optpower::{ArchParams, ModelError, PowerModel};
+use optpower_explore::{par_map, Workers};
 use optpower_mult::Architecture;
 use optpower_netlist::{Library, NetlistStats};
 use optpower_sim::{measure_activity, Engine};
@@ -23,7 +31,8 @@ pub struct AbInitioRow {
     pub area_um2: f64,
     /// Measured activity (timed engine, glitches included).
     pub activity: f64,
-    /// Measured activity with the zero-delay engine (glitch-free).
+    /// Measured glitch-free activity (bit-parallel engine: 64
+    /// zero-delay stimulus lanes per item).
     pub activity_zero_delay: f64,
     /// Effective logical depth per throughput period.
     pub ld_eff: f64,
@@ -43,7 +52,11 @@ pub struct AbInitioRow {
 /// → optimise at the paper's 31.25 MHz on the chosen flavour.
 ///
 /// `items` controls the random-stimulus volume (the paper used full
-/// testbench traces; 200+ items give stable activities).
+/// testbench traces; 200+ items give stable activities — the
+/// glitch-free baseline additionally gets 64 stimulus lanes per item
+/// from the bit-parallel engine). Architectures are characterized in
+/// parallel on every available core; see [`characterize_parallel`] for
+/// the worker-count-independence contract.
 ///
 /// # Errors
 ///
@@ -57,62 +70,123 @@ pub fn ab_initio_table(
     items: u64,
     seed: u64,
 ) -> Result<Vec<AbInitioRow>, ModelError> {
+    characterize_all_parallel(flavor, items, seed, Workers::Auto)
+}
+
+/// Ab-initio characterization of one architecture: generate → library
+/// stats (N, C) → STA (LD) → activity (timed + bit-parallel
+/// glitch-free) → optimise at `freq` on `tech`.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] from model building or optimisation.
+///
+/// # Panics
+///
+/// Panics if the generator fails structurally (impossible for width
+/// 16).
+pub fn characterize_architecture(
+    arch: Architecture,
+    lib: &Library,
+    tech: Technology,
+    freq: Hertz,
+    items: u64,
+    seed: u64,
+) -> Result<AbInitioRow, ModelError> {
+    let design = arch
+        .generate(16)
+        .expect("16-bit generators are structurally valid");
+    let stats = NetlistStats::measure(&design.netlist, lib);
+    let sta = TimingAnalysis::analyze(&design.netlist, lib);
+    let timed = measure_activity(
+        &design.netlist,
+        lib,
+        Engine::Timed,
+        items,
+        design.cycles_per_item,
+        4,
+        seed,
+    );
+    let zd = measure_activity(
+        &design.netlist,
+        lib,
+        Engine::BitParallel,
+        items,
+        design.cycles_per_item,
+        4,
+        seed,
+    );
+    let ld_eff = design.effective_logical_depth(sta.logical_depth());
+    let params = ArchParams::builder(arch.paper_name())
+        .cells(stats.logic_cells as u32)
+        .activity(timed.activity)
+        .logical_depth(ld_eff)
+        .cap_per_cell(Farads::new(stats.avg_switched_cap_f))
+        .area(SquareMicrons::new(stats.area_um2))
+        .build()?;
+    let model = PowerModel::from_technology(tech, params, freq)?;
+    let opt = model.optimize()?;
+    let eq13_uw = model
+        .closed_form()
+        .map(|cf| cf.ptot.value() * 1e6)
+        .unwrap_or(f64::NAN);
+    Ok(AbInitioRow {
+        arch,
+        cells: stats.logic_cells,
+        area_um2: stats.area_um2,
+        activity: timed.activity,
+        activity_zero_delay: zd.activity,
+        ld_eff,
+        vdd: opt.vdd().value(),
+        vth: opt.vth().value(),
+        ptot_uw: opt.ptot().value() * 1e6,
+        eq13_uw,
+    })
+}
+
+/// Ab-initio characterization of an explicit architecture subset,
+/// sharded across the `optpower-explore` worker pool.
+///
+/// Each architecture is one work item: workers steal whole
+/// characterizations (the expensive, wildly size-varying unit), and
+/// results come back in input order. The output is bit-identical for
+/// any worker count — every item is an independent deterministic
+/// computation; the pool only decides *who* runs it.
+///
+/// # Errors
+///
+/// Propagates the first [`ModelError`] in input order.
+pub fn characterize_parallel(
+    archs: &[Architecture],
+    flavor: Flavor,
+    items: u64,
+    seed: u64,
+    workers: Workers,
+) -> Result<Vec<AbInitioRow>, ModelError> {
     let lib = Library::cmos13();
     let tech = Technology::stm_cmos09(flavor);
     let freq = Hertz::new(31.25e6);
-    let mut rows = Vec::with_capacity(Architecture::ALL.len());
-    for arch in Architecture::ALL {
-        let design = arch
-            .generate(16)
-            .expect("16-bit generators are structurally valid");
-        let stats = NetlistStats::measure(&design.netlist, &lib);
-        let sta = TimingAnalysis::analyze(&design.netlist, &lib);
-        let timed = measure_activity(
-            &design.netlist,
-            &lib,
-            Engine::Timed,
-            items,
-            design.cycles_per_item,
-            4,
-            seed,
-        );
-        let zd = measure_activity(
-            &design.netlist,
-            &lib,
-            Engine::ZeroDelay,
-            items,
-            design.cycles_per_item,
-            4,
-            seed,
-        );
-        let ld_eff = design.effective_logical_depth(sta.logical_depth());
-        let params = ArchParams::builder(arch.paper_name())
-            .cells(stats.logic_cells as u32)
-            .activity(timed.activity)
-            .logical_depth(ld_eff)
-            .cap_per_cell(Farads::new(stats.avg_switched_cap_f))
-            .area(SquareMicrons::new(stats.area_um2))
-            .build()?;
-        let model = PowerModel::from_technology(tech, params, freq)?;
-        let opt = model.optimize()?;
-        let eq13_uw = model
-            .closed_form()
-            .map(|cf| cf.ptot.value() * 1e6)
-            .unwrap_or(f64::NAN);
-        rows.push(AbInitioRow {
-            arch,
-            cells: stats.logic_cells,
-            area_um2: stats.area_um2,
-            activity: timed.activity,
-            activity_zero_delay: zd.activity,
-            ld_eff,
-            vdd: opt.vdd().value(),
-            vth: opt.vth().value(),
-            ptot_uw: opt.ptot().value() * 1e6,
-            eq13_uw,
-        });
-    }
-    Ok(rows)
+    let n_workers = workers.resolve(archs.len());
+    par_map(archs, n_workers, |&arch| {
+        characterize_architecture(arch, &lib, tech, freq, items, seed)
+    })
+    .into_iter()
+    .collect()
+}
+
+/// [`characterize_parallel`] over all thirteen architectures of
+/// Table 1, in table order.
+///
+/// # Errors
+///
+/// Propagates the first [`ModelError`] in table order.
+pub fn characterize_all_parallel(
+    flavor: Flavor,
+    items: u64,
+    seed: u64,
+    workers: Workers,
+) -> Result<Vec<AbInitioRow>, ModelError> {
+    characterize_parallel(&Architecture::ALL, flavor, items, seed, workers)
 }
 
 /// Renders the ab-initio table in the paper's Table 1 layout.
@@ -200,6 +274,28 @@ mod tests {
         let s = render_ab_initio(&rows());
         for arch in Architecture::ALL {
             assert!(s.contains(arch.paper_name()));
+        }
+    }
+
+    #[test]
+    fn parallel_characterization_is_worker_count_invariant() {
+        // The pool only schedules; the rows must be bit-identical for
+        // any worker count (compare a cheap two-architecture subset).
+        let archs = [Architecture::Sequential, Architecture::Rca];
+        let serial =
+            characterize_parallel(&archs, Flavor::LowLeakage, 20, 3, Workers::Fixed(1)).unwrap();
+        let parallel =
+            characterize_parallel(&archs, Flavor::LowLeakage, 20, 3, Workers::Fixed(8)).unwrap();
+        assert_eq!(serial.len(), 2);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.arch, p.arch);
+            assert_eq!(s.cells, p.cells);
+            assert_eq!(s.activity.to_bits(), p.activity.to_bits());
+            assert_eq!(
+                s.activity_zero_delay.to_bits(),
+                p.activity_zero_delay.to_bits()
+            );
+            assert_eq!(s.ptot_uw.to_bits(), p.ptot_uw.to_bits());
         }
     }
 }

@@ -1,8 +1,43 @@
 //! Prints the ab-initio Table 1' (all parameters measured from our own
 //! netlists/simulator; no calibration against the paper).
+//!
+//! Architectures are characterized in parallel across all cores, with
+//! the bit-parallel engine providing the glitch-free baseline.
+//!
+//! Usage: `ab_initio [--smoke] [--workers N]`
+//!
+//! * `--smoke` — characterize just one array (RCA) and one sequential
+//!   architecture with a reduced stimulus volume; the CI smoke gate.
+//! * `--workers N` — pin the worker pool (default: all cores).
+
+use optpower_explore::Workers;
+use optpower_mult::Architecture;
+use optpower_report::{characterize_parallel, render_ab_initio};
 use optpower_tech::Flavor;
+
 fn main() -> Result<(), optpower::ModelError> {
-    let rows = optpower_report::ab_initio_table(Flavor::LowLeakage, 200, 42)?;
-    println!("{}", optpower_report::render_ab_initio(&rows));
+    let mut smoke = false;
+    let mut workers = Workers::Auto;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--workers" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers needs an integer");
+                workers = Workers::Fixed(n);
+            }
+            other => panic!("unknown argument {other:?} (try --smoke / --workers N)"),
+        }
+    }
+    let (archs, items): (&[Architecture], u64) = if smoke {
+        (&[Architecture::Rca, Architecture::Sequential], 60)
+    } else {
+        (&Architecture::ALL, 200)
+    };
+    let rows = characterize_parallel(archs, Flavor::LowLeakage, items, 42, workers)?;
+    println!("{}", render_ab_initio(&rows));
     Ok(())
 }

@@ -27,7 +27,10 @@ pub mod extended;
 mod figures;
 mod render;
 
-pub use abinitio::{ab_initio_table, render_ab_initio, AbInitioRow};
+pub use abinitio::{
+    ab_initio_table, characterize_all_parallel, characterize_architecture, characterize_parallel,
+    render_ab_initio, AbInitioRow,
+};
 pub use calibrated::{render_rows, table1, table1_parallel, table2, table3, table4, RowComparison};
 pub use figures::{
     figure1, figure2, figure34, render_figure1, render_figure2, render_figure34, Figure1,

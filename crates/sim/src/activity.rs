@@ -1,18 +1,37 @@
 //! Activity extraction: the paper's `a` factor from random stimulus.
+//!
+//! # Determinism across engines
+//!
+//! The stimulus sequence is defined *once*, by [`StimulusGen`], as a
+//! pure function of `(seed, a_width, b_width)`. The scalar engines
+//! ([`Engine::ZeroDelay`], [`Engine::Timed`]) consume that single
+//! stream; [`Engine::BitParallel`] runs 64 streams whose seeds come
+//! from [`lane_seed`], with lane 0 being the base seed. Consequences,
+//! locked down by the tests below and `tests/sim_differential.rs`:
+//!
+//! * the same `seed` applies the same operands to `ZeroDelay` and
+//!   `Timed`, so their activities differ only by glitches;
+//! * a `BitParallel` measurement is *bit-identical* — transition counts
+//!   included — to the sum of 64 scalar `ZeroDelay` measurements
+//!   seeded with `lane_seed(seed, 0..64)`.
 
 use optpower_netlist::{Library, Netlist};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-use crate::{bus_inputs, TimedSim, ZeroDelaySim};
+use crate::bit_parallel::LANES;
+use crate::bus::{lane_seed, StimulusGen};
+use crate::{bus_inputs, BitParallelSim, TimedSim, ZeroDelaySim};
 
 /// Which engine to measure with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Engine {
-    /// Zero-delay (glitch-free) counting.
+    /// Zero-delay (glitch-free) counting, one stimulus stream.
     ZeroDelay,
     /// Event-driven with library delays (counts glitches).
     Timed,
+    /// 64 zero-delay lanes at once ([`BitParallelSim`]): ~64× the
+    /// stimulus volume of [`Engine::ZeroDelay`] per unit time, with
+    /// identical per-lane semantics.
+    BitParallel,
 }
 
 /// Result of an activity measurement.
@@ -23,13 +42,14 @@ pub struct ActivityReport {
     pub activity: f64,
     /// Total logic transitions counted over the measurement window.
     pub transitions: u64,
-    /// Number of data items applied (excluding warm-up).
+    /// Number of data items measured (excluding warm-up). For
+    /// [`Engine::BitParallel`] this is 64× the per-lane item count.
     pub items: u64,
     /// Logic cell count `N` used for normalisation.
     pub cells: usize,
 }
 
-/// Minimal driving interface shared by the two engines.
+/// Minimal driving interface shared by the scalar engines.
 trait Drive {
     fn set_bits(&mut self, prefix: &str, value: u64);
     fn advance(&mut self);
@@ -60,6 +80,76 @@ impl Drive for ZeroDelaySim<'_> {
     }
 }
 
+/// An engine bound to its stimulus source(s): what [`run`] needs to
+/// apply one data item. Keeping this as one enum means the measurement
+/// protocol itself (warm-up windowing, reset pulse, hold cycles) exists
+/// exactly once, in [`run`], for every engine.
+enum Driver<'s, 'n> {
+    /// A scalar engine consuming the single base-seed stream.
+    Scalar {
+        sim: &'s mut dyn Drive,
+        stim: StimulusGen,
+    },
+    /// The bit-parallel engine consuming 64 lane-seeded streams.
+    Lanes {
+        sim: Box<BitParallelSim<'n>>,
+        stims: Vec<StimulusGen>,
+    },
+}
+
+impl Driver<'_, '_> {
+    /// Number of stimulus streams one protocol item covers.
+    fn lanes(&self) -> u64 {
+        match self {
+            Driver::Scalar { .. } => 1,
+            Driver::Lanes { .. } => LANES as u64,
+        }
+    }
+
+    fn set_rst(&mut self, high: bool) {
+        match self {
+            Driver::Scalar { sim, .. } => sim.set_bits("rst", u64::from(high)),
+            Driver::Lanes { sim, .. } => sim.set_input_bits_all_lanes("rst", u64::from(high)),
+        }
+    }
+
+    /// Draws the next operand pair from every stream and applies it.
+    fn apply_operands(&mut self) {
+        match self {
+            Driver::Scalar { sim, stim } => {
+                let (a, b) = stim.next_item();
+                sim.set_bits("a", a);
+                sim.set_bits("b", b);
+            }
+            Driver::Lanes { sim, stims } => {
+                let mut a_lanes = [0u64; LANES];
+                let mut b_lanes = [0u64; LANES];
+                for (lane, stim) in stims.iter_mut().enumerate() {
+                    let (a, b) = stim.next_item();
+                    a_lanes[lane] = a;
+                    b_lanes[lane] = b;
+                }
+                sim.set_input_bits_lanes("a", &a_lanes);
+                sim.set_input_bits_lanes("b", &b_lanes);
+            }
+        }
+    }
+
+    fn advance(&mut self) {
+        match self {
+            Driver::Scalar { sim, .. } => sim.advance(),
+            Driver::Lanes { sim, .. } => sim.step(),
+        }
+    }
+
+    fn transitions(&self) -> u64 {
+        match self {
+            Driver::Scalar { sim, .. } => sim.logic_transitions_so_far(),
+            Driver::Lanes { sim, .. } => sim.logic_transitions(),
+        }
+    }
+}
+
 /// Measures switching activity with uniform random operands on the
 /// input buses `a` and `b`.
 ///
@@ -69,7 +159,9 @@ impl Drive for ZeroDelaySim<'_> {
 /// held stable for that many cycles.
 ///
 /// The first `warmup` items are simulated but not counted (they flush
-/// `X` state and pipeline bubbles).
+/// `X` state and pipeline bubbles). For [`Engine::BitParallel`],
+/// `items` and `warmup` count *per-lane* items: the report covers
+/// `64 × items` measured items for the cost of one zero-delay pass.
 ///
 /// # Panics
 ///
@@ -96,69 +188,74 @@ pub fn measure_activity(
     }
     match engine {
         Engine::Timed => run(
-            &mut TimedSim::new(netlist, library),
-            a_w,
-            b_w,
+            Driver::Scalar {
+                sim: &mut TimedSim::new(netlist, library),
+                stim: StimulusGen::new(seed, a_w, b_w),
+            },
             cells,
             items,
             cycles_per_item,
             warmup,
-            seed,
             has_rst,
         ),
         Engine::ZeroDelay => run(
-            &mut ZeroDelaySim::new(netlist),
-            a_w,
-            b_w,
+            Driver::Scalar {
+                sim: &mut ZeroDelaySim::new(netlist),
+                stim: StimulusGen::new(seed, a_w, b_w),
+            },
             cells,
             items,
             cycles_per_item,
             warmup,
-            seed,
+            has_rst,
+        ),
+        Engine::BitParallel => run(
+            Driver::Lanes {
+                sim: Box::new(BitParallelSim::new(netlist)),
+                stims: (0..LANES as u32)
+                    .map(|lane| StimulusGen::new(lane_seed(seed, lane), a_w, b_w))
+                    .collect(),
+            },
+            cells,
+            items,
+            cycles_per_item,
+            warmup,
             has_rst,
         ),
     }
 }
 
-#[allow(clippy::too_many_arguments)]
+/// The measurement protocol, shared by every engine: warm-up items are
+/// simulated but fall outside the counting window, designs with a
+/// `rst` bus get it pulsed for the first item only, and each item's
+/// operands are held for `cycles_per_item` clock cycles.
 fn run(
-    sim: &mut dyn Drive,
-    a_w: u32,
-    b_w: u32,
+    mut driver: Driver<'_, '_>,
     cells: usize,
     items: u64,
     cycles_per_item: u32,
     warmup: u64,
-    seed: u64,
     has_rst: bool,
 ) -> ActivityReport {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mask = |w: u32| {
-        if w >= 64 {
-            u64::MAX
-        } else {
-            (1u64 << w) - 1
-        }
-    };
     let mut window_start = 0u64;
     for item in 0..(warmup + items) {
         if item == warmup {
-            window_start = sim.logic_transitions_so_far();
+            window_start = driver.transitions();
         }
         if has_rst {
-            sim.set_bits("rst", u64::from(item == 0));
+            driver.set_rst(item == 0);
         }
-        sim.set_bits("a", rng.gen::<u64>() & mask(a_w));
-        sim.set_bits("b", rng.gen::<u64>() & mask(b_w));
+        driver.apply_operands();
         for _ in 0..cycles_per_item.max(1) {
-            sim.advance();
+            driver.advance();
         }
     }
-    let transitions = sim.logic_transitions_so_far() - window_start;
+    let transitions = driver.transitions() - window_start;
+    let measured = items * driver.lanes();
     ActivityReport {
-        activity: transitions as f64 / (items as f64 * cells as f64),
+        activity: transitions as f64 / (measured as f64 * cells as f64),
         transitions,
-        items,
+        items: measured,
         cells,
     }
 }
@@ -214,9 +311,11 @@ mod tests {
     fn deterministic_given_seed() {
         let nl = small_design();
         let lib = Library::cmos13();
-        let r1 = measure_activity(&nl, &lib, Engine::Timed, 100, 1, 2, 123);
-        let r2 = measure_activity(&nl, &lib, Engine::Timed, 100, 1, 2, 123);
-        assert_eq!(r1, r2);
+        for engine in [Engine::Timed, Engine::ZeroDelay, Engine::BitParallel] {
+            let r1 = measure_activity(&nl, &lib, engine, 100, 1, 2, 123);
+            let r2 = measure_activity(&nl, &lib, engine, 100, 1, 2, 123);
+            assert_eq!(r1, r2, "{engine:?}");
+        }
     }
 
     #[test]
@@ -237,5 +336,49 @@ mod tests {
         let r1 = measure_activity(&nl, &lib, Engine::Timed, 150, 1, 2, 9);
         let r4 = measure_activity(&nl, &lib, Engine::Timed, 150, 4, 2, 9);
         assert!((r1.activity - r4.activity).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bit_parallel_equals_sum_of_64_scalar_runs() {
+        // The headline contract: transitions of one BitParallel run ==
+        // the sum over 64 ZeroDelay runs seeded with the lane seeds.
+        let nl = small_design();
+        let lib = Library::cmos13();
+        let bp = measure_activity(&nl, &lib, Engine::BitParallel, 50, 1, 3, 99);
+        let scalar_sum: u64 = (0..LANES as u32)
+            .map(|lane| {
+                measure_activity(&nl, &lib, Engine::ZeroDelay, 50, 1, 3, lane_seed(99, lane))
+                    .transitions
+            })
+            .sum();
+        assert_eq!(bp.transitions, scalar_sum);
+        assert_eq!(bp.items, 50 * LANES as u64);
+    }
+
+    #[test]
+    fn bit_parallel_lane0_sees_the_scalar_stream() {
+        // Same seed => the scalar ZeroDelay measurement is exactly the
+        // lane-0 slice of the BitParallel measurement.
+        let nl = small_design();
+        let lib = Library::cmos13();
+        let zd = measure_activity(&nl, &lib, Engine::ZeroDelay, 80, 1, 2, 7);
+        let lane0 = measure_activity(&nl, &lib, Engine::ZeroDelay, 80, 1, 2, lane_seed(7, 0));
+        assert_eq!(zd, lane0);
+    }
+
+    #[test]
+    fn bit_parallel_activity_is_a_per_item_average() {
+        // Sanity: activity stays in the scalar neighbourhood — it is
+        // normalised per measured item, not inflated 64×.
+        let nl = small_design();
+        let lib = Library::cmos13();
+        let zd = measure_activity(&nl, &lib, Engine::ZeroDelay, 400, 1, 2, 21);
+        let bp = measure_activity(&nl, &lib, Engine::BitParallel, 50, 1, 2, 21);
+        assert!(
+            (zd.activity - bp.activity).abs() < 0.15,
+            "zd {} vs bp {}",
+            zd.activity,
+            bp.activity
+        );
     }
 }

@@ -1,0 +1,636 @@
+//! The 64-lane bit-parallel zero-delay engine.
+//!
+//! Packs 64 *independent* stimulus streams into one `u64` word per net
+//! and evaluates every cell's three-valued semantics with plain bitwise
+//! ops, so one topological pass advances 64 simulations at once. All
+//! operations are lane-local (no carries, no shifts across lanes), so
+//! lane `L` of a [`BitParallelSim`] run is *bit-identical* — values and
+//! transition counts — to a scalar [`crate::ZeroDelaySim`] run driven
+//! with lane `L`'s stimulus. `tests/sim_differential.rs` locks this
+//! equivalence down over random netlists and the full multiplier suite.
+//!
+//! Three-valued logic uses a two-plane encoding per net word:
+//!
+//! | plane | lane bit means |
+//! |-------|----------------|
+//! | `ones` | value is known `1` |
+//! | `unk`  | value is `X` |
+//!
+//! with the invariant `ones & unk == 0`; a lane with neither bit set is
+//! a known `0`. Controlling values still force known outputs through
+//! `X` exactly as [`optpower_netlist::Logic`] does (e.g. `And2(0, X) =
+//! 0`), because the known-zero and known-one planes are computed
+//! independently and `X` is whatever neither plane claims.
+
+use optpower_netlist::{CellId, CellKind, Logic, Netlist};
+
+use crate::bus::{bus_inputs, bus_outputs, decode_bus};
+
+/// Number of independent stimulus lanes packed into each net word.
+pub const LANES: usize = 64;
+
+/// One 64-lane three-valued word (two-plane encoding, see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct Word {
+    /// Lanes whose value is a known `1`.
+    ones: u64,
+    /// Lanes whose value is `X` (disjoint from `ones`).
+    unk: u64,
+}
+
+impl Word {
+    /// All lanes `X`.
+    const X: Word = Word {
+        ones: 0,
+        unk: u64::MAX,
+    };
+
+    /// All lanes the same known value.
+    fn splat(value: bool) -> Word {
+        Word {
+            ones: if value { u64::MAX } else { 0 },
+            unk: 0,
+        }
+    }
+
+    /// Lanes whose value is a known `0`.
+    #[inline]
+    fn zeros(self) -> u64 {
+        !self.ones & !self.unk
+    }
+
+    /// The three-valued value of one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64` — a masked shift would silently alias
+    /// `lane % 64` otherwise.
+    #[inline]
+    fn lane(self, lane: usize) -> Logic {
+        assert!(lane < LANES, "lane {lane} out of range (0..{LANES})");
+        if (self.unk >> lane) & 1 == 1 {
+            Logic::X
+        } else if (self.ones >> lane) & 1 == 1 {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Builds a word from per-lane known/one planes, normalising the
+    /// `ones & unk == 0` invariant.
+    #[inline]
+    fn from_planes(ones: u64, zeros: u64) -> Word {
+        debug_assert_eq!(ones & zeros, 0, "a lane cannot be both 0 and 1");
+        Word {
+            ones,
+            unk: !(ones | zeros),
+        }
+    }
+}
+
+/// Lane-parallel [`CellKind::eval`]: each output lane equals the scalar
+/// three-valued evaluation of that lane's inputs.
+#[inline]
+fn eval_word(kind: CellKind, ins: &[Word]) -> Word {
+    match kind {
+        CellKind::Input => Word::X,
+        CellKind::Const0 => Word::splat(false),
+        CellKind::Const1 => Word::splat(true),
+        CellKind::Output | CellKind::Buf | CellKind::Dff => ins[0],
+        CellKind::Inv => Word::from_planes(ins[0].zeros(), ins[0].ones),
+        CellKind::And2 => and2(ins[0], ins[1]),
+        CellKind::Nand2 => {
+            let w = and2(ins[0], ins[1]);
+            Word::from_planes(w.zeros(), w.ones)
+        }
+        CellKind::Or2 => or2(ins[0], ins[1]),
+        CellKind::Nor2 => {
+            let w = or2(ins[0], ins[1]);
+            Word::from_planes(w.zeros(), w.ones)
+        }
+        CellKind::Xor2 => xor2(ins[0], ins[1]),
+        CellKind::Xnor2 => {
+            let w = xor2(ins[0], ins[1]);
+            Word::from_planes(w.zeros(), w.ones)
+        }
+        CellKind::Xor3 => {
+            let unk = ins[0].unk | ins[1].unk | ins[2].unk;
+            Word {
+                ones: (ins[0].ones ^ ins[1].ones ^ ins[2].ones) & !unk,
+                unk,
+            }
+        }
+        CellKind::Maj3 => {
+            let (a, b, c) = (ins[0], ins[1], ins[2]);
+            // Known as soon as two inputs agree on a value.
+            let ones = (a.ones & b.ones) | (a.ones & c.ones) | (b.ones & c.ones);
+            let zeros = (a.zeros() & b.zeros()) | (a.zeros() & c.zeros()) | (b.zeros() & c.zeros());
+            Word::from_planes(ones, zeros)
+        }
+        CellKind::Mux2 => {
+            let (a, b, sel) = (ins[0], ins[1], ins[2]);
+            // sel=0 -> a, sel=1 -> b; X select known only where the
+            // data inputs agree on a known value.
+            let ones = (sel.zeros() & a.ones) | (sel.ones & b.ones) | (sel.unk & a.ones & b.ones);
+            let zeros = (sel.zeros() & a.zeros())
+                | (sel.ones & b.zeros())
+                | (sel.unk & a.zeros() & b.zeros());
+            Word::from_planes(ones, zeros)
+        }
+    }
+}
+
+#[inline]
+fn and2(a: Word, b: Word) -> Word {
+    Word::from_planes(a.ones & b.ones, a.zeros() | b.zeros())
+}
+
+#[inline]
+fn or2(a: Word, b: Word) -> Word {
+    Word::from_planes(a.ones | b.ones, a.zeros() & b.zeros())
+}
+
+#[inline]
+fn xor2(a: Word, b: Word) -> Word {
+    let unk = a.unk | b.unk;
+    Word {
+        ones: (a.ones ^ b.ones) & !unk,
+        unk,
+    }
+}
+
+/// 64-lane per-cycle functional simulator: the step semantics of
+/// [`crate::ZeroDelaySim`] (DFFs clock simultaneously, then one
+/// topological pass; glitch-free), applied to 64 independent stimulus
+/// lanes at once for ~64× stimulus throughput per core.
+///
+/// Transition counting matches the scalar engine per lane: a lane
+/// counts one transition when a logic cell's output toggles between two
+/// *known* values; `X`↔known changes are free, exactly as in
+/// [`crate::ZeroDelaySim`].
+///
+/// # Examples
+///
+/// ```
+/// use optpower_netlist::{CellKind, NetlistBuilder};
+/// use optpower_sim::BitParallelSim;
+///
+/// let mut b = NetlistBuilder::new("inv");
+/// let x = b.add_input("x0");
+/// let y = b.add_cell(CellKind::Inv, &[x]);
+/// b.add_output("y0", y);
+/// let nl = b.build()?;
+///
+/// let mut sim = BitParallelSim::new(&nl);
+/// // Lane 0 drives 0, lane 1 drives 1, the rest drive 0.
+/// let mut lanes = [0u64; 64];
+/// lanes[1] = 1;
+/// sim.set_input_bits_lanes("x", &lanes);
+/// sim.step();
+/// assert_eq!(sim.output_bits_lane("y", 0), Some(1));
+/// assert_eq!(sim.output_bits_lane("y", 1), Some(0));
+/// # Ok::<(), optpower_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitParallelSim<'n> {
+    netlist: &'n Netlist,
+    /// Current packed value of every net.
+    values: Vec<Word>,
+    /// Pending primary-input words applied at the next step.
+    input_next: Vec<Word>,
+    /// `true` for cells counted in the transition totals (logic cells).
+    is_logic: Vec<bool>,
+    /// The sequential cells, precomputed so [`BitParallelSim::step`]
+    /// does not rescan the whole cell list every cycle.
+    dffs: Vec<CellId>,
+    /// Reusable buffer for the pre-edge D words (two-phase capture).
+    dff_scratch: Vec<Word>,
+    /// Total known↔known transitions across all lanes (logic cells).
+    transitions_total: u64,
+    /// Per-lane known↔known transition counts (logic cells).
+    lane_transitions: [u64; LANES],
+    cycle: u64,
+}
+
+impl<'n> BitParallelSim<'n> {
+    /// Creates a simulator with every net at `X` in every lane.
+    pub fn new(netlist: &'n Netlist) -> Self {
+        let dffs: Vec<CellId> = netlist
+            .cells()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.kind.is_sequential())
+            .map(|(i, _)| CellId(i as u32))
+            .collect();
+        let dff_scratch = Vec::with_capacity(dffs.len());
+        Self {
+            netlist,
+            values: vec![Word::X; netlist.nets().len()],
+            input_next: vec![Word::X; netlist.cells().len()],
+            is_logic: netlist.logic_mask(),
+            dffs,
+            dff_scratch,
+            transitions_total: 0,
+            lane_transitions: [0; LANES],
+            cycle: 0,
+        }
+    }
+
+    /// The netlist under simulation.
+    pub fn netlist(&self) -> &'n Netlist {
+        self.netlist
+    }
+
+    /// Number of [`BitParallelSim::step`]s executed.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Sets one primary input to per-lane levels given as two planes:
+    /// bit `L` of `ones` drives lane `L` to `1`, otherwise to `0`
+    /// (takes effect at the next step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is not a primary-input cell.
+    pub fn set_input_lanes(&mut self, input: CellId, ones: u64) {
+        assert!(
+            self.netlist.cell(input).kind == CellKind::Input,
+            "{input:?} is not a primary input"
+        );
+        self.input_next[input.index()] = Word { ones, unk: 0 };
+    }
+
+    /// Sets an entire input bus `{prefix}{0..}` from 64 per-lane
+    /// integers: lane `L` of the bus is driven with `values[L]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no `{prefix}0` input exists.
+    pub fn set_input_bits_lanes(&mut self, prefix: &str, values: &[u64; LANES]) {
+        let bus = bus_inputs(self.netlist, prefix);
+        assert!(!bus.is_empty(), "no input bus named {prefix}*");
+        for (bit, id) in bus.into_iter().enumerate() {
+            // Transpose: gather bit `bit` of every lane's value.
+            let mut ones = 0u64;
+            for (lane, &v) in values.iter().enumerate() {
+                ones |= ((v >> bit) & 1) << lane;
+            }
+            self.set_input_lanes(id, ones);
+        }
+    }
+
+    /// Sets an entire input bus to the *same* integer in every lane
+    /// (shared control signals such as `rst`).
+    pub fn set_input_bits_all_lanes(&mut self, prefix: &str, value: u64) {
+        let bus = bus_inputs(self.netlist, prefix);
+        assert!(!bus.is_empty(), "no input bus named {prefix}*");
+        for (bit, id) in bus.into_iter().enumerate() {
+            let ones = if (value >> bit) & 1 == 1 { u64::MAX } else { 0 };
+            self.set_input_lanes(id, ones);
+        }
+    }
+
+    /// Current value of a net in one lane.
+    pub fn value(&self, net: optpower_netlist::NetId, lane: usize) -> Logic {
+        self.values[net.index()].lane(lane)
+    }
+
+    /// Decodes an output bus `{prefix}{0..}` in one lane; `None` if any
+    /// bit of that lane is `X`.
+    pub fn output_bits_lane(&self, prefix: &str, lane: usize) -> Option<u64> {
+        let bus = bus_outputs(self.netlist, prefix);
+        if bus.is_empty() {
+            return None;
+        }
+        let bits: Vec<Logic> = bus
+            .iter()
+            .map(|&id| self.values[self.netlist.cell(id).inputs[0].index()].lane(lane))
+            .collect();
+        decode_bus(&bits)
+    }
+
+    /// Advances one clock cycle in every lane: clocks every DFF
+    /// (capturing the D word settled in the previous cycle), applies
+    /// pending inputs, then evaluates the combinational core once in
+    /// topological order — the exact step semantics of
+    /// [`crate::ZeroDelaySim`], 64 lanes at a time.
+    pub fn step(&mut self) {
+        // 1. Sample every D pin first (pre-edge words; DFF-to-DFF
+        // chains must not see this cycle's Q), then update all Q
+        // outputs. The scratch buffer is reused across steps.
+        let dffs = core::mem::take(&mut self.dffs);
+        let mut scratch = core::mem::take(&mut self.dff_scratch);
+        scratch.clear();
+        scratch.extend(
+            dffs.iter()
+                .map(|&id| self.values[self.netlist.cell(id).inputs[0].index()]),
+        );
+        for (&id, &q) in dffs.iter().zip(scratch.iter()) {
+            self.write(id, q);
+        }
+        self.dffs = dffs;
+        self.dff_scratch = scratch;
+        // 2. Apply primary inputs.
+        let netlist = self.netlist;
+        for &id in netlist.primary_inputs() {
+            let w = self.input_next[id.index()];
+            self.write(id, w);
+        }
+        // 3. One topological pass over the combinational core.
+        let mut ins = [Word::X; 3];
+        for &id in self.netlist.topo_order() {
+            let cell = self.netlist.cell(id);
+            match cell.kind {
+                CellKind::Input | CellKind::Dff => {} // already updated
+                _ => {
+                    for (slot, net) in ins.iter_mut().zip(cell.inputs.iter()) {
+                        *slot = self.values[net.index()];
+                    }
+                    let out = eval_word(cell.kind, &ins[..cell.inputs.len()]);
+                    self.write(id, out);
+                }
+            }
+        }
+        self.cycle += 1;
+    }
+
+    #[inline]
+    fn write(&mut self, id: CellId, value: Word) {
+        let net = self.netlist.cell(id).output;
+        let old = self.values[net.index()];
+        if old != value {
+            if self.is_logic[id.index()] {
+                // A lane transitions when both the old and new values
+                // are known and the level actually toggles. `ones` is 0
+                // on X lanes (invariant), so the XOR is exact.
+                let mut toggled = (old.ones ^ value.ones) & !old.unk & !value.unk;
+                self.transitions_total += u64::from(toggled.count_ones());
+                while toggled != 0 {
+                    let lane = toggled.trailing_zeros() as usize;
+                    self.lane_transitions[lane] += 1;
+                    toggled &= toggled - 1;
+                }
+            }
+            self.values[net.index()] = value;
+        }
+    }
+
+    /// Total known↔known transitions of logic-cell outputs, summed over
+    /// all 64 lanes.
+    pub fn logic_transitions(&self) -> u64 {
+        self.transitions_total
+    }
+
+    /// Per-lane known↔known transitions of logic-cell outputs: entry
+    /// `L` equals [`crate::ZeroDelaySim::logic_transitions`] of a
+    /// scalar run driven with lane `L`'s stimulus.
+    pub fn lane_logic_transitions(&self) -> &[u64; LANES] {
+        &self.lane_transitions
+    }
+
+    /// Resets the transition counters (e.g. after warm-up cycles).
+    pub fn reset_transitions(&mut self) {
+        self.transitions_total = 0;
+        self.lane_transitions = [0; LANES];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ZeroDelaySim;
+    use optpower_netlist::NetlistBuilder;
+    use Logic::{One, Zero, X};
+
+    /// Every 1/2/3-input kind, every three-valued input combination:
+    /// each lane of `eval_word` equals the scalar `CellKind::eval`.
+    #[test]
+    fn eval_word_matches_scalar_eval_exhaustively() {
+        let levels = [Zero, One, X];
+        let word_of = |v: Logic, lane: usize| -> Word {
+            let mut w = Word::splat(false);
+            match v {
+                Zero => {}
+                One => w.ones |= 1 << lane,
+                X => w.unk |= 1 << lane,
+            }
+            w
+        };
+        for kind in CellKind::ALL {
+            let arity = kind.arity();
+            let combos = 3usize.pow(arity as u32);
+            for combo in 0..combos {
+                let mut scalar_ins = Vec::with_capacity(arity);
+                let mut c = combo;
+                for _ in 0..arity {
+                    scalar_ins.push(levels[c % 3]);
+                    c /= 3;
+                }
+                // Spread the same combo over a few lanes, including the
+                // top lane, to catch shift/sign mistakes.
+                for lane in [0usize, 1, 31, 63] {
+                    let words: Vec<Word> = scalar_ins.iter().map(|&v| word_of(v, lane)).collect();
+                    let got = eval_word(kind, &words).lane(lane);
+                    let want = kind.eval(&scalar_ins);
+                    // Input cells: scalar eval returns X; eval_word is
+                    // never called on them in `step`, but keep parity.
+                    assert_eq!(got, want, "{kind} {scalar_ins:?} lane {lane}");
+                    // Off-combo lanes saw all-known-0 inputs: they must
+                    // hold the all-zero evaluation, not leak lane data.
+                    if lane != 0 {
+                        let zero_ins = vec![Zero; arity];
+                        assert_eq!(
+                            eval_word(kind, &words).lane(0),
+                            kind.eval(&zero_ins),
+                            "{kind} cross-lane leak"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn word_invariant_holds_after_eval() {
+        let a = Word {
+            ones: 0b0110,
+            unk: 0b1000,
+        };
+        let b = Word {
+            ones: 0b0101,
+            unk: 0b0010,
+        };
+        for kind in [
+            CellKind::And2,
+            CellKind::Nand2,
+            CellKind::Or2,
+            CellKind::Nor2,
+            CellKind::Xor2,
+            CellKind::Xnor2,
+        ] {
+            let w = eval_word(kind, &[a, b]);
+            assert_eq!(w.ones & w.unk, 0, "{kind}");
+        }
+    }
+
+    fn full_adder() -> Netlist {
+        let mut b = NetlistBuilder::new("fa");
+        let a = b.add_input("a0");
+        let x = b.add_input("b0");
+        let c = b.add_input("c0");
+        let s = b.add_cell(CellKind::Xor3, &[a, x, c]);
+        let co = b.add_cell(CellKind::Maj3, &[a, x, c]);
+        b.add_output("p0", s);
+        b.add_output("p1", co);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn all_eight_adder_rows_in_one_step() {
+        // The classic bit-parallel win: the whole truth table at once.
+        let nl = full_adder();
+        let mut sim = BitParallelSim::new(&nl);
+        let mut a = [0u64; LANES];
+        let mut b = [0u64; LANES];
+        let mut c = [0u64; LANES];
+        for lane in 0..8 {
+            a[lane] = (lane as u64) & 1;
+            b[lane] = (lane as u64 >> 1) & 1;
+            c[lane] = (lane as u64 >> 2) & 1;
+        }
+        sim.set_input_bits_lanes("a", &a);
+        sim.set_input_bits_lanes("b", &b);
+        sim.set_input_bits_lanes("c", &c);
+        sim.step();
+        for lane in 0..8 {
+            let sum = a[lane] + b[lane] + c[lane];
+            assert_eq!(sim.output_bits_lane("p", lane), Some(sum), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn outputs_are_x_before_inputs_arrive() {
+        let nl = full_adder();
+        let mut sim = BitParallelSim::new(&nl);
+        sim.step();
+        assert_eq!(sim.output_bits_lane("p", 0), None);
+        assert_eq!(sim.output_bits_lane("p", 63), None);
+    }
+
+    #[test]
+    fn dff_delays_by_one_cycle_in_every_lane() {
+        let mut b = NetlistBuilder::new("reg");
+        let d = b.add_input("a0");
+        let q = b.add_cell(CellKind::Dff, &[d]);
+        b.add_output("p0", q);
+        let nl = b.build().unwrap();
+        let mut sim = BitParallelSim::new(&nl);
+        let mut lanes = [0u64; LANES];
+        lanes[5] = 1;
+        lanes[63] = 1;
+        sim.set_input_bits_lanes("a", &lanes);
+        sim.step(); // q captured pre-edge X
+        assert_eq!(sim.output_bits_lane("p", 5), None);
+        sim.step(); // q captures the lane values
+        assert_eq!(sim.output_bits_lane("p", 5), Some(1));
+        assert_eq!(sim.output_bits_lane("p", 0), Some(0));
+        assert_eq!(sim.output_bits_lane("p", 63), Some(1));
+    }
+
+    #[test]
+    fn lane_transitions_match_scalar_runs() {
+        // Drive 4 lanes with different streams; each lane's count must
+        // equal a dedicated scalar run, and the total must be the sum.
+        let nl = full_adder();
+        let streams: [[u64; 5]; 4] = [
+            [0b000, 0b111, 0b000, 0b111, 0b000],
+            [0b001, 0b001, 0b001, 0b001, 0b001],
+            [0b010, 0b101, 0b011, 0b100, 0b110],
+            [0b111, 0b000, 0b101, 0b010, 0b111],
+        ];
+        let mut bp = BitParallelSim::new(&nl);
+        for t in 0..streams[0].len() {
+            let mut a = [0u64; LANES];
+            let mut b = [0u64; LANES];
+            let mut c = [0u64; LANES];
+            for (lane, s) in streams.iter().enumerate() {
+                a[lane] = s[t] & 1;
+                b[lane] = (s[t] >> 1) & 1;
+                c[lane] = (s[t] >> 2) & 1;
+            }
+            bp.set_input_bits_lanes("a", &a);
+            bp.set_input_bits_lanes("b", &b);
+            bp.set_input_bits_lanes("c", &c);
+            bp.step();
+        }
+        let mut sum = 0;
+        for (lane, s) in streams.iter().enumerate() {
+            let mut zd = ZeroDelaySim::new(&nl);
+            for &v in s {
+                zd.set_input_bits("a", v & 1);
+                zd.set_input_bits("b", (v >> 1) & 1);
+                zd.set_input_bits("c", (v >> 2) & 1);
+                zd.step();
+            }
+            assert_eq!(
+                bp.lane_logic_transitions()[lane],
+                zd.logic_transitions(),
+                "lane {lane}"
+            );
+            sum += zd.logic_transitions();
+        }
+        // Undriven lanes (constant all-zero inputs) still settle once
+        // from X, which is free in both engines.
+        let mut zd = ZeroDelaySim::new(&nl);
+        for _ in 0..streams[0].len() {
+            zd.set_input_bits("a", 0);
+            zd.set_input_bits("b", 0);
+            zd.set_input_bits("c", 0);
+            zd.step();
+        }
+        sum += (LANES as u64 - 4) * zd.logic_transitions();
+        assert_eq!(bp.logic_transitions(), sum);
+    }
+
+    #[test]
+    fn reset_transitions_clears_all_lanes() {
+        let nl = full_adder();
+        let mut sim = BitParallelSim::new(&nl);
+        let mut a = [0u64; LANES];
+        sim.set_input_bits_lanes("a", &a);
+        sim.set_input_bits_lanes("b", &a);
+        sim.set_input_bits_lanes("c", &a);
+        sim.step();
+        a.iter_mut().for_each(|v| *v = 1);
+        sim.set_input_bits_lanes("a", &a);
+        sim.step();
+        assert!(sim.logic_transitions() > 0);
+        sim.reset_transitions();
+        assert_eq!(sim.logic_transitions(), 0);
+        assert!(sim.lane_logic_transitions().iter().all(|&t| t == 0));
+    }
+
+    #[test]
+    fn shared_control_bus_drives_every_lane() {
+        let mut b = NetlistBuilder::new("mux");
+        let rst = b.add_input("rst0");
+        let one = b.add_cell(CellKind::Const1, &[]);
+        let zero = b.add_cell(CellKind::Const0, &[]);
+        let m = b.add_cell(CellKind::Mux2, &[one, zero, rst]);
+        b.add_output("p0", m);
+        let nl = b.build().unwrap();
+        let mut sim = BitParallelSim::new(&nl);
+        sim.set_input_bits_all_lanes("rst", 1);
+        sim.step();
+        for lane in [0usize, 17, 63] {
+            assert_eq!(sim.output_bits_lane("p", lane), Some(0), "lane {lane}");
+        }
+        sim.set_input_bits_all_lanes("rst", 0);
+        sim.step();
+        for lane in [0usize, 17, 63] {
+            assert_eq!(sim.output_bits_lane("p", lane), Some(1), "lane {lane}");
+        }
+    }
+}

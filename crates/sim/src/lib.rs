@@ -1,20 +1,33 @@
 //! Gate-level simulation for the `optpower` ab-initio flow.
 //!
 //! Replaces the paper's ModelSIM timing-annotated netlist simulation.
-//! Two engines share the netlist's three-valued cell semantics:
+//! Three engines share the netlist's three-valued cell semantics:
 //!
 //! * [`ZeroDelaySim`] — per-cycle functional evaluation in topological
 //!   order; at most one transition per cell per cycle (glitch-free).
-//!   Used for functional verification of the multipliers and as the
-//!   glitch-free activity baseline.
+//!   The *authoritative* engine for functional verification of the
+//!   multipliers and the reference semantics the other engines are
+//!   checked against.
 //! * [`TimedSim`] — event-driven simulation with per-cell transport
 //!   delays from the [`optpower_netlist::Library`]; counts *every*
 //!   output transition, so unbalanced path delays produce the glitch
-//!   activity the paper observes on diagonal pipelines.
+//!   activity the paper observes on diagonal pipelines. Authoritative
+//!   for the paper's activity factor `a` (glitches included).
+//! * [`BitParallelSim`] — 64 zero-delay simulations at once, one
+//!   stimulus lane per bit of a `u64` word per net, evaluated with
+//!   plain bitwise ops. Authoritative for nothing by fiat: each lane is
+//!   *bit-identical* to a [`ZeroDelaySim`] run (values and transition
+//!   counts — `tests/sim_differential.rs` enforces this), it is simply
+//!   ~64× faster per stimulus vector. Use it wherever glitch-free
+//!   statistics are wanted at scale, e.g. the ab-initio glitch-free
+//!   activity baseline.
 //!
-//! [`measure_activity`] runs random stimulus through either engine and
+//! [`measure_activity`] runs random stimulus through any engine and
 //! returns the paper's activity factor
-//! `a = transitions per data period / N`.
+//! `a = transitions per data period / N`. The stimulus stream is
+//! defined once by [`StimulusGen`] — the same seed drives the same
+//! operands into every engine ([`lane_seed`] defines the 64 per-lane
+//! streams of the bit-parallel engine, with lane 0 = the base seed).
 //!
 //! # Examples
 //!
@@ -40,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod activity;
+mod bit_parallel;
 mod bus;
 mod timed;
 mod vcd;
@@ -47,8 +61,11 @@ mod verify;
 mod zero_delay;
 
 pub use activity::{measure_activity, ActivityReport, Engine};
-pub use bus::{bus_inputs, bus_outputs, decode_bus, encode_bus};
+pub use bit_parallel::{BitParallelSim, LANES};
+pub use bus::{
+    bus_inputs, bus_outputs, decode_bus, encode_bus, lane_seed, width_mask, StimulusGen,
+};
 pub use timed::TimedSim;
-pub use vcd::VcdRecorder;
+pub use vcd::{parse_vcd, LaneProbe, NetProbe, VcdDump, VcdRecorder};
 pub use verify::{verify_product, VerifyOutcome};
 pub use zero_delay::ZeroDelaySim;

@@ -114,6 +114,11 @@ impl<'n> TimedSim<'n> {
         }
     }
 
+    /// Current (settled) value of a net.
+    pub fn value(&self, net: NetId) -> Logic {
+        self.values[net.index()]
+    }
+
     /// Decodes an output bus `{prefix}{0..}`; `None` if any bit is `X`.
     pub fn output_bits(&self, prefix: &str) -> Option<u64> {
         let bus = bus_outputs(self.netlist, prefix);

@@ -1,0 +1,85 @@
+//! Golden-model property tests: every one of the thirteen
+//! architectures multiplies 16-bit operands exactly like the `u64`
+//! reference product, honouring each variant's latency protocol
+//! (`cycles_per_item` internal cycles per data item, constant
+//! pipeline/parallelisation latency in items).
+
+use optpower_mult::Architecture;
+use optpower_sim::{verify_product, VerifyOutcome};
+use proptest::prelude::*;
+
+/// Latency bound generous enough for every variant: the deepest
+/// pipeline is 4 stages, parallel wrappers add distribution/collection
+/// registers, sequential controllers a result register.
+const MAX_LATENCY_ITEMS: u32 = 8;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random operand streams through the zero-delay sim equal the
+    /// reference product on every architecture, at some constant
+    /// per-architecture latency.
+    #[test]
+    fn all_architectures_compute_the_reference_product(seed in any::<u64>()) {
+        for arch in Architecture::ALL {
+            let design = arch.generate(16).unwrap();
+            let out = verify_product(
+                &design.netlist,
+                16,
+                design.cycles_per_item,
+                MAX_LATENCY_ITEMS,
+                seed,
+            );
+            prop_assert!(out.is_correct(), "{}: {:?}", arch, out);
+        }
+    }
+}
+
+/// The detected latency is a stable architectural property: the same
+/// architecture reports the same latency for different stimulus seeds.
+#[test]
+fn latency_protocol_is_seed_independent() {
+    for arch in Architecture::ALL {
+        let design = arch.generate(16).unwrap();
+        let latency_at = |seed: u64| match verify_product(
+            &design.netlist,
+            16,
+            design.cycles_per_item,
+            MAX_LATENCY_ITEMS,
+            seed,
+        ) {
+            VerifyOutcome::Correct { latency_items } => latency_items,
+            VerifyOutcome::Mismatch(m) => panic!("{arch}: {m}"),
+        };
+        assert_eq!(latency_at(3), latency_at(1234), "{arch}");
+    }
+}
+
+/// `cycles_per_item` matches the architecture family: combinational,
+/// pipelined and parallel designs accept one item per cycle; the
+/// sequential family needs its internal cycles.
+#[test]
+fn cycles_per_item_matches_family() {
+    for arch in Architecture::ALL {
+        let design = arch.generate(16).unwrap();
+        let expect = match arch {
+            Architecture::Sequential | Architecture::SeqParallel => 16,
+            Architecture::Seq4Wallace => 4,
+            _ => 1,
+        };
+        assert_eq!(design.cycles_per_item, expect, "{arch}");
+    }
+}
+
+/// Feeding a sequential design faster than its protocol (1 cycle per
+/// item instead of `cycles_per_item`) must break the product check —
+/// the latency protocol is load-bearing, not decorative.
+#[test]
+fn sequential_protocol_violation_is_detected() {
+    let design = Architecture::Sequential.generate(16).unwrap();
+    let out = verify_product(&design.netlist, 16, 1, MAX_LATENCY_ITEMS, 7);
+    assert!(
+        !out.is_correct(),
+        "1-cycle items must violate the sequential protocol"
+    );
+}

@@ -1,0 +1,189 @@
+//! Differential harness locking the bit-parallel engine to the scalar
+//! reference: `BitParallelSim` must be *bit-identical* — output values
+//! and transition counts, per lane — to 64 scalar `ZeroDelaySim` runs
+//! with the same per-lane seeds, on random netlists and on the full
+//! 13-architecture multiplier suite; and the zero-delay activity must
+//! lower-bound the timed activity on the same netlist and seed.
+
+use optpower_mult::Architecture;
+use optpower_netlist::{CellKind, Library, Netlist, NetlistBuilder};
+use optpower_sim::{
+    lane_seed, measure_activity, BitParallelSim, Engine, StimulusGen, ZeroDelaySim, LANES,
+};
+use proptest::prelude::*;
+
+/// Builds a random mixed combinational/sequential DAG with `a` and `b`
+/// input buses of two bits each, gate kinds and fan-ins drawn from
+/// `picks`, and the last four nets exposed as the `p` output bus.
+fn random_netlist(picks: &[(u8, u32, u32, u32)]) -> Netlist {
+    let mut b = NetlistBuilder::new("random");
+    let mut nets = Vec::new();
+    for i in 0..2 {
+        nets.push(b.add_input(format!("a{i}")));
+    }
+    for i in 0..2 {
+        nets.push(b.add_input(format!("b{i}")));
+    }
+    for &(kind_ix, x, y, z) in picks {
+        let kinds = [
+            CellKind::Buf,
+            CellKind::Inv,
+            CellKind::And2,
+            CellKind::Nand2,
+            CellKind::Or2,
+            CellKind::Nor2,
+            CellKind::Xor2,
+            CellKind::Xnor2,
+            CellKind::Mux2,
+            CellKind::Xor3,
+            CellKind::Maj3,
+            CellKind::Dff,
+        ];
+        let kind = kinds[kind_ix as usize % kinds.len()];
+        let pick = |v: u32| nets[v as usize % nets.len()];
+        let ins: Vec<_> = match kind.arity() {
+            1 => vec![pick(x)],
+            2 => vec![pick(x), pick(y)],
+            _ => vec![pick(x), pick(y), pick(z)],
+        };
+        nets.push(b.add_cell(kind, &ins));
+    }
+    for (i, net) in nets.iter().rev().take(4).enumerate() {
+        b.add_output(format!("p{i}"), *net);
+    }
+    b.build().expect("random DAG is valid by construction")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Per-lane differential: driving the bit-parallel engine with 64
+    /// seeded stimulus streams yields, in every lane, exactly the
+    /// output values and transition counts of a dedicated scalar
+    /// zero-delay run on that lane's stream.
+    #[test]
+    fn bit_parallel_lanes_are_bit_identical_to_scalar_runs(
+        picks in prop::collection::vec((any::<u8>(), any::<u32>(), any::<u32>(), any::<u32>()), 5..40),
+        seed in any::<u64>(),
+        items in 2u64..8,
+    ) {
+        let nl = random_netlist(&picks);
+        // Bit-parallel run: all 64 lanes at once.
+        let mut bp = BitParallelSim::new(&nl);
+        let mut stims: Vec<StimulusGen> =
+            (0..LANES as u32).map(|l| StimulusGen::new(lane_seed(seed, l), 2, 2)).collect();
+        let mut bp_outputs: Vec<Vec<Option<u64>>> = vec![Vec::new(); LANES];
+        for _ in 0..items {
+            let mut a = [0u64; LANES];
+            let mut b = [0u64; LANES];
+            for (lane, stim) in stims.iter_mut().enumerate() {
+                let (av, bv) = stim.next_item();
+                a[lane] = av;
+                b[lane] = bv;
+            }
+            bp.set_input_bits_lanes("a", &a);
+            bp.set_input_bits_lanes("b", &b);
+            bp.step();
+            for (lane, outs) in bp_outputs.iter_mut().enumerate() {
+                outs.push(bp.output_bits_lane("p", lane));
+            }
+        }
+        // 64 scalar runs on the same per-lane streams.
+        let mut total = 0u64;
+        for (lane, lane_outs) in bp_outputs.iter().enumerate() {
+            let mut zd = ZeroDelaySim::new(&nl);
+            let mut stim = StimulusGen::new(lane_seed(seed, lane as u32), 2, 2);
+            for (t, bp_out) in lane_outs.iter().enumerate() {
+                let (av, bv) = stim.next_item();
+                zd.set_input_bits("a", av);
+                zd.set_input_bits("b", bv);
+                zd.step();
+                prop_assert_eq!(
+                    *bp_out,
+                    zd.output_bits("p"),
+                    "lane {} item {}", lane, t
+                );
+            }
+            prop_assert_eq!(
+                bp.lane_logic_transitions()[lane],
+                zd.logic_transitions(),
+                "lane {} transition count", lane
+            );
+            total += zd.logic_transitions();
+        }
+        prop_assert_eq!(bp.logic_transitions(), total);
+    }
+
+    /// The same contract through the public measurement API: one
+    /// bit-parallel activity measurement equals the sum of 64 scalar
+    /// zero-delay measurements over the lane seeds.
+    #[test]
+    fn measured_activity_is_the_sum_of_lane_measurements(
+        picks in prop::collection::vec((any::<u8>(), any::<u32>(), any::<u32>(), any::<u32>()), 5..30),
+        seed in any::<u64>(),
+    ) {
+        let nl = random_netlist(&picks);
+        let lib = Library::cmos13();
+        let bp = measure_activity(&nl, &lib, Engine::BitParallel, 6, 1, 2, seed);
+        let scalar_sum: u64 = (0..LANES as u32)
+            .map(|l| {
+                measure_activity(&nl, &lib, Engine::ZeroDelay, 6, 1, 2, lane_seed(seed, l))
+                    .transitions
+            })
+            .sum();
+        prop_assert_eq!(bp.transitions, scalar_sum);
+    }
+
+    /// Glitches only add transitions: on any netlist and seed, the
+    /// glitch-free (zero-delay) activity lower-bounds the timed one.
+    #[test]
+    fn zero_delay_activity_lower_bounds_timed(
+        picks in prop::collection::vec((any::<u8>(), any::<u32>(), any::<u32>(), any::<u32>()), 5..40),
+        seed in any::<u64>(),
+    ) {
+        let nl = random_netlist(&picks);
+        let lib = Library::cmos13();
+        let zd = measure_activity(&nl, &lib, Engine::ZeroDelay, 8, 1, 2, seed);
+        let timed = measure_activity(&nl, &lib, Engine::Timed, 8, 1, 2, seed);
+        prop_assert!(
+            timed.transitions >= zd.transitions,
+            "timed {} < zero-delay {}", timed.transitions, zd.transitions
+        );
+    }
+}
+
+/// Acceptance criterion: on every one of the thirteen multiplier
+/// architectures, the bit-parallel transition count is bit-identical to
+/// the sum of 64 seeded scalar zero-delay runs.
+#[test]
+fn full_architecture_suite_is_bit_identical() {
+    let lib = Library::cmos13();
+    for arch in Architecture::ALL {
+        let design = arch.generate(16).unwrap();
+        let bp = measure_activity(
+            &design.netlist,
+            &lib,
+            Engine::BitParallel,
+            3,
+            design.cycles_per_item,
+            2,
+            9,
+        );
+        let scalar_sum: u64 = (0..LANES as u32)
+            .map(|l| {
+                measure_activity(
+                    &design.netlist,
+                    &lib,
+                    Engine::ZeroDelay,
+                    3,
+                    design.cycles_per_item,
+                    2,
+                    lane_seed(9, l),
+                )
+                .transitions
+            })
+            .sum();
+        assert_eq!(bp.transitions, scalar_sum, "{arch}");
+        assert_eq!(bp.items, 3 * LANES as u64, "{arch}");
+    }
+}
