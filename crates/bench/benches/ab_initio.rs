@@ -22,12 +22,16 @@ fn bench_ab_initio(c: &mut Criterion) {
     c.bench_function("ab_initio/timed_activity_rca16_20items", |b| {
         b.iter_batched(
             || (),
-            |()| measure_activity(&rca.netlist, &lib, Engine::Timed, 20, 1, 2, 42),
+            |()| {
+                measure_activity(&rca.netlist, &lib, Engine::Timed, 20, 1, 2, 42).expect("measures")
+            },
             BatchSize::SmallInput,
         )
     });
     c.bench_function("ab_initio/zero_delay_activity_rca16_20items", |b| {
-        b.iter(|| measure_activity(&rca.netlist, &lib, Engine::ZeroDelay, 20, 1, 2, 42))
+        b.iter(|| {
+            measure_activity(&rca.netlist, &lib, Engine::ZeroDelay, 20, 1, 2, 42).expect("measures")
+        })
     });
 }
 

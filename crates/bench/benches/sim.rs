@@ -1,15 +1,29 @@
-//! Scalar vs bit-parallel activity measurement on a Wallace-tree
-//! netlist — the hot loop of the ab-initio characterization.
+//! Activity-measurement throughput on a Wallace-tree netlist — the
+//! hot loops of the ab-initio characterization.
 //!
-//! Both engines measure the *same total stimulus volume* (640 vectors):
-//! the scalar zero-delay engine runs 640 items on one stream, the
-//! bit-parallel engine runs 10 items across 64 lanes. The ids use the
-//! `serial_core`/`parallel` naming so `scripts/parse_bench.py` derives
-//! the speedup pair the CI bench job tracks (acceptance: ≥ 10×).
-//! Equivalence of the two engines' counts is asserted by
-//! `tests/sim_differential.rs`; here only the clock runs.
+//! Two speedup pairs use the `serial_core`/`parallel` id convention so
+//! `scripts/parse_bench.py` derives the ratios the CI bench job
+//! tracks:
+//!
+//! * `wallace16_640v` — glitch-free path: scalar zero-delay engine vs
+//!   the 64-lane bit-parallel engine at the same total stimulus volume
+//!   (640 vectors; acceptance ≥ 10×).
+//! * `timed_wallace16_640v` — glitch path: the frozen scalar timed
+//!   reference (binary heap, per-event allocations, one stream of 640
+//!   vectors) vs the pooled event-wheel engine (8 lane-seeded streams
+//!   × 80 vectors across the worker pool) at the same total stimulus
+//!   volume (acceptance ≥ 5×; single-core machines see the pure
+//!   engine ratio, every extra worker multiplies it).
+//!
+//! The `timed_scalar`/`timed_wheel` rows isolate the engine rebuild
+//! itself (identical single-stream workloads, no pooling): what the
+//! integer-tick bucket wheel + allocation-free propagation bought
+//! before any threads enter the picture. Equivalence of all engines'
+//! counts is asserted by `tests/sim_differential.rs` and
+//! `tests/timed_differential.rs`; here only the clock runs.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use optpower_explore::{measure_timed_activity_pooled, TimedPoolConfig, Workers};
 use optpower_mult::Architecture;
 use optpower_netlist::Library;
 use optpower_sim::{measure_activity, Engine, LANES};
@@ -20,43 +34,88 @@ fn bench_activity_measurement(c: &mut Criterion) {
     let total_vectors = 640u64;
     c.bench_function("sim/serial_core/wallace16_640v", |b| {
         b.iter(|| {
-            black_box(measure_activity(
-                &design.netlist,
-                &lib,
-                Engine::ZeroDelay,
-                total_vectors,
-                1,
-                2,
-                42,
-            ))
+            black_box(
+                measure_activity(
+                    &design.netlist,
+                    &lib,
+                    Engine::ZeroDelay,
+                    total_vectors,
+                    1,
+                    2,
+                    42,
+                )
+                .expect("measures"),
+            )
         })
     });
     c.bench_function("sim/parallel/wallace16_640v", |b| {
         b.iter(|| {
-            black_box(measure_activity(
-                &design.netlist,
-                &lib,
-                Engine::BitParallel,
-                total_vectors / LANES as u64,
-                1,
-                2,
-                42,
-            ))
+            black_box(
+                measure_activity(
+                    &design.netlist,
+                    &lib,
+                    Engine::BitParallel,
+                    total_vectors / LANES as u64,
+                    1,
+                    2,
+                    42,
+                )
+                .expect("measures"),
+            )
         })
     });
-    // Context row: the glitch-counting engine the timed activity
-    // column pays for (fewer items — event-driven is the slow path).
-    c.bench_function("sim/timed/wallace16_64v", |b| {
+    // Engine-only comparison: the frozen heap reference vs the event
+    // wheel on identical single-stream workloads.
+    c.bench_function("sim/timed_scalar/wallace16_64v", |b| {
         b.iter(|| {
-            black_box(measure_activity(
-                &design.netlist,
-                &lib,
-                Engine::Timed,
-                64,
-                1,
-                2,
-                42,
-            ))
+            black_box(
+                measure_activity(&design.netlist, &lib, Engine::TimedScalar, 64, 1, 2, 42)
+                    .expect("measures"),
+            )
+        })
+    });
+    c.bench_function("sim/timed_wheel/wallace16_64v", |b| {
+        b.iter(|| {
+            black_box(
+                measure_activity(&design.netlist, &lib, Engine::Timed, 64, 1, 2, 42)
+                    .expect("measures"),
+            )
+        })
+    });
+    // Acceptance pair: the full glitch-path rebuild (wheel engine +
+    // worker pool) vs the current scalar path at equal stimulus
+    // volume (640 vectors, matching the zero-delay pair).
+    let timed_vectors = 640u64;
+    c.bench_function("sim/serial_core/timed_wallace16_640v", |b| {
+        b.iter(|| {
+            black_box(
+                measure_activity(
+                    &design.netlist,
+                    &lib,
+                    Engine::TimedScalar,
+                    timed_vectors,
+                    1,
+                    2,
+                    42,
+                )
+                .expect("measures"),
+            )
+        })
+    });
+    let pooled_config = TimedPoolConfig {
+        lanes: 8,
+        items_per_lane: timed_vectors / 8,
+        cycles_per_item: 1,
+        warmup: 2,
+        seed: 42,
+        workers: Workers::Auto,
+    };
+    c.bench_function("sim/parallel/timed_wallace16_640v", |b| {
+        b.iter(|| {
+            black_box(
+                measure_timed_activity_pooled(&design.netlist, &lib, &pooled_config)
+                    .expect("measures"),
+            )
         })
     });
 }

@@ -69,6 +69,23 @@ impl Library {
         }
     }
 
+    /// A copy of the default library with every *logic* cell's delay
+    /// replaced by `delay_gates` (ports and constants stay free and
+    /// instantaneous). A test and diagnostics helper: the timed
+    /// engines validate library delays at construction, and this is
+    /// the easiest way to present them a degenerate (zero, huge, NaN)
+    /// delay profile.
+    pub fn with_uniform_delay(delay_gates: f64) -> Self {
+        let mut lib = Self::cmos13();
+        lib.name = "uniform-delay";
+        for (i, kind) in CellKind::ALL.iter().enumerate() {
+            if kind.is_logic() {
+                lib.specs[i].delay_gates = delay_gates;
+            }
+        }
+        lib
+    }
+
     /// Library name.
     pub fn name(&self) -> &'static str {
         self.name
@@ -174,5 +191,22 @@ mod tests {
     #[test]
     fn default_is_cmos13() {
         assert_eq!(Library::default(), Library::cmos13());
+    }
+
+    #[test]
+    fn uniform_delay_overrides_logic_cells_only() {
+        let lib = Library::with_uniform_delay(3.5);
+        for kind in CellKind::ALL {
+            if kind.is_logic() {
+                assert_eq!(lib.delay(kind), 3.5, "{kind}");
+            } else {
+                assert_eq!(lib.delay(kind), 0.0, "{kind}");
+            }
+        }
+        // Everything except delays matches the default library.
+        assert_eq!(
+            lib.area(CellKind::Xor2),
+            Library::cmos13().area(CellKind::Xor2)
+        );
     }
 }

@@ -5,20 +5,89 @@
 //! Characterization (netlist generation → STA `LD` → activity
 //! measurement → optimisation) is independent per architecture, so
 //! [`characterize_parallel`] shards the thirteen architectures across
-//! the `optpower-explore` worker pool, and the glitch-free baseline
-//! uses the 64-lane [`optpower_sim::BitParallelSim`] engine — 64×
-//! the stimulus volume of a scalar zero-delay run at the same cost.
+//! the `optpower-explore` worker pool. Both activity legs are
+//! parallel: the glitch-free baseline uses the 64-lane
+//! [`optpower_sim::BitParallelSim`] engine, and the glitch-counting
+//! leg shards [`TIMED_LANES`] lane-seeded event-wheel
+//! [`optpower_sim::TimedSim`] instances over the same pool
+//! ([`optpower_explore::measure_timed_activity_pooled`]) — the
+//! measured activity is worker-count invariant in both cases.
+//!
+//! The measured glitch factor `a(timed) / a(zero-delay)` per
+//! architecture then feeds the *glitch-aware design-space sweep*
+//! ([`glitch_aware_sweep`]): Table 1′ parameters — with activities
+//! actually measured, glitches included — swept over every STM CMOS09
+//! flavour and a log frequency axis on the exploration engine, with
+//! CSV/JSON export for both the characterization table and the sweep
+//! results.
 
+use core::fmt;
+
+use optpower::sweep::log_frequency_axis;
 use optpower::{ArchParams, ModelError, PowerModel};
-use optpower_explore::{par_map, Workers};
+use optpower_explore::{
+    explore, measure_timed_activity_pooled, par_map, ExploreConfig, Grid, ResultSet,
+    TimedPoolConfig, Workers,
+};
 use optpower_mult::Architecture;
 use optpower_netlist::{Library, NetlistStats};
-use optpower_sim::{measure_activity, Engine};
+use optpower_sim::{measure_activity, Engine, SimError};
 use optpower_sta::TimingAnalysis;
 use optpower_tech::{Flavor, Technology};
 use optpower_units::{Farads, Hertz, SquareMicrons};
 
 use crate::render::{fnum, Table};
+
+/// Stimulus lanes of the pooled timed (glitch-counting) measurement:
+/// the per-architecture item budget is split into this many
+/// lane-seeded independent streams so the slowest engine in the flow
+/// can use the worker pool. Part of the measurement definition — the
+/// result never depends on the worker count, only on the lane split.
+pub const TIMED_LANES: u32 = 8;
+
+/// Errors of the ab-initio flow: either the power model/optimiser
+/// failed, or a simulation failed — and then the error says *which*
+/// architecture's netlist was at fault (the typed replacement for the
+/// old in-library panic on oscillation).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AbInitioError {
+    /// Model building, calibration or optimisation failed.
+    Model(ModelError),
+    /// A simulation engine rejected or aborted an architecture's
+    /// netlist (invalid library delay, oscillation).
+    Sim {
+        /// The architecture whose netlist failed.
+        arch: Architecture,
+        /// The underlying simulation error.
+        source: SimError,
+    },
+}
+
+impl fmt::Display for AbInitioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Model(e) => write!(f, "{e}"),
+            Self::Sim { arch, source } => {
+                write!(f, "simulating {} failed: {source}", arch.paper_name())
+            }
+        }
+    }
+}
+
+impl std::error::Error for AbInitioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Model(e) => Some(e),
+            Self::Sim { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<ModelError> for AbInitioError {
+    fn from(e: ModelError) -> Self {
+        Self::Model(e)
+    }
+}
 
 /// One architecture's ab-initio measurement and optimisation result.
 #[derive(Debug, Clone)]
@@ -29,11 +98,14 @@ pub struct AbInitioRow {
     pub cells: usize,
     /// Measured area in µm².
     pub area_um2: f64,
-    /// Measured activity (timed engine, glitches included).
+    /// Measured activity (timed engine, glitches included; pooled
+    /// over [`TIMED_LANES`] lane-seeded streams).
     pub activity: f64,
     /// Measured glitch-free activity (bit-parallel engine: 64
     /// zero-delay stimulus lanes per item).
     pub activity_zero_delay: f64,
+    /// Measured average switched capacitance per cell \[F\].
+    pub cap_per_cell_f: f64,
     /// Effective logical depth per throughput period.
     pub ld_eff: f64,
     /// Optimal supply voltage \[V\].
@@ -47,20 +119,34 @@ pub struct AbInitioRow {
     pub eq13_uw: f64,
 }
 
+impl AbInitioRow {
+    /// The measured glitch amplification factor
+    /// `a(timed) / a(zero-delay)`: how much switching the
+    /// architecture's unbalanced path delays add on top of its
+    /// functional activity. ~1 for well-balanced trees, rising on deep
+    /// ripple arrays and diagonal pipeline cuts.
+    pub fn glitch_factor(&self) -> f64 {
+        self.activity / self.activity_zero_delay
+    }
+}
+
 /// Runs the full ab-initio flow for all thirteen architectures:
 /// generate → simulate (activity) → STA (LD) → library stats (N, C)
 /// → optimise at the paper's 31.25 MHz on the chosen flavour.
 ///
-/// `items` controls the random-stimulus volume (the paper used full
-/// testbench traces; 200+ items give stable activities — the
-/// glitch-free baseline additionally gets 64 stimulus lanes per item
-/// from the bit-parallel engine). Architectures are characterized in
-/// parallel on every available core; see [`characterize_parallel`] for
-/// the worker-count-independence contract.
+/// `items` controls the random-stimulus volume per architecture (the
+/// paper used full testbench traces; 200+ items give stable
+/// activities). The glitch-counting leg splits the budget over
+/// [`TIMED_LANES`] pooled event-wheel lanes; the glitch-free baseline
+/// gets 64 bit-parallel stimulus lanes per item. Architectures are
+/// characterized in parallel on every available core; see
+/// [`characterize_parallel`] for the worker-count-independence
+/// contract.
 ///
 /// # Errors
 ///
-/// Propagates [`ModelError`] from model building or optimisation.
+/// Propagates [`AbInitioError`] from simulation, model building or
+/// optimisation.
 ///
 /// # Panics
 ///
@@ -69,17 +155,21 @@ pub fn ab_initio_table(
     flavor: Flavor,
     items: u64,
     seed: u64,
-) -> Result<Vec<AbInitioRow>, ModelError> {
+) -> Result<Vec<AbInitioRow>, AbInitioError> {
     characterize_all_parallel(flavor, items, seed, Workers::Auto)
 }
 
 /// Ab-initio characterization of one architecture: generate → library
-/// stats (N, C) → STA (LD) → activity (timed + bit-parallel
+/// stats (N, C) → STA (LD) → activity (pooled timed + bit-parallel
 /// glitch-free) → optimise at `freq` on `tech`.
+///
+/// `timed_workers` is the worker policy for the pooled timed
+/// measurement only — it affects wall-clock, never the result.
 ///
 /// # Errors
 ///
-/// Propagates [`ModelError`] from model building or optimisation.
+/// Propagates [`AbInitioError`]; simulation failures carry the
+/// offending architecture.
 ///
 /// # Panics
 ///
@@ -92,21 +182,24 @@ pub fn characterize_architecture(
     freq: Hertz,
     items: u64,
     seed: u64,
-) -> Result<AbInitioRow, ModelError> {
+    timed_workers: Workers,
+) -> Result<AbInitioRow, AbInitioError> {
     let design = arch
         .generate(16)
         .expect("16-bit generators are structurally valid");
     let stats = NetlistStats::measure(&design.netlist, lib);
     let sta = TimingAnalysis::analyze(&design.netlist, lib);
-    let timed = measure_activity(
-        &design.netlist,
-        lib,
-        Engine::Timed,
-        items,
-        design.cycles_per_item,
-        4,
+    let sim_err = |source: SimError| AbInitioError::Sim { arch, source };
+    let timed_config = TimedPoolConfig {
+        lanes: TIMED_LANES,
+        items_per_lane: items.div_ceil(u64::from(TIMED_LANES)).max(1),
+        cycles_per_item: design.cycles_per_item,
+        warmup: 4,
         seed,
-    );
+        workers: timed_workers,
+    };
+    let timed =
+        measure_timed_activity_pooled(&design.netlist, lib, &timed_config).map_err(sim_err)?;
     let zd = measure_activity(
         &design.netlist,
         lib,
@@ -115,14 +208,14 @@ pub fn characterize_architecture(
         design.cycles_per_item,
         4,
         seed,
-    );
+    )
+    .map_err(sim_err)?;
     let ld_eff = design.effective_logical_depth(sta.logical_depth());
     let params = ArchParams::builder(arch.paper_name())
         .cells(stats.logic_cells as u32)
         .activity(timed.activity)
         .logical_depth(ld_eff)
         .cap_per_cell(Farads::new(stats.avg_switched_cap_f))
-        .area(SquareMicrons::new(stats.area_um2))
         .build()?;
     let model = PowerModel::from_technology(tech, params, freq)?;
     let opt = model.optimize()?;
@@ -136,6 +229,7 @@ pub fn characterize_architecture(
         area_um2: stats.area_um2,
         activity: timed.activity,
         activity_zero_delay: zd.activity,
+        cap_per_cell_f: stats.avg_switched_cap_f,
         ld_eff,
         vdd: opt.vdd().value(),
         vth: opt.vth().value(),
@@ -147,28 +241,37 @@ pub fn characterize_architecture(
 /// Ab-initio characterization of an explicit architecture subset,
 /// sharded across the `optpower-explore` worker pool.
 ///
-/// Each architecture is one work item: workers steal whole
-/// characterizations (the expensive, wildly size-varying unit), and
-/// results come back in input order. The output is bit-identical for
-/// any worker count — every item is an independent deterministic
-/// computation; the pool only decides *who* runs it.
+/// The worker budget is split two levels deep: whole architectures
+/// are stolen by the outer pool (the expensive, wildly size-varying
+/// unit), and each architecture's pooled timed measurement gets the
+/// remaining workers for its [`TIMED_LANES`] stimulus lanes — so a
+/// few very slow netlists (the 61-deep RCA, the sequential cores)
+/// cannot serialise the tail of the sweep. Results come back in input
+/// order and are bit-identical for any worker count — every lane and
+/// every architecture is an independent deterministic computation;
+/// the pools only decide *who* runs them.
 ///
 /// # Errors
 ///
-/// Propagates the first [`ModelError`] in input order.
+/// Propagates the first [`AbInitioError`] in input order.
 pub fn characterize_parallel(
     archs: &[Architecture],
     flavor: Flavor,
     items: u64,
     seed: u64,
     workers: Workers,
-) -> Result<Vec<AbInitioRow>, ModelError> {
+) -> Result<Vec<AbInitioRow>, AbInitioError> {
     let lib = Library::cmos13();
     let tech = Technology::stm_cmos09(flavor);
     let freq = Hertz::new(31.25e6);
-    let n_workers = workers.resolve(archs.len());
-    par_map(archs, n_workers, |&arch| {
-        characterize_architecture(arch, &lib, tech, freq, items, seed)
+    let total = match workers {
+        Workers::Auto => optpower_explore::available_workers(),
+        Workers::Fixed(n) => n.max(1),
+    };
+    let outer = total.clamp(1, archs.len().max(1));
+    let timed_workers = Workers::Fixed((total / outer).max(1));
+    par_map(archs, outer, |&arch| {
+        characterize_architecture(arch, &lib, tech, freq, items, seed, timed_workers)
     })
     .into_iter()
     .collect()
@@ -179,20 +282,159 @@ pub fn characterize_parallel(
 ///
 /// # Errors
 ///
-/// Propagates the first [`ModelError`] in table order.
+/// Propagates the first [`AbInitioError`] in table order.
 pub fn characterize_all_parallel(
     flavor: Flavor,
     items: u64,
     seed: u64,
     workers: Workers,
-) -> Result<Vec<AbInitioRow>, ModelError> {
+) -> Result<Vec<AbInitioRow>, AbInitioError> {
     characterize_parallel(&Architecture::ALL, flavor, items, seed, workers)
 }
 
-/// Renders the ab-initio table in the paper's Table 1 layout.
+/// Which measured activity feeds a design-space sweep built from
+/// ab-initio rows — the "activity source" of the exploration engine's
+/// architecture axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivitySource {
+    /// Timed activity, glitches included: the physically honest
+    /// source, and what the paper's Table 1 reports.
+    MeasuredTimed,
+    /// Zero-delay activity: the counterfactual "no glitches" world.
+    /// Sweeping both sources prices the glitch cost in the design
+    /// space.
+    MeasuredZeroDelay,
+}
+
+/// Converts measured ab-initio rows into the exploration engine's
+/// [`ArchParams`] axis, drawing the activity from `source`.
+///
+/// # Errors
+///
+/// [`ModelError::InvalidArchParameter`] if a measured value is out of
+/// physical range (e.g. an activity of 0 from a degenerate stimulus
+/// volume).
+pub fn measured_arch_params(
+    rows: &[AbInitioRow],
+    source: ActivitySource,
+) -> Result<Vec<ArchParams>, ModelError> {
+    rows.iter()
+        .map(|r| {
+            let activity = match source {
+                ActivitySource::MeasuredTimed => r.activity,
+                ActivitySource::MeasuredZeroDelay => r.activity_zero_delay,
+            };
+            ArchParams::builder(r.arch.paper_name())
+                .cells(r.cells as u32)
+                .activity(activity)
+                .logical_depth(r.ld_eff)
+                .cap_per_cell(Farads::new(r.cap_per_cell_f))
+                .area(SquareMicrons::new(r.area_um2))
+                .build()
+        })
+        .collect()
+}
+
+/// A glitch-aware design-space sweep: the measured Table 1′
+/// parameters swept over all three STM CMOS09 flavours and a log
+/// frequency axis, once with glitch-inclusive activities and once
+/// with the glitch-free baseline.
+#[derive(Debug, Clone)]
+pub struct GlitchSweep {
+    /// The characterization rows the sweep was built from.
+    pub rows: Vec<AbInitioRow>,
+    /// The swept frequency axis.
+    pub frequencies: Vec<Hertz>,
+    /// Sweep results with measured timed (glitch-aware) activities,
+    /// in grid order (tech-major, frequency fastest).
+    pub glitch_aware: ResultSet,
+    /// The same grid with glitch-free (zero-delay) activities.
+    pub glitch_free: ResultSet,
+}
+
+impl GlitchSweep {
+    /// Total extra optimal power the glitches cost across all closed
+    /// points present in both sweeps, in watts — the design-space-wide
+    /// price of unbalanced path delays.
+    pub fn total_glitch_cost_w(&self) -> f64 {
+        self.glitch_aware
+            .records()
+            .iter()
+            .zip(self.glitch_free.records())
+            .filter_map(|(a, f)| Some(a.optimum()?.ptot().value() - f.optimum()?.ptot().value()))
+            .sum()
+    }
+}
+
+/// Runs the full glitch-aware sweep: characterize every architecture
+/// ([`characterize_all_parallel`] on `flavor` at 31.25 MHz for the
+/// table's optimal points), then sweep the measured parameters over
+/// all three flavours × `freq_points` log-spaced frequencies in
+/// `[1 MHz, 250 MHz]` on the exploration engine — once per
+/// [`ActivitySource`].
+///
+/// # Errors
+///
+/// Propagates [`AbInitioError`] from characterization or model
+/// building.
+pub fn glitch_aware_sweep(
+    flavor: Flavor,
+    items: u64,
+    seed: u64,
+    freq_points: usize,
+    workers: Workers,
+) -> Result<GlitchSweep, AbInitioError> {
+    let rows = characterize_all_parallel(flavor, items, seed, workers)?;
+    glitch_sweep_from_rows(rows, freq_points, workers)
+}
+
+/// Builds the glitch-aware and glitch-free sweeps from already
+/// characterized rows (so a caller can reuse one characterization for
+/// table rendering *and* the sweep).
+///
+/// # Errors
+///
+/// Propagates [`AbInitioError::Model`] for invalid measured
+/// parameters or an empty row set.
+pub fn glitch_sweep_from_rows(
+    rows: Vec<AbInitioRow>,
+    freq_points: usize,
+    workers: Workers,
+) -> Result<GlitchSweep, AbInitioError> {
+    if rows.is_empty() {
+        return Err(AbInitioError::Model(ModelError::InvalidCalibration {
+            reason: "glitch sweep needs at least one characterized architecture",
+        }));
+    }
+    let frequencies = log_frequency_axis(Hertz::new(1e6), Hertz::new(250e6), freq_points)
+        .map_err(AbInitioError::Model)?;
+    let config = ExploreConfig {
+        workers,
+        ..ExploreConfig::default()
+    };
+    let sweep_with = |source: ActivitySource| -> Result<ResultSet, AbInitioError> {
+        let grid = Grid::builder()
+            .technologies(Flavor::ALL.iter().map(|&fl| Technology::stm_cmos09(fl)))
+            .architectures(measured_arch_params(&rows, source)?)
+            .frequencies(frequencies.iter().copied())
+            .build()
+            .expect("all three axes are non-empty and validated");
+        Ok(explore(&grid, &config))
+    };
+    Ok(GlitchSweep {
+        glitch_aware: sweep_with(ActivitySource::MeasuredTimed)?,
+        glitch_free: sweep_with(ActivitySource::MeasuredZeroDelay)?,
+        rows,
+        frequencies,
+    })
+}
+
+/// Renders the ab-initio table in the paper's Table 1 layout, plus
+/// the measured glitch-factor column.
 pub fn render_ab_initio(rows: &[AbInitioRow]) -> String {
     let mut t = Table::new(&[
-        "arch", "N", "area", "a", "a(0d)", "LDeff", "Vdd", "Vth", "Ptot[uW]", "Eq13[uW]",
+        "arch", "N", "area", "a", "a(0d)", "glitch x", "LDeff", "Vdd", "Vth", "Ptot[uW]",
+        "Eq13[uW]",
     ]);
     for r in rows {
         t.row(&[
@@ -201,6 +443,7 @@ pub fn render_ab_initio(rows: &[AbInitioRow]) -> String {
             fnum(r.area_um2, 0),
             fnum(r.activity, 4),
             fnum(r.activity_zero_delay, 4),
+            fnum(r.glitch_factor(), 2),
             fnum(r.ld_eff, 1),
             fnum(r.vdd, 3),
             fnum(r.vth, 3),
@@ -213,6 +456,131 @@ pub fn render_ab_initio(rows: &[AbInitioRow]) -> String {
         ]);
     }
     format!("Table 1' - ab-initio flow (no calibration against the paper)\n{t}")
+}
+
+/// Renders the measured glitch factors as an ASCII bar figure — the
+/// per-architecture companion row to the paper's Figures 3/4 glitch
+/// observation, from the full 13-architecture characterization.
+pub fn render_glitch_factors(rows: &[AbInitioRow]) -> String {
+    let mut out =
+        String::from("Measured glitch factor a(timed) / a(zero-delay) per architecture\n");
+    let max = rows
+        .iter()
+        .map(AbInitioRow::glitch_factor)
+        .fold(1.0, f64::max);
+    for r in rows {
+        let g = r.glitch_factor();
+        let bar = "#".repeat(((g / max) * 40.0).round().max(1.0) as usize);
+        out.push_str(&format!(
+            "{:<16} {:>5} |{}\n",
+            r.arch.paper_name(),
+            fnum(g, 2),
+            bar
+        ));
+    }
+    out
+}
+
+/// Exports the characterization rows (glitch factor included) as CSV.
+pub fn glitch_rows_to_csv(rows: &[AbInitioRow]) -> String {
+    let mut out = String::from(
+        "arch,cells,area_um2,activity_timed,activity_zero_delay,glitch_factor,\
+         ld_eff,cap_per_cell_f,vdd_v,vth_v,ptot_uw,eq13_uw\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{:e},{:e},{:e},{:e},{:e},{:e},{:e},{:e},{:e},{}\n",
+            csv_field(r.arch.paper_name()),
+            r.cells,
+            r.area_um2,
+            r.activity,
+            r.activity_zero_delay,
+            r.glitch_factor(),
+            r.ld_eff,
+            r.cap_per_cell_f,
+            r.vdd,
+            r.vth,
+            r.ptot_uw,
+            if r.eq13_uw.is_nan() {
+                String::new()
+            } else {
+                format!("{:e}", r.eq13_uw)
+            },
+        ));
+    }
+    out
+}
+
+/// Exports the characterization rows as a JSON document
+/// (`{"schema":"optpower-abinitio/v1","rows":[…]}`), dependency-free
+/// like the `optpower-explore` exports.
+pub fn glitch_rows_to_json(rows: &[AbInitioRow]) -> String {
+    let mut out = String::from("{\"schema\":\"optpower-abinitio/v1\",\"rows\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"arch\":{},\"cells\":{},\"area_um2\":{},\"activity_timed\":{},\
+             \"activity_zero_delay\":{},\"glitch_factor\":{},\"ld_eff\":{},\
+             \"cap_per_cell_f\":{},\"vdd_v\":{},\"vth_v\":{},\"ptot_uw\":{},\
+             \"eq13_uw\":{}}}",
+            json_string(r.arch.paper_name()),
+            r.cells,
+            json_num(r.area_um2),
+            json_num(r.activity),
+            json_num(r.activity_zero_delay),
+            json_num(r.glitch_factor()),
+            json_num(r.ld_eff),
+            json_num(r.cap_per_cell_f),
+            json_num(r.vdd),
+            json_num(r.vth),
+            json_num(r.ptot_uw),
+            json_num(r.eq13_uw),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Quotes a CSV field when it contains a separator, quote or newline.
+/// (Architecture names are plain, but keep the export robust.)
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Encodes an `f64` as a JSON value: non-finite numbers (the undefined
+/// Eq. 13 closed form, a glitch factor over a zero baseline) have no
+/// JSON literal and become `null`.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Encodes a JSON string literal with the mandatory escapes.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]
@@ -262,6 +630,26 @@ mod tests {
     }
 
     #[test]
+    fn glitch_factors_are_physical() {
+        // Glitches only add switching: factor >= 1 (up to statistical
+        // noise) everywhere, and the deep ripple array glitches more
+        // than the balanced Wallace tree.
+        let rows = rows();
+        for r in &rows {
+            assert!(
+                r.glitch_factor() > 0.95,
+                "{}: {}",
+                r.arch,
+                r.glitch_factor()
+            );
+        }
+        assert!(
+            find(&rows, Architecture::Rca).glitch_factor()
+                > find(&rows, Architecture::Wallace).glitch_factor()
+        );
+    }
+
+    #[test]
     fn optimal_voltages_in_plausible_band() {
         for r in rows() {
             assert!(r.vdd > 0.2 && r.vdd < 1.3, "{}: vdd {}", r.arch, r.vdd);
@@ -271,15 +659,51 @@ mod tests {
 
     #[test]
     fn render_lists_all() {
-        let s = render_ab_initio(&rows());
+        let rows = rows();
+        let s = render_ab_initio(&rows);
         for arch in Architecture::ALL {
             assert!(s.contains(arch.paper_name()));
         }
+        assert!(s.contains("glitch x"));
+        let fig = render_glitch_factors(&rows);
+        for arch in Architecture::ALL {
+            assert!(fig.contains(arch.paper_name()));
+        }
+        assert!(fig.contains('#'));
+    }
+
+    #[test]
+    fn exports_cover_every_row() {
+        let rows = rows();
+        let csv = glitch_rows_to_csv(&rows);
+        assert_eq!(csv.lines().count(), 1 + rows.len());
+        assert!(csv.lines().next().unwrap().contains("glitch_factor"));
+        let json = glitch_rows_to_json(&rows);
+        assert!(json.starts_with("{\"schema\":\"optpower-abinitio/v1\""));
+        assert_eq!(json.matches("\"glitch_factor\":").count(), rows.len());
+        assert_eq!(json.matches("\"eq13_uw\":").count(), rows.len());
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+        // A row with an undefined closed form (NaN Eq. 13) must stay
+        // parseable JSON: the slot becomes `null`, never a bare token.
+        let mut nan_row = rows[0].clone();
+        nan_row.eq13_uw = f64::NAN;
+        let json = glitch_rows_to_json(&[nan_row]);
+        assert!(json.contains("\"eq13_uw\":null"));
+        assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn json_helpers_guard_the_edge_cases() {
+        assert_eq!(json_num(1.5), "1.5e0");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(f64::INFINITY), "null");
+        assert_eq!(json_string("RCA hor.pipe2"), "\"RCA hor.pipe2\"");
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
     }
 
     #[test]
     fn parallel_characterization_is_worker_count_invariant() {
-        // The pool only schedules; the rows must be bit-identical for
+        // The pools only schedule; the rows must be bit-identical for
         // any worker count (compare a cheap two-architecture subset).
         let archs = [Architecture::Sequential, Architecture::Rca];
         let serial =
@@ -297,5 +721,59 @@ mod tests {
             );
             assert_eq!(s.ptot_uw.to_bits(), p.ptot_uw.to_bits());
         }
+    }
+
+    #[test]
+    fn glitch_sweep_prices_glitches_in_the_design_space() {
+        // A cheap two-architecture sweep: measured glitch-aware optima
+        // must cost at least the glitch-free ones wherever both close.
+        let archs = [Architecture::Rca, Architecture::Wallace];
+        let rows = characterize_parallel(&archs, Flavor::LowLeakage, 30, 5, Workers::Auto).unwrap();
+        let sweep = glitch_sweep_from_rows(rows, 4, Workers::Auto).unwrap();
+        assert_eq!(sweep.frequencies.len(), 4);
+        assert_eq!(sweep.glitch_aware.len(), 3 * 2 * 4);
+        assert_eq!(sweep.glitch_free.len(), 3 * 2 * 4);
+        let mut compared = 0;
+        for (a, f) in sweep
+            .glitch_aware
+            .records()
+            .iter()
+            .zip(sweep.glitch_free.records())
+        {
+            assert_eq!(a.tech, f.tech);
+            assert_eq!(a.arch, f.arch);
+            if let (Some(pa), Some(pf)) = (a.optimum(), f.optimum()) {
+                assert!(
+                    pa.ptot().value() >= pf.ptot().value() * 0.999,
+                    "{}/{}: glitch-aware {} < glitch-free {}",
+                    a.tech,
+                    a.arch,
+                    pa.ptot().value(),
+                    pf.ptot().value()
+                );
+                compared += 1;
+            }
+        }
+        assert!(compared > 0, "no point closed in both sweeps");
+        assert!(sweep.total_glitch_cost_w() >= 0.0);
+    }
+
+    #[test]
+    fn glitch_sweep_rejects_empty_rows() {
+        let err = glitch_sweep_from_rows(Vec::new(), 3, Workers::Auto).unwrap_err();
+        assert!(matches!(err, AbInitioError::Model(_)));
+        assert!(err.to_string().contains("at least one"));
+    }
+
+    #[test]
+    fn measured_params_pick_the_requested_activity_source() {
+        let archs = [Architecture::Wallace];
+        let rows = characterize_parallel(&archs, Flavor::LowLeakage, 20, 9, Workers::Auto).unwrap();
+        let timed = measured_arch_params(&rows, ActivitySource::MeasuredTimed).unwrap();
+        let zd = measured_arch_params(&rows, ActivitySource::MeasuredZeroDelay).unwrap();
+        assert_eq!(timed[0].activity(), rows[0].activity);
+        assert_eq!(zd[0].activity(), rows[0].activity_zero_delay);
+        assert_eq!(timed[0].cells(), rows[0].cells as f64);
+        assert_eq!(timed[0].logical_depth(), rows[0].ld_eff);
     }
 }

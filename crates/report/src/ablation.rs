@@ -160,8 +160,10 @@ pub fn glitch_ablation(items: u64, seed: u64) -> Result<Vec<GlitchAblationRow>, 
         let stats = NetlistStats::measure(&design.netlist, &lib);
         let sta = TimingAnalysis::analyze(&design.netlist, &lib);
         let ld = design.effective_logical_depth(sta.logical_depth());
-        let timed = measure_activity(&design.netlist, &lib, Engine::Timed, items, 1, 4, seed);
-        let zd = measure_activity(&design.netlist, &lib, Engine::ZeroDelay, items, 1, 4, seed);
+        let timed = measure_activity(&design.netlist, &lib, Engine::Timed, items, 1, 4, seed)
+            .expect("valid library and acyclic netlist");
+        let zd = measure_activity(&design.netlist, &lib, Engine::ZeroDelay, items, 1, 4, seed)
+            .expect("zero-delay measurement cannot fail");
         let solve = |activity: f64| -> Result<f64, ModelError> {
             let params = ArchParams::builder(arch.paper_name())
                 .cells(stats.logic_cells as u32)

@@ -1,27 +1,48 @@
 //! Prints the ab-initio Table 1' (all parameters measured from our own
-//! netlists/simulator; no calibration against the paper).
+//! netlists/simulator; no calibration against the paper) and, on
+//! request, the glitch-aware design-space sweep built from it.
 //!
-//! Architectures are characterized in parallel across all cores, with
-//! the bit-parallel engine providing the glitch-free baseline.
+//! Architectures are characterized in parallel across all cores: the
+//! bit-parallel engine provides the glitch-free baseline and the
+//! pooled event-wheel timed engine the glitch-inclusive activity.
 //!
-//! Usage: `ab_initio [--smoke] [--workers N]`
+//! Usage: `ab_initio [--smoke] [--workers N] [--glitch-sweep] [--freq-points N]`
 //!
 //! * `--smoke` — characterize just one array (RCA) and one sequential
 //!   architecture with a reduced stimulus volume; the CI smoke gate.
 //! * `--workers N` — pin the worker pool (default: all cores).
+//! * `--glitch-sweep` — additionally sweep the measured parameters
+//!   (glitch-aware vs glitch-free activities) over all three flavours
+//!   × a log frequency axis, print the glitch-factor figure, and
+//!   write CSV/JSON artefacts under `target/optpower-artifacts/`.
+//! * `--freq-points N` — frequency-axis resolution of the sweep
+//!   (default 9; 3 with `--smoke`).
 
 use optpower_explore::Workers;
 use optpower_mult::Architecture;
-use optpower_report::{characterize_parallel, render_ab_initio};
+use optpower_report::{
+    characterize_parallel, glitch_rows_to_csv, glitch_rows_to_json, glitch_sweep_from_rows,
+    render_ab_initio, render_glitch_factors,
+};
 use optpower_tech::Flavor;
 
-fn main() -> Result<(), optpower::ModelError> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut smoke = false;
+    let mut glitch_sweep = false;
+    let mut freq_points: Option<usize> = None;
     let mut workers = Workers::Auto;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--glitch-sweep" => glitch_sweep = true,
+            "--freq-points" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--freq-points needs an integer");
+                freq_points = Some(n);
+            }
             "--workers" => {
                 let n = args
                     .next()
@@ -29,7 +50,10 @@ fn main() -> Result<(), optpower::ModelError> {
                     .expect("--workers needs an integer");
                 workers = Workers::Fixed(n);
             }
-            other => panic!("unknown argument {other:?} (try --smoke / --workers N)"),
+            other => panic!(
+                "unknown argument {other:?} \
+                 (try --smoke / --workers N / --glitch-sweep / --freq-points N)"
+            ),
         }
     }
     let (archs, items): (&[Architecture], u64) = if smoke {
@@ -39,5 +63,50 @@ fn main() -> Result<(), optpower::ModelError> {
     };
     let rows = characterize_parallel(archs, Flavor::LowLeakage, items, 42, workers)?;
     println!("{}", render_ab_initio(&rows));
+
+    if glitch_sweep {
+        let points = freq_points.unwrap_or(if smoke { 3 } else { 9 });
+        println!("{}", render_glitch_factors(&rows));
+        let sweep = glitch_sweep_from_rows(rows, points, workers)?;
+        let (ga, gf) = (sweep.glitch_aware.summary(), sweep.glitch_free.summary());
+        println!(
+            "Glitch-aware sweep: {} points ({} closed); glitch-free: {} closed; \
+             design-space glitch cost {:.2} uW over jointly closed points",
+            ga.points,
+            ga.closed,
+            gf.closed,
+            sweep.total_glitch_cost_w() * 1e6,
+        );
+        let dir = std::path::Path::new("target/optpower-artifacts");
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(
+            dir.join("abinitio_glitch.csv"),
+            glitch_rows_to_csv(&sweep.rows),
+        )?;
+        std::fs::write(
+            dir.join("abinitio_glitch.json"),
+            glitch_rows_to_json(&sweep.rows),
+        )?;
+        std::fs::write(
+            dir.join("sweep_glitch_aware.csv"),
+            sweep.glitch_aware.to_csv(),
+        )?;
+        std::fs::write(
+            dir.join("sweep_glitch_aware.json"),
+            sweep.glitch_aware.to_json(),
+        )?;
+        std::fs::write(
+            dir.join("sweep_glitch_free.csv"),
+            sweep.glitch_free.to_csv(),
+        )?;
+        std::fs::write(
+            dir.join("sweep_glitch_free.json"),
+            sweep.glitch_free.to_json(),
+        )?;
+        println!(
+            "wrote glitch characterization + sweep CSV/JSON to {}",
+            dir.display()
+        );
+    }
     Ok(())
 }

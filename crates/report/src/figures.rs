@@ -208,8 +208,12 @@ pub fn figure34(width: usize, items: u64) -> Result<Figure34, optpower_netlist::
         for stages in [2u32, 4] {
             let nl: Netlist = rca_pipelined(width, stages, style)?;
             let sta = TimingAnalysis::analyze(&nl, &lib);
-            let timed = measure_activity(&nl, &lib, Engine::Timed, items, 1, 4, 7);
-            let zd = measure_activity(&nl, &lib, Engine::ZeroDelay, items, 1, 4, 7);
+            // cmos13 delays are validated and pipelined arrays are
+            // loop-free, so the timed engine cannot fail here.
+            let timed = measure_activity(&nl, &lib, Engine::Timed, items, 1, 4, 7)
+                .expect("valid library and acyclic netlist");
+            let zd = measure_activity(&nl, &lib, Engine::ZeroDelay, items, 1, 4, 7)
+                .expect("zero-delay measurement cannot fail");
             summaries.push(StageSummary {
                 style: name,
                 stages,

@@ -29,7 +29,9 @@ mod render;
 
 pub use abinitio::{
     ab_initio_table, characterize_all_parallel, characterize_architecture, characterize_parallel,
-    render_ab_initio, AbInitioRow,
+    glitch_aware_sweep, glitch_rows_to_csv, glitch_rows_to_json, glitch_sweep_from_rows,
+    measured_arch_params, render_ab_initio, render_glitch_factors, AbInitioError, AbInitioRow,
+    ActivitySource, GlitchSweep, TIMED_LANES,
 };
 pub use calibrated::{render_rows, table1, table1_parallel, table2, table3, table4, RowComparison};
 pub use figures::{

@@ -4,30 +4,42 @@
 //!
 //! The stimulus sequence is defined *once*, by [`StimulusGen`], as a
 //! pure function of `(seed, a_width, b_width)`. The scalar engines
-//! ([`Engine::ZeroDelay`], [`Engine::Timed`]) consume that single
-//! stream; [`Engine::BitParallel`] runs 64 streams whose seeds come
-//! from [`lane_seed`], with lane 0 being the base seed. Consequences,
-//! locked down by the tests below and `tests/sim_differential.rs`:
+//! ([`Engine::ZeroDelay`], [`Engine::Timed`], [`Engine::TimedScalar`])
+//! consume that single stream; [`Engine::BitParallel`] runs 64 streams
+//! whose seeds come from [`lane_seed`], with lane 0 being the base
+//! seed. Consequences, locked down by the tests below,
+//! `tests/sim_differential.rs` and `tests/timed_differential.rs`:
 //!
 //! * the same `seed` applies the same operands to `ZeroDelay` and
 //!   `Timed`, so their activities differ only by glitches;
 //! * a `BitParallel` measurement is *bit-identical* — transition counts
 //!   included — to the sum of 64 scalar `ZeroDelay` measurements
-//!   seeded with `lane_seed(seed, 0..64)`.
+//!   seeded with `lane_seed(seed, 0..64)`;
+//! * a `Timed` (event-wheel) measurement is bit-identical to a
+//!   `TimedScalar` (frozen heap reference) measurement, and a pooled
+//!   timed measurement (`optpower_explore::measure_timed_activity_pooled`)
+//!   is bit-identical to the sum of per-lane scalar measurements for
+//!   any worker count.
 
-use optpower_netlist::{Library, Netlist};
+use optpower_netlist::{CellId, Library, Logic, Netlist};
 
 use crate::bit_parallel::LANES;
 use crate::bus::{lane_seed, StimulusGen};
-use crate::{bus_inputs, BitParallelSim, TimedSim, ZeroDelaySim};
+use crate::{bus_inputs, BitParallelSim, ScalarTimedSim, SimError, TimedSim, ZeroDelaySim};
 
 /// Which engine to measure with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Engine {
     /// Zero-delay (glitch-free) counting, one stimulus stream.
     ZeroDelay,
-    /// Event-driven with library delays (counts glitches).
+    /// Event-driven with library delays (counts glitches): the
+    /// production [`TimedSim`] on integer ticks and the event wheel.
     Timed,
+    /// The frozen pre-wheel timed reference ([`ScalarTimedSim`]):
+    /// binary-heap queue, per-event allocations. Bit-identical to
+    /// [`Engine::Timed`]; exists as the differential baseline and the
+    /// `timed_scalar` bench row.
+    TimedScalar,
     /// 64 zero-delay lanes at once ([`BitParallelSim`]): ~64× the
     /// stimulus volume of [`Engine::ZeroDelay`] per unit time, with
     /// identical per-lane semantics.
@@ -49,19 +61,66 @@ pub struct ActivityReport {
     pub cells: usize,
 }
 
-/// Minimal driving interface shared by the scalar engines.
+impl ActivityReport {
+    /// Combines independent per-lane measurements of the *same*
+    /// netlist into one report: transitions and items add, and the
+    /// activity is re-normalised over the combined window. The result
+    /// depends only on the multiset of inputs (integer sums), so any
+    /// parallel split over lanes is worker-count invariant by
+    /// construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reports` is empty or mixes different cell counts
+    /// (i.e. different netlists).
+    pub fn combine(reports: &[ActivityReport]) -> ActivityReport {
+        assert!(!reports.is_empty(), "nothing to combine");
+        let cells = reports[0].cells;
+        let mut transitions = 0u64;
+        let mut items = 0u64;
+        for r in reports {
+            assert_eq!(r.cells, cells, "reports cover different netlists");
+            transitions += r.transitions;
+            items += r.items;
+        }
+        ActivityReport {
+            activity: transitions as f64 / (items as f64 * cells as f64),
+            transitions,
+            items,
+            cells,
+        }
+    }
+}
+
+/// Minimal driving interface shared by the scalar engines. Buses are
+/// resolved to [`CellId`]s once per measurement (in
+/// [`measure_activity`]) and driven pin by pin — re-resolving the
+/// `{prefix}{bit}` names on every item would put string formatting on
+/// the measurement hot path.
 trait Drive {
-    fn set_bits(&mut self, prefix: &str, value: u64);
-    fn advance(&mut self);
+    fn set_pin(&mut self, pin: CellId, value: Logic);
+    fn advance(&mut self) -> Result<(), SimError>;
     fn logic_transitions_so_far(&self) -> u64;
 }
 
 impl Drive for TimedSim<'_> {
-    fn set_bits(&mut self, prefix: &str, value: u64) {
-        self.set_input_bits(prefix, value);
+    fn set_pin(&mut self, pin: CellId, value: Logic) {
+        self.set_input(pin, value);
     }
-    fn advance(&mut self) {
-        self.step();
+    fn advance(&mut self) -> Result<(), SimError> {
+        self.step().map(|_events| ())
+    }
+    fn logic_transitions_so_far(&self) -> u64 {
+        self.logic_transitions()
+    }
+}
+
+impl Drive for ScalarTimedSim<'_> {
+    fn set_pin(&mut self, pin: CellId, value: Logic) {
+        self.set_input(pin, value);
+    }
+    fn advance(&mut self) -> Result<(), SimError> {
+        self.step().map(|_events| ())
     }
     fn logic_transitions_so_far(&self) -> u64 {
         self.logic_transitions()
@@ -69,11 +128,12 @@ impl Drive for TimedSim<'_> {
 }
 
 impl Drive for ZeroDelaySim<'_> {
-    fn set_bits(&mut self, prefix: &str, value: u64) {
-        self.set_input_bits(prefix, value);
+    fn set_pin(&mut self, pin: CellId, value: Logic) {
+        self.set_input(pin, value);
     }
-    fn advance(&mut self) {
+    fn advance(&mut self) -> Result<(), SimError> {
         self.step();
+        Ok(())
     }
     fn logic_transitions_so_far(&self) -> u64 {
         self.logic_transitions()
@@ -89,12 +149,32 @@ enum Driver<'s, 'n> {
     Scalar {
         sim: &'s mut dyn Drive,
         stim: StimulusGen,
+        buses: Buses,
     },
     /// The bit-parallel engine consuming 64 lane-seeded streams.
     Lanes {
         sim: Box<BitParallelSim<'n>>,
         stims: Vec<StimulusGen>,
+        buses: Buses,
     },
+}
+
+/// The `a`/`b`/`rst` input buses, resolved to pins once per
+/// measurement.
+struct Buses {
+    a: Vec<CellId>,
+    b: Vec<CellId>,
+    rst: Vec<CellId>,
+}
+
+impl Buses {
+    fn resolve(netlist: &Netlist) -> Buses {
+        Buses {
+            a: bus_inputs(netlist, "a"),
+            b: bus_inputs(netlist, "b"),
+            rst: bus_inputs(netlist, "rst"),
+        }
+    }
 }
 
 impl Driver<'_, '_> {
@@ -108,20 +188,37 @@ impl Driver<'_, '_> {
 
     fn set_rst(&mut self, high: bool) {
         match self {
-            Driver::Scalar { sim, .. } => sim.set_bits("rst", u64::from(high)),
-            Driver::Lanes { sim, .. } => sim.set_input_bits_all_lanes("rst", u64::from(high)),
+            Driver::Scalar { sim, buses, .. } => {
+                for (i, &pin) in buses.rst.iter().enumerate() {
+                    sim.set_pin(pin, Logic::from_bool((u64::from(high) >> i) & 1 == 1));
+                }
+            }
+            Driver::Lanes { sim, buses, .. } => {
+                for (i, &pin) in buses.rst.iter().enumerate() {
+                    let ones = if (u64::from(high) >> i) & 1 == 1 {
+                        u64::MAX
+                    } else {
+                        0
+                    };
+                    sim.set_input_lanes(pin, ones);
+                }
+            }
         }
     }
 
     /// Draws the next operand pair from every stream and applies it.
     fn apply_operands(&mut self) {
         match self {
-            Driver::Scalar { sim, stim } => {
+            Driver::Scalar { sim, stim, buses } => {
                 let (a, b) = stim.next_item();
-                sim.set_bits("a", a);
-                sim.set_bits("b", b);
+                for (i, &pin) in buses.a.iter().enumerate() {
+                    sim.set_pin(pin, Logic::from_bool((a >> i) & 1 == 1));
+                }
+                for (i, &pin) in buses.b.iter().enumerate() {
+                    sim.set_pin(pin, Logic::from_bool((b >> i) & 1 == 1));
+                }
             }
-            Driver::Lanes { sim, stims } => {
+            Driver::Lanes { sim, stims, buses } => {
                 let mut a_lanes = [0u64; LANES];
                 let mut b_lanes = [0u64; LANES];
                 for (lane, stim) in stims.iter_mut().enumerate() {
@@ -129,16 +226,33 @@ impl Driver<'_, '_> {
                     a_lanes[lane] = a;
                     b_lanes[lane] = b;
                 }
-                sim.set_input_bits_lanes("a", &a_lanes);
-                sim.set_input_bits_lanes("b", &b_lanes);
+                // Transpose: bit `i` of every lane's operand becomes
+                // lane bits of pin `i`.
+                for (i, &pin) in buses.a.iter().enumerate() {
+                    let mut ones = 0u64;
+                    for (lane, &v) in a_lanes.iter().enumerate() {
+                        ones |= ((v >> i) & 1) << lane;
+                    }
+                    sim.set_input_lanes(pin, ones);
+                }
+                for (i, &pin) in buses.b.iter().enumerate() {
+                    let mut ones = 0u64;
+                    for (lane, &v) in b_lanes.iter().enumerate() {
+                        ones |= ((v >> i) & 1) << lane;
+                    }
+                    sim.set_input_lanes(pin, ones);
+                }
             }
         }
     }
 
-    fn advance(&mut self) {
+    fn advance(&mut self) -> Result<(), SimError> {
         match self {
             Driver::Scalar { sim, .. } => sim.advance(),
-            Driver::Lanes { sim, .. } => sim.step(),
+            Driver::Lanes { sim, .. } => {
+                sim.step();
+                Ok(())
+            }
         }
     }
 
@@ -163,6 +277,12 @@ impl Driver<'_, '_> {
 /// `items` and `warmup` count *per-lane* items: the report covers
 /// `64 × items` measured items for the cost of one zero-delay pass.
 ///
+/// # Errors
+///
+/// [`SimError`] from the timed engines: an invalid library delay at
+/// construction, or an oscillating netlist during simulation. The
+/// zero-delay engines cannot fail.
+///
 /// # Panics
 ///
 /// Panics if the netlist has no `a`/`b` input buses.
@@ -174,47 +294,74 @@ pub fn measure_activity(
     cycles_per_item: u32,
     warmup: u64,
     seed: u64,
-) -> ActivityReport {
-    let a_w = bus_inputs(netlist, "a").len() as u32;
-    let b_w = bus_inputs(netlist, "b").len() as u32;
+) -> Result<ActivityReport, SimError> {
+    // Resolve the buses once; widths and the reset flag derive from
+    // the same resolution.
+    let buses = Buses::resolve(netlist);
+    let a_w = buses.a.len() as u32;
+    let b_w = buses.b.len() as u32;
     assert!(
         a_w > 0 && b_w > 0,
         "activity measurement requires a/b input buses"
     );
     let cells = netlist.logic_cell_count();
-    let has_rst = !bus_inputs(netlist, "rst").is_empty();
+    let has_rst = !buses.rst.is_empty();
     if has_rst {
         assert!(warmup >= 2, "designs with a reset need warmup >= 2 items");
     }
     match engine {
-        Engine::Timed => run(
-            Driver::Scalar {
-                sim: &mut TimedSim::new(netlist, library),
-                stim: StimulusGen::new(seed, a_w, b_w),
-            },
-            cells,
-            items,
-            cycles_per_item,
-            warmup,
-            has_rst,
-        ),
-        Engine::ZeroDelay => run(
-            Driver::Scalar {
-                sim: &mut ZeroDelaySim::new(netlist),
-                stim: StimulusGen::new(seed, a_w, b_w),
-            },
-            cells,
-            items,
-            cycles_per_item,
-            warmup,
-            has_rst,
-        ),
+        Engine::Timed => {
+            let mut sim = TimedSim::new(netlist, library)?;
+            run(
+                Driver::Scalar {
+                    sim: &mut sim,
+                    stim: StimulusGen::new(seed, a_w, b_w),
+                    buses,
+                },
+                cells,
+                items,
+                cycles_per_item,
+                warmup,
+                has_rst,
+            )
+        }
+        Engine::TimedScalar => {
+            let mut sim = ScalarTimedSim::new(netlist, library)?;
+            run(
+                Driver::Scalar {
+                    sim: &mut sim,
+                    stim: StimulusGen::new(seed, a_w, b_w),
+                    buses,
+                },
+                cells,
+                items,
+                cycles_per_item,
+                warmup,
+                has_rst,
+            )
+        }
+        Engine::ZeroDelay => {
+            let mut sim = ZeroDelaySim::new(netlist);
+            run(
+                Driver::Scalar {
+                    sim: &mut sim,
+                    stim: StimulusGen::new(seed, a_w, b_w),
+                    buses,
+                },
+                cells,
+                items,
+                cycles_per_item,
+                warmup,
+                has_rst,
+            )
+        }
         Engine::BitParallel => run(
             Driver::Lanes {
                 sim: Box::new(BitParallelSim::new(netlist)),
                 stims: (0..LANES as u32)
                     .map(|lane| StimulusGen::new(lane_seed(seed, lane), a_w, b_w))
                     .collect(),
+                buses,
             },
             cells,
             items,
@@ -236,7 +383,7 @@ fn run(
     cycles_per_item: u32,
     warmup: u64,
     has_rst: bool,
-) -> ActivityReport {
+) -> Result<ActivityReport, SimError> {
     let mut window_start = 0u64;
     for item in 0..(warmup + items) {
         if item == warmup {
@@ -247,17 +394,17 @@ fn run(
         }
         driver.apply_operands();
         for _ in 0..cycles_per_item.max(1) {
-            driver.advance();
+            driver.advance()?;
         }
     }
     let transitions = driver.transitions() - window_start;
     let measured = items * driver.lanes();
-    ActivityReport {
+    Ok(ActivityReport {
         activity: transitions as f64 / (measured as f64 * cells as f64),
         transitions,
         items: measured,
         cells,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -282,11 +429,22 @@ mod tests {
         b.build().unwrap()
     }
 
+    fn measure(
+        nl: &Netlist,
+        engine: Engine,
+        items: u64,
+        cpi: u32,
+        warm: u64,
+        seed: u64,
+    ) -> ActivityReport {
+        measure_activity(nl, &Library::cmos13(), engine, items, cpi, warm, seed)
+            .expect("cmos13 delays are valid and the design cannot oscillate")
+    }
+
     #[test]
     fn activity_in_plausible_range() {
         let nl = small_design();
-        let lib = Library::cmos13();
-        let r = measure_activity(&nl, &lib, Engine::Timed, 200, 1, 4, 42);
+        let r = measure(&nl, Engine::Timed, 200, 1, 4, 42);
         assert!(r.activity > 0.1 && r.activity < 2.0, "a = {}", r.activity);
         assert_eq!(r.cells, 4);
         assert_eq!(r.items, 200);
@@ -296,9 +454,8 @@ mod tests {
     fn timed_activity_at_least_zero_delay() {
         // Glitches can only add transitions.
         let nl = small_design();
-        let lib = Library::cmos13();
-        let t = measure_activity(&nl, &lib, Engine::Timed, 300, 1, 4, 7);
-        let z = measure_activity(&nl, &lib, Engine::ZeroDelay, 300, 1, 4, 7);
+        let t = measure(&nl, Engine::Timed, 300, 1, 4, 7);
+        let z = measure(&nl, Engine::ZeroDelay, 300, 1, 4, 7);
         assert!(
             t.activity >= z.activity - 1e-12,
             "timed {} < zero-delay {}",
@@ -308,12 +465,24 @@ mod tests {
     }
 
     #[test]
+    fn wheel_and_scalar_timed_engines_are_bit_identical() {
+        let nl = small_design();
+        let wheel = measure(&nl, Engine::Timed, 250, 1, 3, 99);
+        let scalar = measure(&nl, Engine::TimedScalar, 250, 1, 3, 99);
+        assert_eq!(wheel, scalar);
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let nl = small_design();
-        let lib = Library::cmos13();
-        for engine in [Engine::Timed, Engine::ZeroDelay, Engine::BitParallel] {
-            let r1 = measure_activity(&nl, &lib, engine, 100, 1, 2, 123);
-            let r2 = measure_activity(&nl, &lib, engine, 100, 1, 2, 123);
+        for engine in [
+            Engine::Timed,
+            Engine::TimedScalar,
+            Engine::ZeroDelay,
+            Engine::BitParallel,
+        ] {
+            let r1 = measure(&nl, engine, 100, 1, 2, 123);
+            let r2 = measure(&nl, engine, 100, 1, 2, 123);
             assert_eq!(r1, r2, "{engine:?}");
         }
     }
@@ -321,9 +490,8 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let nl = small_design();
-        let lib = Library::cmos13();
-        let r1 = measure_activity(&nl, &lib, Engine::Timed, 100, 1, 2, 1);
-        let r2 = measure_activity(&nl, &lib, Engine::Timed, 100, 1, 2, 2);
+        let r1 = measure(&nl, Engine::Timed, 100, 1, 2, 1);
+        let r2 = measure(&nl, Engine::Timed, 100, 1, 2, 2);
         assert_ne!(r1.transitions, r2.transitions);
     }
 
@@ -332,10 +500,47 @@ mod tests {
         // For a purely combinational design, extra hold cycles add no
         // transitions: activity per item is unchanged.
         let nl = small_design();
-        let lib = Library::cmos13();
-        let r1 = measure_activity(&nl, &lib, Engine::Timed, 150, 1, 2, 9);
-        let r4 = measure_activity(&nl, &lib, Engine::Timed, 150, 4, 2, 9);
+        let r1 = measure(&nl, Engine::Timed, 150, 1, 2, 9);
+        let r4 = measure(&nl, Engine::Timed, 150, 4, 2, 9);
         assert!((r1.activity - r4.activity).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_library_delays_surface_as_errors() {
+        let nl = small_design();
+        let lib = Library::with_uniform_delay(f64::NAN);
+        for engine in [Engine::Timed, Engine::TimedScalar] {
+            let err = measure_activity(&nl, &lib, engine, 10, 1, 2, 1).unwrap_err();
+            assert!(matches!(err, SimError::InvalidDelay { .. }), "{engine:?}");
+        }
+        // The delay-free engines ignore the library's delay profile.
+        assert!(measure_activity(&nl, &lib, Engine::ZeroDelay, 10, 1, 2, 1).is_ok());
+        assert!(measure_activity(&nl, &lib, Engine::BitParallel, 10, 1, 2, 1).is_ok());
+    }
+
+    #[test]
+    fn combine_renormalises_over_the_joint_window() {
+        let nl = small_design();
+        let a = measure(&nl, Engine::Timed, 40, 1, 2, 5);
+        let b = measure(&nl, Engine::Timed, 60, 1, 2, 6);
+        let c = ActivityReport::combine(&[a, b]);
+        assert_eq!(c.transitions, a.transitions + b.transitions);
+        assert_eq!(c.items, 100);
+        assert_eq!(c.cells, a.cells);
+        let expect = (a.transitions + b.transitions) as f64 / (100.0 * a.cells as f64);
+        assert_eq!(c.activity.to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "different netlists")]
+    fn combine_rejects_mixed_netlists() {
+        let nl = small_design();
+        let a = measure(&nl, Engine::ZeroDelay, 5, 1, 2, 5);
+        let bad = ActivityReport {
+            cells: a.cells + 1,
+            ..a
+        };
+        let _ = ActivityReport::combine(&[a, bad]);
     }
 
     #[test]
@@ -343,13 +548,9 @@ mod tests {
         // The headline contract: transitions of one BitParallel run ==
         // the sum over 64 ZeroDelay runs seeded with the lane seeds.
         let nl = small_design();
-        let lib = Library::cmos13();
-        let bp = measure_activity(&nl, &lib, Engine::BitParallel, 50, 1, 3, 99);
+        let bp = measure(&nl, Engine::BitParallel, 50, 1, 3, 99);
         let scalar_sum: u64 = (0..LANES as u32)
-            .map(|lane| {
-                measure_activity(&nl, &lib, Engine::ZeroDelay, 50, 1, 3, lane_seed(99, lane))
-                    .transitions
-            })
+            .map(|lane| measure(&nl, Engine::ZeroDelay, 50, 1, 3, lane_seed(99, lane)).transitions)
             .sum();
         assert_eq!(bp.transitions, scalar_sum);
         assert_eq!(bp.items, 50 * LANES as u64);
@@ -360,9 +561,8 @@ mod tests {
         // Same seed => the scalar ZeroDelay measurement is exactly the
         // lane-0 slice of the BitParallel measurement.
         let nl = small_design();
-        let lib = Library::cmos13();
-        let zd = measure_activity(&nl, &lib, Engine::ZeroDelay, 80, 1, 2, 7);
-        let lane0 = measure_activity(&nl, &lib, Engine::ZeroDelay, 80, 1, 2, lane_seed(7, 0));
+        let zd = measure(&nl, Engine::ZeroDelay, 80, 1, 2, 7);
+        let lane0 = measure(&nl, Engine::ZeroDelay, 80, 1, 2, lane_seed(7, 0));
         assert_eq!(zd, lane0);
     }
 
@@ -371,9 +571,8 @@ mod tests {
         // Sanity: activity stays in the scalar neighbourhood — it is
         // normalised per measured item, not inflated 64×.
         let nl = small_design();
-        let lib = Library::cmos13();
-        let zd = measure_activity(&nl, &lib, Engine::ZeroDelay, 400, 1, 2, 21);
-        let bp = measure_activity(&nl, &lib, Engine::BitParallel, 50, 1, 2, 21);
+        let zd = measure(&nl, Engine::ZeroDelay, 400, 1, 2, 21);
+        let bp = measure(&nl, Engine::BitParallel, 50, 1, 2, 21);
         assert!(
             (zd.activity - bp.activity).abs() < 0.15,
             "zd {} vs bp {}",

@@ -1,0 +1,337 @@
+//! An indexed bucket queue (timing wheel) over integer picosecond
+//! ticks — the priority queue of the hot [`crate::TimedSim`] path.
+//!
+//! The classic `BinaryHeap<Event>` pays `O(log n)` per push/pop plus
+//! comparator overhead on every sift. A gate-level simulator's events
+//! have a much stronger structure: every event is scheduled at
+//! `now + delay` with `delay ≤ max_delay`, so at any instant all live
+//! events fall inside the half-open *horizon* `[now, now + W)` as soon
+//! as the wheel size `W` exceeds the largest cell delay. Mapping tick
+//! `t` to bucket `t & (W − 1)` is then collision-free among live
+//! events: a bucket never mixes two distinct times. Push is O(1)
+//! (append to a bucket, set an occupancy bit), pop is O(1) amortised
+//! (drain the current bucket in insertion order, then hop to the next
+//! occupied bucket via a word-scanned occupancy bitmap).
+//!
+//! Ordering is *identical* to the reference heap: events come out in
+//! ascending `(time, seq)`. Within one tick, insertion order equals
+//! `seq` order because the simulator allocates `seq` monotonically —
+//! so a bucket is simply drained front to back, and events scheduled
+//! *into the current tick while it drains* (zero-delay cells) are
+//! appended behind the drain point, exactly where the heap would
+//! deliver them. `tests/timed_differential.rs` locks the wheel engine
+//! to the frozen scalar reference bit for bit.
+
+use optpower_netlist::{Logic, NetId};
+
+/// One scheduled net-value change, keyed by `(time, seq)`.
+///
+/// `time` is in integer ticks ([`crate::TICKS_PER_GATE`] per gate
+/// unit), which makes event ordering *total* — the `f64` times of the
+/// pre-tick engine compared `NaN` as `Ordering::Equal` and silently
+/// corrupted heap order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// Absolute event time in ticks (cycle-local: each clock cycle
+    /// restarts at tick 0).
+    pub time: u64,
+    /// Global schedule sequence number; FIFO tie-breaker within a tick
+    /// and the handle used for inertial-delay preemption.
+    pub seq: u64,
+    /// The net whose value changes.
+    pub net: NetId,
+    /// The value it changes to.
+    pub value: Logic,
+}
+
+/// The timing wheel; see the module docs for the design.
+#[derive(Debug, Clone)]
+pub struct EventWheel {
+    /// `W` buckets, `W` a power of two strictly greater than the
+    /// largest delay, so live events never alias within a bucket.
+    buckets: Vec<Vec<TimedEvent>>,
+    /// One bit per bucket: set iff the bucket holds events.
+    occupied: Vec<u64>,
+    /// `W − 1`, for the `time & mask` bucket map.
+    mask: u64,
+    /// The tick currently being drained.
+    cursor: u64,
+    /// Next undrained index within the cursor's bucket.
+    drain: usize,
+    /// Live (pushed, not yet popped) events.
+    len: usize,
+}
+
+impl EventWheel {
+    /// A wheel able to schedule any delay up to `max_delay_ticks`.
+    pub fn new(max_delay_ticks: u64) -> Self {
+        let size = (max_delay_ticks + 1).next_power_of_two() as usize;
+        Self {
+            buckets: vec![Vec::new(); size],
+            occupied: vec![0; size.div_ceil(64)],
+            mask: size as u64 - 1,
+            cursor: 0,
+            drain: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of live events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Rewinds the wheel to tick 0 with no events, keeping bucket
+    /// capacity (the simulator calls this at every cycle edge, so the
+    /// steady state allocates nothing).
+    pub fn reset(&mut self) {
+        if self.len == 0 {
+            // Only the cursor's bucket can still hold (already-drained)
+            // events: every other bucket was cleared when exhausted.
+            let b = (self.cursor & self.mask) as usize;
+            self.buckets[b].clear();
+        } else {
+            // Abandoning pending events (e.g. after an oscillation
+            // error): full clear.
+            for b in &mut self.buckets {
+                b.clear();
+            }
+        }
+        self.occupied.iter_mut().for_each(|w| *w = 0);
+        self.cursor = 0;
+        self.drain = 0;
+        self.len = 0;
+    }
+
+    /// Schedules an event. `ev.time` must lie in the wheel's current
+    /// horizon `[cursor, cursor + W)` — guaranteed by construction
+    /// when delays are at most `max_delay_ticks` and time never flows
+    /// backwards.
+    #[inline]
+    pub fn push(&mut self, ev: TimedEvent) {
+        debug_assert!(ev.time >= self.cursor, "event scheduled in the past");
+        debug_assert!(ev.time - self.cursor <= self.mask, "event beyond horizon");
+        let b = (ev.time & self.mask) as usize;
+        debug_assert!(
+            self.buckets[b]
+                .last()
+                .is_none_or(|last| last.time == ev.time),
+            "bucket aliases two distinct times"
+        );
+        self.buckets[b].push(ev);
+        self.occupied[b / 64] |= 1 << (b % 64);
+        self.len += 1;
+    }
+
+    /// The tick of the earliest pending event without removing it —
+    /// the simulator's "does the current tick continue?" probe.
+    /// Purely observational: the cursor does not move, so the caller
+    /// may still schedule events at or after the *current* tick (the
+    /// batch flush does exactly that) before the next [`pop`] hops
+    /// forward.
+    ///
+    /// [`pop`]: EventWheel::pop
+    #[inline]
+    pub fn next_time(&self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let b = (self.cursor & self.mask) as usize;
+        if self.buckets[b].len() > self.drain {
+            return Some(self.cursor);
+        }
+        // Current bucket drained: the earliest event sits in the next
+        // occupied bucket (there is one, since len > 0).
+        Some(self.next_occupied_tick(b))
+    }
+
+    /// Removes and returns the earliest event in `(time, seq)` order.
+    #[inline]
+    pub fn pop(&mut self) -> Option<TimedEvent> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            let b = (self.cursor & self.mask) as usize;
+            if let Some(&ev) = self.buckets[b].get(self.drain) {
+                debug_assert_eq!(ev.time, self.cursor, "horizon invariant violated");
+                self.drain += 1;
+                self.len -= 1;
+                return Some(ev);
+            }
+            // Bucket exhausted: recycle it and hop to the next
+            // occupied one.
+            self.buckets[b].clear();
+            self.occupied[b / 64] &= !(1 << (b % 64));
+            self.drain = 0;
+            self.cursor = self.next_occupied_tick(b);
+        }
+    }
+
+    /// The absolute tick of the next occupied bucket strictly after
+    /// bucket `from` in circular order. Only called with `len > 0`.
+    fn next_occupied_tick(&self, from: usize) -> u64 {
+        let size = self.buckets.len();
+        if let Some(b) = self.scan_range(from + 1, size) {
+            return self.cursor + (b - from) as u64;
+        }
+        if let Some(b) = self.scan_range(0, from) {
+            return self.cursor + (size - from + b) as u64;
+        }
+        unreachable!("len > 0 implies an occupied bucket within the horizon")
+    }
+
+    /// Lowest set occupancy bit with bucket index in `[lo, hi)`.
+    fn scan_range(&self, lo: usize, hi: usize) -> Option<usize> {
+        if lo >= hi {
+            return None;
+        }
+        let (wlo, whi) = (lo / 64, (hi - 1) / 64);
+        for w in wlo..=whi {
+            let mut word = self.occupied[w];
+            if w == wlo {
+                word &= !0u64 << (lo % 64);
+            }
+            if w == whi {
+                let top = hi - w * 64; // in 1..=64
+                if top < 64 {
+                    word &= (1u64 << top) - 1;
+                }
+            }
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: u64, seq: u64) -> TimedEvent {
+        TimedEvent {
+            time,
+            seq,
+            net: NetId(0),
+            value: Logic::One,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut w = EventWheel::new(100);
+        // Push out of time order (but seq increases with push order,
+        // as in the simulator).
+        w.push(ev(50, 1));
+        w.push(ev(10, 2));
+        w.push(ev(50, 3));
+        w.push(ev(0, 4));
+        assert_eq!(w.len(), 4);
+        let order: Vec<(u64, u64)> =
+            std::iter::from_fn(|| w.pop().map(|e| (e.time, e.seq))).collect();
+        assert_eq!(order, vec![(0, 4), (10, 2), (50, 1), (50, 3)]);
+        assert!(w.is_empty());
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn zero_delay_events_land_behind_the_drain_point() {
+        let mut w = EventWheel::new(4);
+        w.push(ev(3, 1));
+        let first = w.pop().unwrap();
+        assert_eq!((first.time, first.seq), (3, 1));
+        // While "at" tick 3, schedule another event at tick 3 (a
+        // zero-delay cell) and one a delay later.
+        w.push(ev(3, 2));
+        w.push(ev(7, 3));
+        assert_eq!(w.pop().map(|e| e.seq), Some(2));
+        assert_eq!(w.pop().map(|e| e.seq), Some(3));
+    }
+
+    #[test]
+    fn wraps_far_beyond_the_wheel_size() {
+        // Cursor advances tick by tick through many wheel revolutions.
+        let mut w = EventWheel::new(7);
+        let mut seq = 0;
+        let mut popped = Vec::new();
+        // Chain: each popped event schedules the next 5 ticks later.
+        w.push(ev(0, 0));
+        while let Some(e) = w.pop() {
+            popped.push(e.time);
+            if seq < 40 {
+                seq += 1;
+                w.push(ev(e.time + 5, seq));
+            }
+        }
+        assert_eq!(popped.len(), 41);
+        assert!(popped.windows(2).all(|p| p[1] == p[0] + 5));
+        assert_eq!(*popped.last().unwrap(), 200);
+    }
+
+    #[test]
+    fn reset_recycles_for_the_next_cycle() {
+        let mut w = EventWheel::new(15);
+        w.push(ev(9, 1));
+        w.push(ev(2, 2));
+        assert!(w.pop().is_some());
+        // Mid-drain reset (simulating an abandoned cycle).
+        w.reset();
+        assert!(w.is_empty());
+        assert_eq!(w.pop(), None);
+        // The wheel is back at tick 0 and fully reusable.
+        w.push(ev(1, 3));
+        assert_eq!(w.pop().map(|e| e.seq), Some(3));
+        w.reset();
+        w.push(ev(0, 4));
+        assert_eq!(w.pop().map(|e| e.seq), Some(4));
+    }
+
+    #[test]
+    fn next_time_peeks_without_consuming() {
+        let mut w = EventWheel::new(20);
+        w.push(ev(4, 1));
+        w.push(ev(4, 2));
+        w.push(ev(9, 3));
+        assert_eq!(w.next_time(), Some(4));
+        assert_eq!(w.pop().map(|e| e.seq), Some(1));
+        assert_eq!(w.next_time(), Some(4), "second tick-4 event still pending");
+        assert_eq!(w.pop().map(|e| e.seq), Some(2));
+        assert_eq!(
+            w.next_time(),
+            Some(9),
+            "peek advances over the drained tick"
+        );
+        assert_eq!(w.pop().map(|e| e.seq), Some(3));
+        assert_eq!(w.next_time(), None);
+    }
+
+    #[test]
+    fn single_bucket_wheel_is_a_fifo() {
+        // max delay 0 : one bucket, pure FIFO at one tick per cycle.
+        let mut w = EventWheel::new(0);
+        w.push(ev(0, 1));
+        w.push(ev(0, 2));
+        w.push(ev(0, 3));
+        let seqs: Vec<u64> = std::iter::from_fn(|| w.pop().map(|e| e.seq)).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn occupancy_scan_crosses_word_boundaries() {
+        // Wheel of 256 buckets = 4 occupancy words; events straddle
+        // word edges.
+        let mut w = EventWheel::new(200);
+        for (i, t) in [63u64, 64, 127, 128, 255].iter().enumerate() {
+            w.push(ev(*t, i as u64));
+        }
+        let times: Vec<u64> = std::iter::from_fn(|| w.pop().map(|e| e.time)).collect();
+        assert_eq!(times, vec![63, 64, 127, 128, 255]);
+    }
+}

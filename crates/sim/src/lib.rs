@@ -1,7 +1,7 @@
 //! Gate-level simulation for the `optpower` ab-initio flow.
 //!
 //! Replaces the paper's ModelSIM timing-annotated netlist simulation.
-//! Three engines share the netlist's three-valued cell semantics:
+//! Four engines share the netlist's three-valued cell semantics:
 //!
 //! * [`ZeroDelaySim`] — per-cycle functional evaluation in topological
 //!   order; at most one transition per cell per cycle (glitch-free).
@@ -12,7 +12,17 @@
 //!   delays from the [`optpower_netlist::Library`]; counts *every*
 //!   output transition, so unbalanced path delays produce the glitch
 //!   activity the paper observes on diagonal pipelines. Authoritative
-//!   for the paper's activity factor `a` (glitches included).
+//!   for the paper's activity factor `a` (glitches included). Time is
+//!   kept in **integer picosecond ticks** ([`TICKS_PER_GATE`] ticks
+//!   per gate unit, quantized once in [`TimedSim::new`]): event
+//!   ordering is total (no `NaN` holes), time sums are exact, and the
+//!   event queue is the O(1) bucket wheel of [`event_wheel`] rather
+//!   than a binary heap. The hot path allocates nothing per event.
+//! * [`ScalarTimedSim`] — the frozen pre-wheel timed engine (binary
+//!   heap, per-event allocations) on the same tick base. Bit-identical
+//!   to [`TimedSim`] by the differential suite
+//!   (`tests/timed_differential.rs`); kept as the reference baseline
+//!   and the `timed_scalar` row of `benches/sim.rs`.
 //! * [`BitParallelSim`] — 64 zero-delay simulations at once, one
 //!   stimulus lane per bit of a `u64` word per net, evaluated with
 //!   plain bitwise ops. Authoritative for nothing by fiat: each lane is
@@ -28,6 +38,12 @@
 //! defined once by [`StimulusGen`] — the same seed drives the same
 //! operands into every engine ([`lane_seed`] defines the 64 per-lane
 //! streams of the bit-parallel engine, with lane 0 = the base seed).
+//! The timed engines return typed [`SimError`]s (invalid library
+//! delays at construction, oscillation at runtime) instead of
+//! panicking, so sweeps can report which netlist failed;
+//! `optpower_explore::measure_timed_activity_pooled` shards a timed
+//! measurement across lane-seeded streams on a worker pool with
+//! worker-count-invariant sums ([`ActivityReport::combine`]).
 //!
 //! # Examples
 //!
@@ -55,7 +71,10 @@
 mod activity;
 mod bit_parallel;
 mod bus;
+mod error;
+pub mod event_wheel;
 mod timed;
+mod timed_scalar;
 mod vcd;
 mod verify;
 mod zero_delay;
@@ -65,7 +84,10 @@ pub use bit_parallel::{BitParallelSim, LANES};
 pub use bus::{
     bus_inputs, bus_outputs, decode_bus, encode_bus, lane_seed, width_mask, StimulusGen,
 };
-pub use timed::TimedSim;
+pub use error::SimError;
+pub use event_wheel::{EventWheel, TimedEvent};
+pub use timed::{quantize_delays, TimedSim, MAX_DELAY_GATES, TICKS_PER_GATE};
+pub use timed_scalar::ScalarTimedSim;
 pub use vcd::{parse_vcd, LaneProbe, NetProbe, VcdDump, VcdRecorder};
 pub use verify::{verify_product, VerifyOutcome};
 pub use zero_delay::ZeroDelaySim;

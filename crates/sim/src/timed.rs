@@ -1,38 +1,138 @@
-//! The event-driven timing engine (inertial delays, glitch counting).
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//! The event-driven timing engine (inertial delays, glitch counting),
+//! built on integer picosecond ticks and the indexed bucket queue of
+//! [`crate::event_wheel`].
+//!
+//! # Integer-tick time base
+//!
+//! Library delays are expressed in *gate units* (FO4 inverter = 1.0);
+//! [`TimedSim::new`] quantizes them **once** to integer ticks at
+//! [`TICKS_PER_GATE`] ticks per gate unit (with the 0.13 µm library's
+//! FO4 ≈ 1 ns, one tick ≈ 1 ps). All event arithmetic and ordering
+//! then happens in `u64`: ordering is total by construction (the old
+//! `f64` engine compared `NaN` as `Ordering::Equal`, silently
+//! corrupting heap order), time sums are exact (no `0.1 + 0.2`
+//! drift deciding event order), and the event queue can be an O(1)
+//! bucket wheel instead of a binary heap. Delays that are not finite,
+//! negative, or above [`MAX_DELAY_GATES`] are rejected with a typed
+//! [`SimError::InvalidDelay`].
+//!
+//! # Compiled hot path
+//!
+//! [`TimedSim::new`] additionally *compiles* the netlist into flat
+//! index arrays: CSR fanout restricted to evaluable sinks, CSR input
+//! lists, one byte per net of three-valued state, and per-kind truth
+//! tables built by exhaustively calling [`CellKind::eval`] (so the
+//! table semantics cannot drift from the shared cell model). The
+//! steady-state simulation loop touches only these arrays — no
+//! per-event allocation, no pointer chasing through `Vec<Vec<…>>`,
+//! no enum dispatch per evaluation.
+//!
+//! The pre-wheel engine survives as [`crate::ScalarTimedSim`], the
+//! frozen reference the wheel engine is locked against bit for bit
+//! (`tests/timed_differential.rs`); `benches/sim.rs` tracks the
+//! `timed_scalar` vs `timed_wheel` throughput ratio.
 
 use optpower_netlist::{CellId, CellKind, Library, Logic, NetId, Netlist};
 
 use crate::bus::{bus_inputs, bus_outputs, decode_bus};
+use crate::event_wheel::{EventWheel, TimedEvent};
+use crate::SimError;
 
-/// One scheduled net-value change.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Event {
-    time: f64,
-    seq: u64,
-    net: NetId,
-    value: Logic,
+/// Integer ticks per normalised gate unit (FO4 inverter delay). With
+/// the library's FO4 ≈ 1 ns this makes one tick ≈ 1 ps — comfortably
+/// below any delay difference a standard-cell library expresses.
+pub const TICKS_PER_GATE: u64 = 1000;
+
+/// Largest accepted cell delay in gate units. An order of magnitude
+/// above any standard-cell reality; the bound keeps the event wheel's
+/// horizon (and therefore its memory) small.
+pub const MAX_DELAY_GATES: f64 = 64.0;
+
+/// Quantizes every cell's library delay to integer ticks, validating
+/// it on the way: the single place where `f64` delays enter the timed
+/// engines.
+///
+/// # Errors
+///
+/// [`SimError::InvalidDelay`] for a delay that is not finite, is
+/// negative, or exceeds [`MAX_DELAY_GATES`].
+pub fn quantize_delays(netlist: &Netlist, library: &Library) -> Result<Vec<u64>, SimError> {
+    netlist
+        .cells()
+        .iter()
+        .map(|c| {
+            let d = library.delay(c.kind);
+            if !d.is_finite() || !(0.0..=MAX_DELAY_GATES).contains(&d) {
+                return Err(SimError::InvalidDelay {
+                    cell: c.name.clone(),
+                    kind: c.kind,
+                    delay_gates: d,
+                });
+            }
+            Ok((d * TICKS_PER_GATE as f64).round() as u64)
+        })
+        .collect()
 }
 
-impl Eq for Event {}
+/// Per-cycle event budget: a netlist that processes more events than
+/// this within one clock cycle is declared oscillating.
+pub(crate) fn event_budget(netlist: &Netlist) -> u64 {
+    10_000 * netlist.cells().len() as u64
+}
 
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on (time, seq): earlier first, FIFO within a time.
-        other
-            .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
-            .then(other.seq.cmp(&self.seq))
+/// Greatest common divisor (Euclid).
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
     }
 }
 
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+/// Three-valued levels as table indices: `Zero = 0`, `One = 1`,
+/// `X = 2`.
+#[inline]
+fn code_of(l: Logic) -> u8 {
+    match l {
+        Logic::Zero => 0,
+        Logic::One => 1,
+        Logic::X => 2,
     }
+}
+
+#[inline]
+fn logic_of(code: u8) -> Logic {
+    match code {
+        0 => Logic::Zero,
+        1 => Logic::One,
+        _ => Logic::X,
+    }
+}
+
+/// Truth tables over three-valued codes, one per cell kind, indexed
+/// by `i0 + 3·i1 + 9·i2`. Built by calling [`CellKind::eval`] on
+/// every input combination, so they *are* the shared cell semantics.
+fn build_luts() -> Vec<[u8; 27]> {
+    let levels = [Logic::Zero, Logic::One, Logic::X];
+    CellKind::ALL
+        .iter()
+        .map(|&kind| {
+            let mut lut = [code_of(Logic::X); 27];
+            let arity = kind.arity();
+            if (1..=3).contains(&arity) {
+                for (combo, slot) in lut.iter_mut().enumerate().take(3usize.pow(arity as u32)) {
+                    let mut ins = [Logic::X; 3];
+                    let mut c = combo;
+                    for lane in ins.iter_mut().take(arity) {
+                        *lane = levels[c % 3];
+                        c /= 3;
+                    }
+                    *slot = code_of(kind.eval(&ins[..arity]));
+                }
+            }
+            lut
+        })
+        .collect()
 }
 
 /// Event-driven gate-level simulator with per-cell *inertial* delays.
@@ -45,41 +145,230 @@ impl PartialOrd for Event {
 /// than its own delay produces glitch transitions, exactly the
 /// mechanism by which the paper's diagonal pipelines pay a higher
 /// activity than horizontal ones.
+///
+/// This is the production engine: time lives in integer ticks (see
+/// the module docs), the event queue is the O(1) [`EventWheel`], the
+/// netlist is compiled to flat arrays at construction, and the hot
+/// loop allocates nothing. Two event-count optimisations apply, both
+/// *equivalence-preserving* for positive delays:
+///
+/// * **batched per-tick evaluation** — instead of re-evaluating a
+///   sink once per arriving input event, sinks touched during a tick
+///   are marked dirty and evaluated exactly once when the tick's
+///   events are exhausted, in last-marked order (the order of each
+///   cell's last re-evaluation in the scalar engine, which that
+///   engine's surviving event sequence is keyed on). The one
+///   mid-tick effect that must not be deferred — an input change
+///   preempting the sink's own not-yet-fired event due *this very
+///   tick* — is applied eagerly at dirty-marking time;
+/// * **no-op elision** — an evaluation whose result equals the net's
+///   current value schedules nothing (with a pending pulse it cancels
+///   it by bumping the preemption sequence, without a push). Sound
+///   because a net's value cannot change between scheduling its
+///   latest event and that event firing, so the scalar engine's
+///   corresponding event provably fires as a no-op.
+///
+/// Consequently settled values and per-cell transition counts are
+/// bit-identical to [`crate::ScalarTimedSim`], the frozen pre-wheel
+/// reference (locked by `tests/timed_differential.rs`), while the
+/// processed-event count reported by [`TimedSim::step`] is an
+/// engine-specific diagnostic (much smaller than the scalar
+/// engine's). The single caveat: with a *zero-delay* logic cell
+/// (legal but outside any real library) sub-tick pulse counting is
+/// scheme-dependent, so only settled values are comparable there.
 #[derive(Debug, Clone)]
 pub struct TimedSim<'n> {
     netlist: &'n Netlist,
-    /// Per-cell propagation delay in gate units.
-    delays: Vec<f64>,
-    values: Vec<Logic>,
-    input_next: Vec<Logic>,
+    // --- compiled netlist (flat, immutable after `new`) ---
+    /// Per-cell hot metadata, one packed record per cell.
+    meta: Vec<CellMeta>,
+    /// Flat per-kind truth tables (see [`build_luts`]); a cell's table
+    /// starts at `meta.lut_base`.
+    lut: Vec<u8>,
+    /// CSR fanout restricted to *evaluable* sinks (DFF and output
+    /// ports pre-filtered): net `n`'s sinks are
+    /// `fan_sink[fan_off[n] .. fan_off[n + 1]]`.
+    fan_off: Vec<u32>,
+    fan_sink: Vec<u32>,
+    /// Per-cell output net, duplicated out of [`CellMeta`] as a dense
+    /// 4-byte array for the marking loop's cache behaviour.
+    out_of: Vec<u32>,
+    /// `(cell, d_net, q_net)` triples of the sequential cells.
+    dffs: Vec<(u32, u32, u32)>,
+    /// `(cell, out_net)` pairs of the primary inputs.
+    inputs: Vec<(u32, u32)>,
+    /// `(cell, out_net, value)` of the constant cells.
+    consts: Vec<(u32, u32, u8)>,
+    /// Evaluable (combinational) cells in id order, for the cycle-0
+    /// seeding pass.
+    comb: Vec<u32>,
+    // --- simulation state ---
+    /// Three-valued value code per net (see [`code_of`]), plus one
+    /// trailing dummy slot pinned to `0` that the unused input lanes
+    /// of narrow cells point at (keeps evaluation branchless).
+    values: Vec<u8>,
+    /// Pending primary-input codes applied at the next cycle edge.
+    input_next: Vec<u8>,
     transitions: Vec<u64>,
-    queue: BinaryHeap<Event>,
-    /// Latest scheduled event per net; an older pending event is
-    /// cancelled when popped (inertial-delay preemption).
-    latest_seq: Vec<u64>,
+    wheel: EventWheel,
+    /// Per-net scheduling state (preemption seq + in-flight due tick).
+    sched: Vec<NetSched>,
+    /// Index of each cell's *latest* occurrence in the dirty list
+    /// (only read for cells currently in the list, so no generation
+    /// tag is needed). Re-marking moves a cell to the back, so the
+    /// flush evaluates in last-marked order.
+    dirty_pos: Vec<u32>,
+    /// Cells awaiting evaluation at the current tick, in marking
+    /// order with superseded duplicates (reused across flushes).
+    dirty: Vec<u32>,
+    /// Reusable buffer for the pre-edge D values (two-phase capture).
+    dff_scratch: Vec<u8>,
     seq: u64,
     cycle: u64,
 }
 
+/// Compiled per-cell metadata: everything one evaluation touches, in
+/// one 24-byte record.
+#[derive(Debug, Clone, Copy)]
+struct CellMeta {
+    /// Input nets; unused lanes point at the trailing always-zero
+    /// dummy slot of `values`, so the truth-table index
+    /// `v0 + 3·v1 + 9·v2` needs no arity branch.
+    ins: [u32; 3],
+    /// Offset of the cell's truth table in `lut` (kind index × 27).
+    lut_base: u32,
+    /// Propagation delay in tick/stride units.
+    delay: u32,
+    /// Output net.
+    out: u32,
+}
+
+/// Sentinel for "no event in flight" in [`NetSched::due`]; beyond any
+/// reachable tick.
+const NOT_PENDING: u64 = u64::MAX;
+
+/// Per-net scheduling state.
+#[derive(Debug, Clone, Copy)]
+struct NetSched {
+    /// Latest scheduled event; an older pending event is cancelled
+    /// when popped (inertial-delay preemption).
+    seq: u64,
+    /// Due tick of the in-flight latest event, or [`NOT_PENDING`]. An
+    /// input change occurring in that same tick must cancel it
+    /// *eagerly*, exactly as the scalar engine's mid-tick
+    /// re-evaluation would.
+    due: u64,
+}
+
 impl<'n> TimedSim<'n> {
-    /// Creates a timing simulator using `library` delays.
-    pub fn new(netlist: &'n Netlist, library: &Library) -> Self {
-        let delays = netlist
-            .cells()
-            .iter()
-            .map(|c| library.delay(c.kind))
-            .collect();
-        Self {
+    /// Creates a timing simulator using `library` delays, quantized to
+    /// integer ticks, and compiles the netlist into the flat hot-path
+    /// arrays described on the module.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidDelay`] if any cell's library delay is not
+    /// finite, is negative, or exceeds [`MAX_DELAY_GATES`].
+    pub fn new(netlist: &'n Netlist, library: &Library) -> Result<Self, SimError> {
+        let ticks = quantize_delays(netlist, library)?;
+        // Event ordering is invariant under scaling every delay by a
+        // common factor, so run the wheel on tick/stride units: the
+        // cmos13 delays (all multiples of 0.1 gate units) collapse
+        // from a sparse 4096-bucket wheel to a dense 32-bucket one.
+        let stride = ticks.iter().copied().filter(|&d| d > 0).fold(0, gcd).max(1);
+        let delays: Vec<u64> = ticks.iter().map(|&d| d / stride).collect();
+        let max_delay = delays.iter().copied().max().unwrap_or(0);
+
+        let n_cells = netlist.cells().len();
+        let n_nets = netlist.nets().len();
+        // The trailing dummy slot of `values`: permanently `Zero`, so
+        // an unused input lane contributes 0 to the truth-table index.
+        let dummy = n_nets as u32;
+        let mut meta = Vec::with_capacity(n_cells);
+        let mut dffs = Vec::new();
+        let mut inputs = Vec::new();
+        let mut consts = Vec::new();
+        let mut comb = Vec::new();
+        for (i, cell) in netlist.cells().iter().enumerate() {
+            let kind_ix = CellKind::ALL
+                .iter()
+                .position(|&k| k == cell.kind)
+                .expect("CellKind::ALL is exhaustive");
+            let mut ins = [dummy; 3];
+            for (slot, net) in ins.iter_mut().zip(cell.inputs.iter()) {
+                *slot = net.0;
+            }
+            meta.push(CellMeta {
+                ins,
+                lut_base: (kind_ix * 27) as u32,
+                delay: delays[i] as u32,
+                out: cell.output.0,
+            });
+            match cell.kind {
+                CellKind::Dff => dffs.push((i as u32, cell.inputs[0].0, cell.output.0)),
+                CellKind::Input => inputs.push((i as u32, cell.output.0)),
+                CellKind::Const0 => consts.push((i as u32, cell.output.0, 0u8)),
+                CellKind::Const1 => consts.push((i as u32, cell.output.0, 1u8)),
+                CellKind::Output => {}
+                _ => comb.push(i as u32),
+            }
+        }
+        // Fanout CSR over evaluable sinks only: DFFs capture at edges
+        // and output ports are transparent, so neither is evaluated.
+        let mut fan_off = Vec::with_capacity(n_nets + 1);
+        let mut fan_sink = Vec::new();
+        fan_off.push(0u32);
+        for net in 0..n_nets {
+            for &sink in netlist.fanout(NetId(net as u32)) {
+                match netlist.cell(sink).kind {
+                    CellKind::Dff | CellKind::Output => {}
+                    _ => fan_sink.push(sink.0),
+                }
+            }
+            fan_off.push(fan_sink.len() as u32);
+        }
+        // `NetlistBuilder` creates every cell together with its output
+        // net, so their indices coincide; the transition counters (per
+        // cell) can then be indexed by net directly in the hot loop.
+        for (i, net) in netlist.nets().iter().enumerate() {
+            assert_eq!(
+                net.driver.index(),
+                i,
+                "cell/net index identity violated by the netlist builder"
+            );
+        }
+        let out_of: Vec<u32> = meta.iter().map(|m| m.out).collect();
+        let dff_scratch = Vec::with_capacity(dffs.len());
+        let mut values = vec![code_of(Logic::X); n_nets + 1];
+        values[n_nets] = code_of(Logic::Zero); // the dummy slot
+        Ok(Self {
             netlist,
-            delays,
-            values: vec![Logic::X; netlist.nets().len()],
-            input_next: vec![Logic::X; netlist.cells().len()],
-            transitions: vec![0; netlist.cells().len()],
-            queue: BinaryHeap::new(),
-            latest_seq: vec![0; netlist.nets().len()],
+            meta,
+            lut: build_luts().concat(),
+            fan_off,
+            fan_sink,
+            out_of,
+            dffs,
+            inputs,
+            consts,
+            comb,
+            values,
+            input_next: vec![code_of(Logic::X); n_cells],
+            transitions: vec![0; n_cells],
+            wheel: EventWheel::new(max_delay),
+            sched: vec![
+                NetSched {
+                    seq: 0,
+                    due: NOT_PENDING,
+                };
+                n_nets
+            ],
+            dirty_pos: vec![0; n_cells],
+            dirty: Vec::new(),
+            dff_scratch,
             seq: 0,
             cycle: 0,
-        }
+        })
     }
 
     /// The netlist under simulation.
@@ -102,7 +391,7 @@ impl<'n> TimedSim<'n> {
             self.netlist.cell(input).kind == CellKind::Input,
             "{input:?} is not a primary input"
         );
-        self.input_next[input.index()] = value;
+        self.input_next[input.index()] = code_of(value);
     }
 
     /// Sets an entire input bus `{prefix}{0..}` from an integer.
@@ -116,7 +405,7 @@ impl<'n> TimedSim<'n> {
 
     /// Current (settled) value of a net.
     pub fn value(&self, net: NetId) -> Logic {
-        self.values[net.index()]
+        logic_of(self.values[net.index()])
     }
 
     /// Decodes an output bus `{prefix}{0..}`; `None` if any bit is `X`.
@@ -127,149 +416,204 @@ impl<'n> TimedSim<'n> {
         }
         let bits: Vec<Logic> = bus
             .iter()
-            .map(|&id| self.values[self.netlist.cell(id).inputs[0].index()])
+            .map(|&id| logic_of(self.values[self.netlist.cell(id).inputs[0].index()]))
             .collect();
         decode_bus(&bits)
     }
 
     /// Runs one full clock cycle: clocks the DFFs, applies pending
-    /// inputs at t = 0, then processes events until the netlist
-    /// settles. Returns the number of events processed (a liveness
-    /// guard for accidental oscillators).
+    /// inputs at tick 0, then processes events until the netlist
+    /// settles. Returns the number of events processed — an
+    /// engine-specific diagnostic (the batching and elision described
+    /// on [`TimedSim`] make it much smaller than the scalar
+    /// reference's count for the same cycle).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the event count within one cycle exceeds
-    /// `10_000 × cells` — the netlist oscillates (a combinational loop
-    /// through X-decoded muxes or similar), which validation should
-    /// have prevented.
-    pub fn step(&mut self) -> u64 {
-        // 0. First cycle only: drive constants and seed an evaluation
-        // of every combinational cell. Event-driven updates alone never
-        // reach cells whose inputs never change, which would leave
-        // their initial `X` in place forever.
+    /// [`SimError::Oscillation`] if the event count within one cycle
+    /// exceeds `10_000 × cells` — the netlist oscillates instead of
+    /// settling. Structurally validated netlists cannot trigger this;
+    /// after the error the simulator state is undefined and the
+    /// instance should be discarded.
+    pub fn step(&mut self) -> Result<u64, SimError> {
+        // The queue fully drained last cycle; rewind the wheel so this
+        // cycle's events restart at tick 0.
+        self.wheel.reset();
+        // 0. First cycle only: drive constants and mark every
+        // combinational cell for evaluation. Event-driven updates
+        // alone never reach cells whose inputs never change, which
+        // would leave their initial `X` in place forever.
         if self.cycle == 0 {
-            for i in 0..self.netlist.cells().len() {
-                let id = CellId(i as u32);
-                match self.netlist.cell(id).kind {
-                    CellKind::Const0 => self.commit(id, Logic::Zero, 0.0),
-                    CellKind::Const1 => self.commit(id, Logic::One, 0.0),
-                    _ => {}
-                }
+            for i in 0..self.consts.len() {
+                let (cell, net, code) = self.consts[i];
+                self.commit(cell, net, code);
             }
-            for i in 0..self.netlist.cells().len() {
-                let id = CellId(i as u32);
-                let cell = self.netlist.cell(id);
-                match cell.kind {
-                    CellKind::Input
-                    | CellKind::Const0
-                    | CellKind::Const1
-                    | CellKind::Dff
-                    | CellKind::Output => {}
-                    _ => {
-                        let ins: Vec<Logic> =
-                            cell.inputs.iter().map(|n| self.values[n.index()]).collect();
-                        let new = cell.kind.eval(&ins);
-                        self.seq += 1;
-                        self.latest_seq[cell.output.index()] = self.seq;
-                        self.queue.push(Event {
-                            time: self.delays[id.index()],
-                            seq: self.seq,
-                            net: cell.output,
-                            value: new,
-                        });
-                    }
-                }
+            for i in 0..self.comb.len() {
+                let cell = self.comb[i];
+                self.mark_dirty(cell);
             }
         }
-        // 1. Capture D pins (values settled in the previous cycle).
-        let dff_next: Vec<(CellId, Logic)> = self
-            .netlist
-            .cells()
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.kind.is_sequential())
-            .map(|(i, c)| (CellId(i as u32), self.values[c.inputs[0].index()]))
-            .collect();
-        // 2. At t = 0: update Q outputs and primary inputs.
-        for (id, q) in dff_next {
-            self.commit(id, q, 0.0);
+        // 1. Capture D pins (values settled in the previous cycle)
+        // into the reusable scratch buffer, then update all Q outputs
+        // at tick 0 — two-phase so DFF-to-DFF chains see pre-edge
+        // values.
+        let dffs = core::mem::take(&mut self.dffs);
+        let mut scratch = core::mem::take(&mut self.dff_scratch);
+        scratch.clear();
+        scratch.extend(
+            dffs.iter()
+                .map(|&(_, d_net, _)| self.values[d_net as usize]),
+        );
+        for (&(cell, _, q_net), &q) in dffs.iter().zip(scratch.iter()) {
+            self.commit(cell, q_net, q);
         }
-        for (i, cell) in self.netlist.cells().iter().enumerate() {
-            if cell.kind == CellKind::Input {
-                let v = self.input_next[i];
-                self.commit(CellId(i as u32), v, 0.0);
-            }
+        self.dffs = dffs;
+        self.dff_scratch = scratch;
+        // 2. At tick 0: apply primary inputs, then evaluate everything
+        // the edge touched exactly once.
+        let inputs = core::mem::take(&mut self.inputs);
+        for &(cell, net) in &inputs {
+            let v = self.input_next[cell as usize];
+            self.commit(cell, net, v);
         }
-        // 3. Event loop until quiescent.
-        let budget = 10_000u64 * self.netlist.cells().len() as u64;
+        self.inputs = inputs;
+        self.flush_dirty(0);
+        // 3. Event loop until quiescent: drain each tick's events
+        // (applying fired values and marking their sinks dirty), then
+        // evaluate the tick's dirty sinks in one batch.
+        let budget = event_budget(self.netlist);
         let mut processed = 0u64;
-        while let Some(ev) = self.queue.pop() {
+        while let Some(ev) = self.wheel.pop() {
             processed += 1;
-            assert!(
-                processed <= budget,
-                "event budget exceeded: netlist oscillates"
-            );
+            if processed > budget {
+                return Err(SimError::Oscillation {
+                    netlist: self.netlist.name().to_string(),
+                    cycle: self.cycle,
+                    budget,
+                });
+            }
+            let net = ev.net.index();
             // Inertial preemption: a newer evaluation of the driver
             // supersedes this event.
-            if self.latest_seq[ev.net.index()] != ev.seq {
-                continue;
-            }
-            let old = self.values[ev.net.index()];
-            if old == ev.value {
-                continue;
-            }
-            let driver = self.netlist.net(ev.net).driver;
-            if old.is_known() && ev.value.is_known() {
-                self.transitions[driver.index()] += 1;
-            }
-            self.values[ev.net.index()] = ev.value;
-            self.propagate(ev.net, ev.time);
-        }
-        self.cycle += 1;
-        processed
-    }
-
-    /// Immediately sets a cell's output (t = 0 edge semantics) and
-    /// seeds propagation.
-    fn commit(&mut self, id: CellId, value: Logic, time: f64) {
-        let net = self.netlist.cell(id).output;
-        let old = self.values[net.index()];
-        if old == value {
-            return;
-        }
-        if old.is_known() && value.is_known() {
-            self.transitions[id.index()] += 1;
-        }
-        self.values[net.index()] = value;
-        self.propagate(net, time);
-    }
-
-    /// Re-evaluates every sink of `net` and schedules output changes.
-    fn propagate(&mut self, net: NetId, time: f64) {
-        let sinks: Vec<CellId> = self.netlist.fanout(net).to_vec();
-        for sink in sinks {
-            let cell = self.netlist.cell(sink);
-            match cell.kind {
-                // DFFs capture at edges only; outputs are transparent
-                // sinks with no further propagation of their own.
-                CellKind::Dff => {}
-                CellKind::Output => {}
-                _ => {
-                    let ins: Vec<Logic> =
-                        cell.inputs.iter().map(|n| self.values[n.index()]).collect();
-                    let new = cell.kind.eval(&ins);
-                    self.seq += 1;
-                    self.latest_seq[cell.output.index()] = self.seq;
-                    self.queue.push(Event {
-                        time: time + self.delays[sink.index()],
-                        seq: self.seq,
-                        net: cell.output,
-                        value: new,
-                    });
+            if self.sched[net].seq == ev.seq {
+                self.sched[net].due = NOT_PENDING;
+                let old = self.values[net];
+                let new = code_of(ev.value);
+                if old != new {
+                    if old < 2 && new < 2 {
+                        // Net index == driving-cell index (asserted in
+                        // `new`).
+                        self.transitions[net] += 1;
+                    }
+                    self.values[net] = new;
+                    self.mark_sinks_dirty(net as u32, ev.time);
                 }
             }
+            // Tick boundary (or queue drained): evaluate this tick's
+            // dirty sinks, scheduling their outputs one delay later.
+            let tick_continues = matches!(self.wheel.next_time(), Some(t) if t == ev.time);
+            if !tick_continues {
+                self.flush_dirty(ev.time);
+            }
         }
+        self.cycle += 1;
+        Ok(processed)
+    }
+
+    /// Immediately sets a cell's output (tick-0 edge semantics) and
+    /// marks its sinks for the tick-0 evaluation batch.
+    fn commit(&mut self, cell: u32, net: u32, code: u8) {
+        let old = self.values[net as usize];
+        if old == code {
+            return;
+        }
+        if old < 2 && code < 2 {
+            self.transitions[cell as usize] += 1;
+        }
+        self.values[net as usize] = code;
+        self.mark_sinks_dirty(net, 0);
+    }
+
+    /// Marks every evaluable sink of `net` dirty for the current tick
+    /// (`now`), cancelling any sink output event *due this very tick*
+    /// that has not fired yet. The eager cancellation mirrors the
+    /// scalar engine exactly: there, the input change re-evaluates the
+    /// sink immediately and the push preempts the same-tick pending
+    /// event before it can pop. Pending events due at later ticks need
+    /// no eager treatment — the end-of-tick flush preempts or cancels
+    /// them before any later tick is processed.
+    fn mark_sinks_dirty(&mut self, net: u32, now: u64) {
+        let lo = self.fan_off[net as usize] as usize;
+        let hi = self.fan_off[net as usize + 1] as usize;
+        for &sink in &self.fan_sink[lo..hi] {
+            let out = self.out_of[sink as usize] as usize;
+            if self.sched[out].due == now {
+                self.seq += 1;
+                self.sched[out] = NetSched {
+                    seq: self.seq,
+                    due: NOT_PENDING,
+                };
+            }
+            self.dirty_pos[sink as usize] = self.dirty.len() as u32;
+            self.dirty.push(sink);
+        }
+    }
+
+    /// Adds `cell` to the back of the current tick's dirty list. A
+    /// re-mark supersedes the earlier occurrence (skipped at flush),
+    /// so the list's surviving order is last-marked order.
+    #[inline]
+    fn mark_dirty(&mut self, cell: u32) {
+        self.dirty_pos[cell as usize] = self.dirty.len() as u32;
+        self.dirty.push(cell);
+    }
+
+    /// Evaluates every dirty cell exactly once against the fully
+    /// updated tick-`time` net values and schedules the results one
+    /// cell delay later. Evaluations that would not change the net's
+    /// value schedule nothing (a pending pulse is cancelled by
+    /// bumping its preemption sequence — no push needed); see the
+    /// equivalence argument on [`TimedSim`]. Allocation-free: the
+    /// dirty list is reused and evaluation is a truth-table lookup.
+    fn flush_dirty(&mut self, time: u64) {
+        let dirty = core::mem::take(&mut self.dirty);
+        for (i, &id) in dirty.iter().enumerate() {
+            // Only the cell's latest occurrence evaluates (last-marked
+            // order; earlier occurrences were superseded by re-marks).
+            if self.dirty_pos[id as usize] != i as u32 {
+                continue;
+            }
+            let meta = self.meta[id as usize];
+            let idx = self.values[meta.ins[0] as usize] as usize
+                + 3 * self.values[meta.ins[1] as usize] as usize
+                + 9 * self.values[meta.ins[2] as usize] as usize;
+            let new = self.lut[meta.lut_base as usize + idx];
+            let net = meta.out as usize;
+            if new == self.values[net] {
+                if self.sched[net].due != NOT_PENDING {
+                    // Cancel the in-flight pulse without a push: the
+                    // stale event fizzles at the preemption check.
+                    self.seq += 1;
+                    self.sched[net] = NetSched {
+                        seq: self.seq,
+                        due: NOT_PENDING,
+                    };
+                }
+            } else {
+                self.seq += 1;
+                let due = time + u64::from(meta.delay);
+                self.sched[net] = NetSched { seq: self.seq, due };
+                self.wheel.push(TimedEvent {
+                    time: due,
+                    seq: self.seq,
+                    net: NetId(net as u32),
+                    value: logic_of(new),
+                });
+            }
+        }
+        let mut dirty = dirty;
+        dirty.clear();
+        self.dirty = dirty;
     }
 
     /// Total known↔known transitions of logic-cell outputs so far.
@@ -313,12 +657,12 @@ mod tests {
     fn timed_sees_the_glitch_zero_delay_does_not() {
         let nl = glitchy_xor();
         let lib = Library::cmos13();
-        let mut timed = TimedSim::new(&nl, &lib);
+        let mut timed = TimedSim::new(&nl, &lib).unwrap();
         let mut zd = crate::ZeroDelaySim::new(&nl);
         // Warm up to (0, 0): xor = 0.
         timed.set_input_bits("a", 0);
         timed.set_input_bits("b", 0);
-        timed.step();
+        timed.step().unwrap();
         timed.reset_transitions();
         zd.set_input_bits("a", 0);
         zd.set_input_bits("b", 0);
@@ -328,7 +672,7 @@ mod tests {
         // delayed path makes the timed output pulse 0->1->0.
         timed.set_input_bits("a", 1);
         timed.set_input_bits("b", 1);
-        timed.step();
+        timed.step().unwrap();
         zd.set_input_bits("a", 1);
         zd.set_input_bits("b", 1);
         zd.step();
@@ -353,13 +697,13 @@ mod tests {
         b.add_output("p1", co);
         let nl = b.build().unwrap();
         let lib = Library::cmos13();
-        let mut timed = TimedSim::new(&nl, &lib);
+        let mut timed = TimedSim::new(&nl, &lib).unwrap();
         let mut zd = crate::ZeroDelaySim::new(&nl);
         for v in 0..8u64 {
             timed.set_input_bits("a", v & 1);
             timed.set_input_bits("b", (v >> 1) & 1);
             timed.set_input_bits("c", (v >> 2) & 1);
-            timed.step();
+            timed.step().unwrap();
             zd.set_input_bits("a", v & 1);
             zd.set_input_bits("b", (v >> 1) & 1);
             zd.set_input_bits("c", (v >> 2) & 1);
@@ -375,11 +719,11 @@ mod tests {
         let q = b.add_cell(CellKind::Dff, &[d]);
         b.add_output("p0", q);
         let nl = b.build().unwrap();
-        let mut sim = TimedSim::new(&nl, &Library::cmos13());
+        let mut sim = TimedSim::new(&nl, &Library::cmos13()).unwrap();
         sim.set_input_bits("a", 1);
-        sim.step();
+        sim.step().unwrap();
         assert_eq!(sim.output_bits("p"), None, "q captured pre-edge X");
-        sim.step();
+        sim.step().unwrap();
         assert_eq!(sim.output_bits("p"), Some(1));
     }
 
@@ -395,20 +739,100 @@ mod tests {
         let y = b.add_cell(CellKind::And2, &[n, x]);
         b.add_output("p0", y);
         let nl = b.build().unwrap();
-        let mut sim = TimedSim::new(&nl, &Library::cmos13());
+        let mut sim = TimedSim::new(&nl, &Library::cmos13()).unwrap();
         sim.set_input_bits("a", 1);
-        sim.step();
+        sim.step().unwrap();
         assert_eq!(sim.output_bits("p"), Some(1));
     }
 
     #[test]
     fn event_count_bounded_per_cycle() {
         let nl = glitchy_xor();
-        let mut sim = TimedSim::new(&nl, &Library::cmos13());
+        let mut sim = TimedSim::new(&nl, &Library::cmos13()).unwrap();
         sim.set_input_bits("a", 1);
         sim.set_input_bits("b", 1);
-        let events = sim.step();
+        let events = sim.step().unwrap();
         // 3 combinational cells, each re-evaluated a handful of times.
         assert!(events < 20, "events = {events}");
+    }
+
+    #[test]
+    fn quantization_is_exact_for_the_library() {
+        // Every cmos13 delay is a multiple of 0.1 gate units, so the
+        // 1000-ticks-per-gate quantization is exact.
+        let nl = glitchy_xor();
+        let lib = Library::cmos13();
+        let ticks = quantize_delays(&nl, &lib).unwrap();
+        for (cell, &t) in nl.cells().iter().zip(&ticks) {
+            let gates = lib.delay(cell.kind);
+            assert_eq!(t, (gates * 10.0).round() as u64 * 100, "{}", cell.name);
+        }
+    }
+
+    #[test]
+    fn luts_agree_with_cell_eval_exhaustively() {
+        // The compiled truth tables must be CellKind::eval, verbatim.
+        let levels = [Logic::Zero, Logic::One, Logic::X];
+        let luts = build_luts();
+        for (k, &kind) in CellKind::ALL.iter().enumerate() {
+            let arity = kind.arity();
+            if !(1..=3).contains(&arity) {
+                continue;
+            }
+            for (combo, &code) in luts[k].iter().enumerate().take(3usize.pow(arity as u32)) {
+                let mut ins = [Logic::X; 3];
+                let mut c = combo;
+                for slot in ins.iter_mut().take(arity) {
+                    *slot = levels[c % 3];
+                    c /= 3;
+                }
+                assert_eq!(
+                    logic_of(code),
+                    kind.eval(&ins[..arity]),
+                    "{kind} combo {combo}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_delays_are_rejected_at_construction() {
+        // A library with a NaN delay must fail `new`, not corrupt
+        // event ordering at runtime (the old f64 engine compared NaN
+        // as Ordering::Equal).
+        let nl = glitchy_xor();
+        for bad in [f64::NAN, f64::INFINITY, -1.0, MAX_DELAY_GATES + 1.0] {
+            let lib = Library::with_uniform_delay(bad);
+            let err = TimedSim::new(&nl, &lib).unwrap_err();
+            match err {
+                SimError::InvalidDelay { delay_gates, .. } => {
+                    assert!(delay_gates.is_nan() || delay_gates == bad);
+                }
+                other => panic!("expected InvalidDelay, got {other:?}"),
+            }
+        }
+        // Zero and MAX_DELAY_GATES are legal extremes.
+        for ok in [0.0, MAX_DELAY_GATES] {
+            assert!(TimedSim::new(&nl, &Library::with_uniform_delay(ok)).is_ok());
+        }
+    }
+
+    #[test]
+    fn zero_delay_library_settles_in_one_tick() {
+        // All-zero delays exercise the single-bucket wheel: events
+        // cascade at tick 0 in pure FIFO order.
+        let nl = glitchy_xor();
+        let lib = Library::with_uniform_delay(0.0);
+        let mut sim = TimedSim::new(&nl, &lib).unwrap();
+        let mut zd = crate::ZeroDelaySim::new(&nl);
+        for v in [0u64, 3, 1, 2, 3, 0] {
+            sim.set_input_bits("a", v & 1);
+            sim.set_input_bits("b", (v >> 1) & 1);
+            sim.step().unwrap();
+            zd.set_input_bits("a", v & 1);
+            zd.set_input_bits("b", (v >> 1) & 1);
+            zd.step();
+            assert_eq!(sim.output_bits("p"), zd.output_bits("p"), "v={v}");
+        }
     }
 }

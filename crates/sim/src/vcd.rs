@@ -38,6 +38,12 @@ impl NetProbe for TimedSim<'_> {
     }
 }
 
+impl NetProbe for crate::ScalarTimedSim<'_> {
+    fn net_value(&self, net: NetId) -> Logic {
+        self.value(net)
+    }
+}
+
 /// One lane of a [`crate::BitParallelSim`], viewed as a scalar probe.
 pub struct LaneProbe<'a, 'n> {
     sim: &'a crate::BitParallelSim<'n>,
@@ -360,11 +366,11 @@ mod tests {
     fn timed_trace_roundtrips_through_parse() {
         let nl = glitch_free_chain();
         let lib = optpower_netlist::Library::cmos13();
-        let mut sim = crate::TimedSim::new(&nl, &lib);
+        let mut sim = crate::TimedSim::new(&nl, &lib).expect("cmos13 delays are valid");
         let mut vcd = VcdRecorder::all_nets(&nl);
         for v in [0u64, 1, 1, 0, 1, 0, 0, 1, 1, 0] {
             sim.set_input_bits("a", v);
-            sim.step();
+            sim.step().expect("chain cannot oscillate");
             vcd.sample(&sim);
         }
         let text = vcd.finish();

@@ -57,12 +57,12 @@ proptest! {
     ) {
         let nl = random_netlist(4, &picks);
         let lib = Library::cmos13();
-        let mut timed = TimedSim::new(&nl, &lib);
+        let mut timed = TimedSim::new(&nl, &lib).expect("cmos13 delays are valid");
         let mut zd = ZeroDelaySim::new(&nl);
         for s in &stimulus {
             timed.set_input_bits("a", s & 0xF);
             zd.set_input_bits("a", s & 0xF);
-            timed.step();
+            timed.step().expect("acyclic netlists settle");
             zd.step();
             prop_assert_eq!(timed.output_bits("p"), zd.output_bits("p"));
         }
@@ -77,19 +77,19 @@ proptest! {
     ) {
         let nl = random_netlist(4, &picks);
         let lib = Library::cmos13();
-        let mut timed = TimedSim::new(&nl, &lib);
+        let mut timed = TimedSim::new(&nl, &lib).expect("cmos13 delays are valid");
         let mut zd = ZeroDelaySim::new(&nl);
         // Warm up one vector so both sides leave X-land together.
         timed.set_input_bits("a", 0);
         zd.set_input_bits("a", 0);
-        timed.step();
+        timed.step().expect("acyclic netlists settle");
         zd.step();
         timed.reset_transitions();
         zd.reset_transitions();
         for s in &stimulus {
             timed.set_input_bits("a", s & 0xF);
             zd.set_input_bits("a", s & 0xF);
-            timed.step();
+            timed.step().expect("acyclic netlists settle");
             zd.step();
         }
         prop_assert!(timed.logic_transitions() >= zd.logic_transitions());
@@ -126,12 +126,12 @@ fn engines_agree_through_registers() {
     b.add_output("p0", g3);
     let nl = b.build().expect("valid");
     let lib = Library::cmos13();
-    let mut timed = TimedSim::new(&nl, &lib);
+    let mut timed = TimedSim::new(&nl, &lib).expect("cmos13 delays are valid");
     let mut zd = ZeroDelaySim::new(&nl);
     for s in 0..32u64 {
         timed.set_input_bits("a", s & 3);
         zd.set_input_bits("a", s & 3);
-        timed.step();
+        timed.step().expect("acyclic netlists settle");
         zd.step();
         assert_eq!(timed.output_bits("p"), zd.output_bits("p"), "cycle {s}");
     }

@@ -29,7 +29,8 @@ fn run_flow(arch: Architecture) -> (f64, f64, f64) {
         design.cycles_per_item,
         4,
         7,
-    );
+    )
+    .expect("valid library and acyclic netlist");
     assert!(activity.activity > 0.0, "{arch}: no switching measured");
 
     // 3. Optimisation.

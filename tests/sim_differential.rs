@@ -124,10 +124,11 @@ proptest! {
     ) {
         let nl = random_netlist(&picks);
         let lib = Library::cmos13();
-        let bp = measure_activity(&nl, &lib, Engine::BitParallel, 6, 1, 2, seed);
+        let bp = measure_activity(&nl, &lib, Engine::BitParallel, 6, 1, 2, seed).unwrap();
         let scalar_sum: u64 = (0..LANES as u32)
             .map(|l| {
                 measure_activity(&nl, &lib, Engine::ZeroDelay, 6, 1, 2, lane_seed(seed, l))
+                    .unwrap()
                     .transitions
             })
             .sum();
@@ -143,8 +144,8 @@ proptest! {
     ) {
         let nl = random_netlist(&picks);
         let lib = Library::cmos13();
-        let zd = measure_activity(&nl, &lib, Engine::ZeroDelay, 8, 1, 2, seed);
-        let timed = measure_activity(&nl, &lib, Engine::Timed, 8, 1, 2, seed);
+        let zd = measure_activity(&nl, &lib, Engine::ZeroDelay, 8, 1, 2, seed).unwrap();
+        let timed = measure_activity(&nl, &lib, Engine::Timed, 8, 1, 2, seed).unwrap();
         prop_assert!(
             timed.transitions >= zd.transitions,
             "timed {} < zero-delay {}", timed.transitions, zd.transitions
@@ -168,7 +169,8 @@ fn full_architecture_suite_is_bit_identical() {
             design.cycles_per_item,
             2,
             9,
-        );
+        )
+        .unwrap();
         let scalar_sum: u64 = (0..LANES as u32)
             .map(|l| {
                 measure_activity(
@@ -180,6 +182,7 @@ fn full_architecture_suite_is_bit_identical() {
                     2,
                     lane_seed(9, l),
                 )
+                .unwrap()
                 .transitions
             })
             .sum();

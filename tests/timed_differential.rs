@@ -1,0 +1,225 @@
+//! Differential harness locking the event-wheel timed engine and the
+//! pooled timed measurement to the frozen scalar reference:
+//!
+//! * [`TimedSim`] (integer ticks + bucket wheel, allocation-free hot
+//!   path) must be *bit-identical* — settled values, per-cell
+//!   transition counts and processed-event counts — to
+//!   [`ScalarTimedSim`] (the pre-wheel binary-heap engine) on random
+//!   mixed combinational/sequential netlists and on the full
+//!   13-architecture multiplier suite;
+//! * the pooled measurement (`measure_timed_activity_pooled`) must be
+//!   bit-identical to the sum of dedicated scalar reference runs over
+//!   the same lane seeds, at 1, 2 and 8 workers.
+
+use optpower_explore::{measure_timed_activity_pooled, TimedPoolConfig, Workers};
+use optpower_mult::Architecture;
+use optpower_netlist::{CellKind, Library, Netlist, NetlistBuilder};
+use optpower_sim::{lane_seed, measure_activity, Engine, ScalarTimedSim, TimedSim};
+use proptest::prelude::*;
+
+/// Builds a random mixed combinational/sequential DAG with `a` and `b`
+/// input buses of two bits each, gate kinds and fan-ins drawn from
+/// `picks`, and the last four nets exposed as the `p` output bus.
+fn random_netlist(picks: &[(u8, u32, u32, u32)]) -> Netlist {
+    let mut b = NetlistBuilder::new("random");
+    let mut nets = Vec::new();
+    for i in 0..2 {
+        nets.push(b.add_input(format!("a{i}")));
+    }
+    for i in 0..2 {
+        nets.push(b.add_input(format!("b{i}")));
+    }
+    for &(kind_ix, x, y, z) in picks {
+        let kinds = [
+            CellKind::Buf,
+            CellKind::Inv,
+            CellKind::And2,
+            CellKind::Nand2,
+            CellKind::Or2,
+            CellKind::Nor2,
+            CellKind::Xor2,
+            CellKind::Xnor2,
+            CellKind::Mux2,
+            CellKind::Xor3,
+            CellKind::Maj3,
+            CellKind::Dff,
+        ];
+        let kind = kinds[kind_ix as usize % kinds.len()];
+        let pick = |v: u32| nets[v as usize % nets.len()];
+        let ins: Vec<_> = match kind.arity() {
+            1 => vec![pick(x)],
+            2 => vec![pick(x), pick(y)],
+            _ => vec![pick(x), pick(y), pick(z)],
+        };
+        nets.push(b.add_cell(kind, &ins));
+    }
+    for (i, net) in nets.iter().rev().take(4).enumerate() {
+        b.add_output(format!("p{i}"), *net);
+    }
+    b.build().expect("random DAG is valid by construction")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Engine-level differential: identical stimulus into the wheel
+    /// engine and the scalar reference yields, on every cycle, the
+    /// same settled outputs, and at the end the same per-cell
+    /// transition counters and per-net values. (Processed-event counts
+    /// are an engine diagnostic: batching and no-op elision make the
+    /// wheel's count strictly smaller.)
+    #[test]
+    fn wheel_engine_is_bit_identical_to_scalar_reference(
+        picks in prop::collection::vec((any::<u8>(), any::<u32>(), any::<u32>(), any::<u32>()), 5..40),
+        stimulus in prop::collection::vec(any::<u64>(), 3..12),
+    ) {
+        let nl = random_netlist(&picks);
+        let lib = Library::cmos13();
+        let mut wheel = TimedSim::new(&nl, &lib).expect("cmos13 delays are valid");
+        let mut scalar = ScalarTimedSim::new(&nl, &lib).expect("cmos13 delays are valid");
+        for (t, s) in stimulus.iter().enumerate() {
+            wheel.set_input_bits("a", s & 3);
+            wheel.set_input_bits("b", (s >> 2) & 3);
+            scalar.set_input_bits("a", s & 3);
+            scalar.set_input_bits("b", (s >> 2) & 3);
+            let ew = wheel.step().expect("acyclic netlists settle");
+            let es = scalar.step().expect("acyclic netlists settle");
+            prop_assert!(ew <= es, "wheel processed {} > scalar {} at cycle {}", ew, es, t);
+            prop_assert_eq!(wheel.output_bits("p"), scalar.output_bits("p"), "cycle {}", t);
+        }
+        // Per-cell transition counts, the quantity the power model
+        // ultimately consumes, must agree cell by cell.
+        prop_assert_eq!(wheel.transitions(), scalar.transitions());
+        prop_assert_eq!(wheel.logic_transitions(), scalar.logic_transitions());
+        // And every net's settled value.
+        for net in 0..nl.nets().len() {
+            let id = optpower_netlist::NetId(net as u32);
+            prop_assert_eq!(wheel.value(id), scalar.value(id), "net {}", net);
+        }
+    }
+
+    /// Measurement-level differential through the public API: the
+    /// `Timed` (wheel) and `TimedScalar` (heap) engines produce
+    /// identical activity reports for any netlist and seed.
+    #[test]
+    fn measured_activity_matches_between_wheel_and_scalar(
+        picks in prop::collection::vec((any::<u8>(), any::<u32>(), any::<u32>(), any::<u32>()), 5..30),
+        seed in any::<u64>(),
+    ) {
+        let nl = random_netlist(&picks);
+        let lib = Library::cmos13();
+        let wheel = measure_activity(&nl, &lib, Engine::Timed, 6, 1, 2, seed).unwrap();
+        let scalar = measure_activity(&nl, &lib, Engine::TimedScalar, 6, 1, 2, seed).unwrap();
+        prop_assert_eq!(wheel, scalar);
+    }
+
+    /// Pool-level differential: the pooled timed measurement equals
+    /// the sum of dedicated scalar reference runs over the same lane
+    /// seeds — bit-identically, at every worker count.
+    #[test]
+    fn pooled_measurement_is_worker_invariant_and_matches_scalar_sum(
+        picks in prop::collection::vec((any::<u8>(), any::<u32>(), any::<u32>(), any::<u32>()), 5..25),
+        seed in any::<u64>(),
+    ) {
+        let nl = random_netlist(&picks);
+        let lib = Library::cmos13();
+        let lanes = 4u32;
+        let scalar_sum: u64 = (0..lanes)
+            .map(|l| {
+                measure_activity(&nl, &lib, Engine::TimedScalar, 5, 1, 2, lane_seed(seed, l))
+                    .unwrap()
+                    .transitions
+            })
+            .sum();
+        let mut reference = None;
+        for workers in [1usize, 2, 8] {
+            let config = TimedPoolConfig {
+                lanes,
+                items_per_lane: 5,
+                cycles_per_item: 1,
+                warmup: 2,
+                seed,
+                workers: Workers::Fixed(workers),
+            };
+            let pooled = measure_timed_activity_pooled(&nl, &lib, &config).unwrap();
+            prop_assert_eq!(pooled.transitions, scalar_sum, "workers = {}", workers);
+            prop_assert_eq!(pooled.items, u64::from(lanes) * 5);
+            let reference = *reference.get_or_insert(pooled);
+            prop_assert_eq!(pooled, reference, "workers = {}", workers);
+            prop_assert_eq!(
+                pooled.activity.to_bits(),
+                reference.activity.to_bits(),
+                "activity bits at workers = {}", workers
+            );
+        }
+    }
+}
+
+/// Acceptance criterion: on every one of the thirteen multiplier
+/// architectures, the event-wheel engine's measured transitions are
+/// bit-identical to the frozen scalar reference, and the pooled
+/// measurement is worker-count invariant and equal to the scalar
+/// per-lane sum at 1, 2 and 8 workers.
+#[test]
+fn full_architecture_suite_wheel_and_pool_match_scalar() {
+    let lib = Library::cmos13();
+    for arch in Architecture::ALL {
+        let design = arch.generate(16).unwrap();
+        let wheel = measure_activity(
+            &design.netlist,
+            &lib,
+            Engine::Timed,
+            3,
+            design.cycles_per_item,
+            2,
+            9,
+        )
+        .unwrap();
+        let scalar = measure_activity(
+            &design.netlist,
+            &lib,
+            Engine::TimedScalar,
+            3,
+            design.cycles_per_item,
+            2,
+            9,
+        )
+        .unwrap();
+        assert_eq!(wheel, scalar, "{arch}: wheel vs scalar");
+
+        let lanes = 4u32;
+        let scalar_sum: u64 = (0..lanes)
+            .map(|l| {
+                measure_activity(
+                    &design.netlist,
+                    &lib,
+                    Engine::TimedScalar,
+                    2,
+                    design.cycles_per_item,
+                    2,
+                    lane_seed(9, l),
+                )
+                .unwrap()
+                .transitions
+            })
+            .sum();
+        let mut reference = None;
+        for workers in [1usize, 2, 8] {
+            let config = TimedPoolConfig {
+                lanes,
+                items_per_lane: 2,
+                cycles_per_item: design.cycles_per_item,
+                warmup: 2,
+                seed: 9,
+                workers: Workers::Fixed(workers),
+            };
+            let pooled = measure_timed_activity_pooled(&design.netlist, &lib, &config).unwrap();
+            assert_eq!(
+                pooled.transitions, scalar_sum,
+                "{arch} at {workers} workers"
+            );
+            let reference = *reference.get_or_insert(pooled);
+            assert_eq!(pooled, reference, "{arch} at {workers} workers");
+        }
+    }
+}
