@@ -1,0 +1,60 @@
+//! The workload API overhead check: driving a sweep through the
+//! declarative `JobSpec -> Runtime -> Artifact` path must cost the
+//! same as calling the underlying flow directly — the envelope is
+//! organisational, not computational.
+//!
+//! * `workload/direct/table1`   — `table1_parallel` straight;
+//! * `workload/runtime/table1`  — the same sweep as a `JobSpec` run by
+//!   the runtime (spec parse from JSON included, as a service
+//!   front-end would do it);
+//! * `workload/runtime/batch3`  — a three-member batch, measuring the
+//!   per-job envelope cost;
+//! * `workload/serial_core/...` / `workload/parallel/...` — the
+//!   pooled Pareto sweep JobSpec at 1 worker vs all cores (tracked in
+//!   `BENCH_sweep.json` like every serial/parallel pair).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use optpower_explore::Workers;
+use optpower_report::table1_parallel;
+use optpower_workload::{JobSpec, Runtime};
+
+fn bench_envelope_overhead(c: &mut Criterion) {
+    c.bench_function("workload/direct/table1", |b| {
+        b.iter(|| black_box(table1_parallel(Workers::Auto).expect("table 1 solves")))
+    });
+    let spec_json = JobSpec::Table1Sweep.to_json();
+    c.bench_function("workload/runtime/table1", |b| {
+        b.iter(|| {
+            let spec = JobSpec::from_json(black_box(&spec_json)).expect("wire form parses");
+            let artifact = Runtime::default().run(&spec).expect("job runs");
+            black_box(artifact.payload_json())
+        })
+    });
+    let batch = JobSpec::Batch(vec![
+        JobSpec::Table2,
+        JobSpec::Figure2 { samples: 64 },
+        JobSpec::Table3,
+    ]);
+    c.bench_function("workload/runtime/batch3", |b| {
+        b.iter(|| black_box(Runtime::default().run(&batch).expect("batch runs")))
+    });
+}
+
+fn bench_pooled_jobspec(c: &mut Criterion) {
+    let spec = JobSpec::Pareto { freq_points: 12 };
+    c.bench_function("workload/serial_core/pareto_12pts", |b| {
+        b.iter(|| {
+            black_box(
+                Runtime::new(Workers::Fixed(1))
+                    .run(&spec)
+                    .expect("pareto runs"),
+            )
+        })
+    });
+    c.bench_function("workload/parallel/pareto_12pts", |b| {
+        b.iter(|| black_box(Runtime::default().run(&spec).expect("pareto runs")))
+    });
+}
+
+criterion_group!(benches, bench_envelope_overhead, bench_pooled_jobspec);
+criterion_main!(benches);

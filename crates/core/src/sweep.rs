@@ -83,6 +83,18 @@ impl SweepOutcome {
             Self::Failed(_) => None,
         }
     }
+
+    /// Machine-readable status tag (`closed`, `boundary_pinned`,
+    /// `failed`) — the single definition shared by every CSV/JSON
+    /// export and the workload artifact envelope, so wire formats
+    /// cannot drift per consumer.
+    pub fn status(&self) -> &'static str {
+        match self {
+            Self::Closed(_) => "closed",
+            Self::BoundaryPinned(_) => "boundary_pinned",
+            Self::Failed(_) => "failed",
+        }
+    }
 }
 
 /// One sample of a frequency sweep.

@@ -26,13 +26,10 @@ impl EvalRecord {
     }
 
     /// Machine-readable status tag (`closed`, `boundary_pinned`,
-    /// `failed`) used by the CSV/JSON exports.
+    /// `failed`) used by the CSV/JSON exports — delegates to the
+    /// shared [`SweepOutcome::status`] definition.
     pub fn status(&self) -> &'static str {
-        match self.outcome {
-            SweepOutcome::Closed(_) => "closed",
-            SweepOutcome::BoundaryPinned(_) => "boundary_pinned",
-            SweepOutcome::Failed(_) => "failed",
-        }
+        self.outcome.status()
     }
 }
 

@@ -113,6 +113,30 @@ impl Architecture {
         }
     }
 
+    /// Looks an architecture up by its Table 1 name (the inverse of
+    /// [`Architecture::paper_name`]) — the wire-format spelling used
+    /// by declarative job specs.
+    pub fn from_paper_name(name: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|a| a.paper_name() == name)
+    }
+
+    /// Whether [`Architecture::generate`] accepts `width` for this
+    /// architecture (instead of panicking): the array and tree
+    /// families take any width ≥ 2, the sequential family needs a
+    /// power of two ≥ 4 (≥ 8 for the 4-per-cycle core). Widths above
+    /// 32 are rejected everywhere — the simulators drive operands
+    /// through `u64` buses and the product needs `2 × width` bits.
+    pub fn supports_width(self, width: usize) -> bool {
+        if width > 32 {
+            return false;
+        }
+        match self {
+            Self::Sequential | Self::SeqParallel => width >= 4 && width.is_power_of_two(),
+            Self::Seq4Wallace => width >= 8 && width.is_power_of_two(),
+            _ => width >= 2,
+        }
+    }
+
     /// Generates the `width × width` instance of this architecture.
     ///
     /// # Errors
@@ -195,6 +219,37 @@ mod tests {
         let names: std::collections::HashSet<&str> =
             Architecture::ALL.iter().map(|a| a.paper_name()).collect();
         assert_eq!(names.len(), 13);
+    }
+
+    #[test]
+    fn paper_name_round_trips() {
+        for arch in Architecture::ALL {
+            assert_eq!(Architecture::from_paper_name(arch.paper_name()), Some(arch));
+        }
+        assert_eq!(Architecture::from_paper_name("no such design"), None);
+    }
+
+    #[test]
+    fn supported_widths_generate_cleanly() {
+        // The glitch sweep's operand-width axis: every width an
+        // architecture claims to support must actually generate.
+        for arch in Architecture::ALL {
+            for width in [8usize, 16, 24, 32] {
+                if arch.supports_width(width) {
+                    let d = arch
+                        .generate(width)
+                        .unwrap_or_else(|e| panic!("{arch} @{width}: {e}"));
+                    assert_eq!(d.width, width);
+                }
+            }
+        }
+        // 24 bits: fine for arrays/trees, rejected for the sequential
+        // family (power-of-two requirement) instead of panicking.
+        assert!(Architecture::Rca.supports_width(24));
+        assert!(Architecture::Wallace.supports_width(24));
+        assert!(!Architecture::Sequential.supports_width(24));
+        assert!(!Architecture::Seq4Wallace.supports_width(4));
+        assert!(!Architecture::Rca.supports_width(64));
     }
 
     #[test]

@@ -89,11 +89,54 @@ impl From<ModelError> for AbInitioError {
     }
 }
 
+/// Full configuration of one ab-initio characterization run — the
+/// measurement definition as one value, so declarative job specs can
+/// express everything the old binary flags could and more.
+///
+/// `width`, `lanes`, `baseline`, `items` and `seed` are part of the
+/// *measurement definition* (they decide which operands are applied
+/// and how results are normalised); `workers` is pure scheduling and
+/// never changes the result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CharacterizeConfig {
+    /// Operand width in bits (the paper uses 16).
+    pub width: usize,
+    /// Stimulus lanes of the pooled timed (glitch-counting) leg.
+    pub lanes: u32,
+    /// Engine of the glitch-free baseline leg: [`Engine::BitParallel`]
+    /// (64 stimulus lanes per item, the default) or
+    /// [`Engine::ZeroDelay`] (the single-stream equivalent).
+    pub baseline: Engine,
+    /// Random-stimulus volume per architecture.
+    pub items: u64,
+    /// Base stimulus seed.
+    pub seed: u64,
+    /// Worker-count policy (wall-clock only, never the result).
+    pub workers: Workers,
+}
+
+impl CharacterizeConfig {
+    /// The paper's measurement shape: 16-bit operands,
+    /// [`TIMED_LANES`] timed lanes, bit-parallel glitch-free baseline.
+    pub fn new(items: u64, seed: u64) -> Self {
+        Self {
+            width: 16,
+            lanes: TIMED_LANES,
+            baseline: Engine::BitParallel,
+            items,
+            seed,
+            workers: Workers::Auto,
+        }
+    }
+}
+
 /// One architecture's ab-initio measurement and optimisation result.
 #[derive(Debug, Clone)]
 pub struct AbInitioRow {
     /// The architecture.
     pub arch: Architecture,
+    /// Operand width the measurement ran at (16 in the paper).
+    pub width: usize,
     /// Measured cell count `N`.
     pub cells: usize,
     /// Measured area in µm².
@@ -127,6 +170,17 @@ impl AbInitioRow {
     /// ripple arrays and diagonal pipeline cuts.
     pub fn glitch_factor(&self) -> f64 {
         self.activity / self.activity_zero_delay
+    }
+
+    /// The row's name on a design-space axis: the paper name at the
+    /// paper's 16-bit width, width-qualified otherwise — so a sweep
+    /// mixing operand widths never aliases two rows.
+    pub fn axis_name(&self) -> String {
+        if self.width == 16 {
+            self.arch.paper_name().to_string()
+        } else {
+            format!("{} {}b", self.arch.paper_name(), self.width)
+        }
     }
 }
 
@@ -184,30 +238,61 @@ pub fn characterize_architecture(
     seed: u64,
     timed_workers: Workers,
 ) -> Result<AbInitioRow, AbInitioError> {
+    let config = CharacterizeConfig {
+        workers: timed_workers,
+        ..CharacterizeConfig::new(items, seed)
+    };
+    characterize_architecture_with(arch, lib, tech, freq, &config)
+}
+
+/// [`characterize_architecture`] with the full measurement definition
+/// — operand width, timed lane count and glitch-free baseline engine
+/// included — as one [`CharacterizeConfig`]. `config.workers` is used
+/// for the pooled timed leg.
+///
+/// # Errors
+///
+/// [`AbInitioError::Model`] with [`ModelError::InvalidArchParameter`]
+/// when the architecture does not support `config.width` (e.g. a
+/// non-power-of-two width on the sequential family); otherwise as
+/// [`characterize_architecture`].
+pub fn characterize_architecture_with(
+    arch: Architecture,
+    lib: &Library,
+    tech: Technology,
+    freq: Hertz,
+    config: &CharacterizeConfig,
+) -> Result<AbInitioRow, AbInitioError> {
+    if !arch.supports_width(config.width) {
+        return Err(AbInitioError::Model(ModelError::InvalidArchParameter {
+            field: "width",
+            value: config.width as f64,
+        }));
+    }
     let design = arch
-        .generate(16)
-        .expect("16-bit generators are structurally valid");
+        .generate(config.width)
+        .expect("supported widths generate structurally valid netlists");
     let stats = NetlistStats::measure(&design.netlist, lib);
     let sta = TimingAnalysis::analyze(&design.netlist, lib);
     let sim_err = |source: SimError| AbInitioError::Sim { arch, source };
     let timed_config = TimedPoolConfig {
-        lanes: TIMED_LANES,
-        items_per_lane: items.div_ceil(u64::from(TIMED_LANES)).max(1),
+        lanes: config.lanes,
+        items_per_lane: config.items.div_ceil(u64::from(config.lanes)).max(1),
         cycles_per_item: design.cycles_per_item,
         warmup: 4,
-        seed,
-        workers: timed_workers,
+        seed: config.seed,
+        workers: config.workers,
     };
     let timed =
         measure_timed_activity_pooled(&design.netlist, lib, &timed_config).map_err(sim_err)?;
     let zd = measure_activity(
         &design.netlist,
         lib,
-        Engine::BitParallel,
-        items,
+        config.baseline,
+        config.items,
         design.cycles_per_item,
         4,
-        seed,
+        config.seed,
     )
     .map_err(sim_err)?;
     let ld_eff = design.effective_logical_depth(sta.logical_depth());
@@ -225,6 +310,7 @@ pub fn characterize_architecture(
         .unwrap_or(f64::NAN);
     Ok(AbInitioRow {
         arch,
+        width: config.width,
         cells: stats.logic_cells,
         area_um2: stats.area_um2,
         activity: timed.activity,
@@ -261,17 +347,40 @@ pub fn characterize_parallel(
     seed: u64,
     workers: Workers,
 ) -> Result<Vec<AbInitioRow>, AbInitioError> {
+    let config = CharacterizeConfig {
+        workers,
+        ..CharacterizeConfig::new(items, seed)
+    };
+    characterize_parallel_with(archs, flavor, &config)
+}
+
+/// [`characterize_parallel`] with the full [`CharacterizeConfig`]
+/// measurement definition (operand width, timed lanes, baseline
+/// engine). The two-level worker split of [`characterize_parallel`]
+/// applies, with `config.workers` as the total budget.
+///
+/// # Errors
+///
+/// Propagates the first [`AbInitioError`] in input order.
+pub fn characterize_parallel_with(
+    archs: &[Architecture],
+    flavor: Flavor,
+    config: &CharacterizeConfig,
+) -> Result<Vec<AbInitioRow>, AbInitioError> {
     let lib = Library::cmos13();
     let tech = Technology::stm_cmos09(flavor);
     let freq = Hertz::new(31.25e6);
-    let total = match workers {
+    let total = match config.workers {
         Workers::Auto => optpower_explore::available_workers(),
         Workers::Fixed(n) => n.max(1),
     };
     let outer = total.clamp(1, archs.len().max(1));
-    let timed_workers = Workers::Fixed((total / outer).max(1));
+    let inner = CharacterizeConfig {
+        workers: Workers::Fixed((total / outer).max(1)),
+        ..*config
+    };
     par_map(archs, outer, |&arch| {
-        characterize_architecture(arch, &lib, tech, freq, items, seed, timed_workers)
+        characterize_architecture_with(arch, &lib, tech, freq, &inner)
     })
     .into_iter()
     .collect()
@@ -324,7 +433,7 @@ pub fn measured_arch_params(
                 ActivitySource::MeasuredTimed => r.activity,
                 ActivitySource::MeasuredZeroDelay => r.activity_zero_delay,
             };
-            ArchParams::builder(r.arch.paper_name())
+            ArchParams::builder(r.axis_name())
                 .cells(r.cells as u32)
                 .activity(activity)
                 .logical_depth(r.ld_eff)
@@ -484,13 +593,14 @@ pub fn render_glitch_factors(rows: &[AbInitioRow]) -> String {
 /// Exports the characterization rows (glitch factor included) as CSV.
 pub fn glitch_rows_to_csv(rows: &[AbInitioRow]) -> String {
     let mut out = String::from(
-        "arch,cells,area_um2,activity_timed,activity_zero_delay,glitch_factor,\
+        "arch,width,cells,area_um2,activity_timed,activity_zero_delay,glitch_factor,\
          ld_eff,cap_per_cell_f,vdd_v,vth_v,ptot_uw,eq13_uw\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{},{},{:e},{:e},{:e},{:e},{:e},{:e},{:e},{:e},{:e},{}\n",
+            "{},{},{},{:e},{:e},{:e},{:e},{:e},{:e},{:e},{:e},{:e},{}\n",
             csv_field(r.arch.paper_name()),
+            r.width,
             r.cells,
             r.area_um2,
             r.activity,
@@ -521,11 +631,12 @@ pub fn glitch_rows_to_json(rows: &[AbInitioRow]) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"arch\":{},\"cells\":{},\"area_um2\":{},\"activity_timed\":{},\
+            "{{\"arch\":{},\"width\":{},\"cells\":{},\"area_um2\":{},\"activity_timed\":{},\
              \"activity_zero_delay\":{},\"glitch_factor\":{},\"ld_eff\":{},\
              \"cap_per_cell_f\":{},\"vdd_v\":{},\"vth_v\":{},\"ptot_uw\":{},\
              \"eq13_uw\":{}}}",
             json_string(r.arch.paper_name()),
+            r.width,
             r.cells,
             json_num(r.area_um2),
             json_num(r.activity),
@@ -756,6 +867,73 @@ mod tests {
         }
         assert!(compared > 0, "no point closed in both sweeps");
         assert!(sweep.total_glitch_cost_w() >= 0.0);
+    }
+
+    #[test]
+    fn width_axis_characterizes_and_names_rows() {
+        let cfg8 = CharacterizeConfig {
+            width: 8,
+            ..CharacterizeConfig::new(20, 3)
+        };
+        let rows8 =
+            characterize_parallel_with(&[Architecture::Rca], Flavor::LowLeakage, &cfg8).unwrap();
+        assert_eq!(rows8[0].width, 8);
+        assert_eq!(rows8[0].axis_name(), "RCA 8b");
+        let rows16 = characterize_parallel_with(
+            &[Architecture::Rca],
+            Flavor::LowLeakage,
+            &CharacterizeConfig::new(20, 3),
+        )
+        .unwrap();
+        // 16-bit rows keep the bare paper name (legacy-identical axes).
+        assert_eq!(rows16[0].axis_name(), "RCA");
+        assert!(rows8[0].cells < rows16[0].cells);
+        // A mixed-width sweep has no axis-name collisions.
+        let mixed: Vec<AbInitioRow> = rows8.iter().chain(&rows16).cloned().collect();
+        let params = measured_arch_params(&mixed, ActivitySource::MeasuredTimed).unwrap();
+        assert_eq!(params[0].name(), "RCA 8b");
+        assert_eq!(params[1].name(), "RCA");
+        // Unsupported width -> typed error, not a generator panic.
+        let bad = CharacterizeConfig {
+            width: 24,
+            ..CharacterizeConfig::new(20, 3)
+        };
+        let err = characterize_architecture_with(
+            Architecture::Sequential,
+            &Library::cmos13(),
+            Technology::stm_cmos09(Flavor::LowLeakage),
+            Hertz::new(31.25e6),
+            &bad,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            AbInitioError::Model(ModelError::InvalidArchParameter { field: "width", .. })
+        ));
+    }
+
+    #[test]
+    fn baseline_engine_is_configurable() {
+        // A ZeroDelay baseline consumes exactly the lane-0 stream, so
+        // it reproduces the scalar measurement; the default 64-lane
+        // bit-parallel baseline averages more stimulus but stays in
+        // the same neighbourhood.
+        let zd_cfg = CharacterizeConfig {
+            baseline: Engine::ZeroDelay,
+            ..CharacterizeConfig::new(30, 11)
+        };
+        let zd = characterize_parallel_with(&[Architecture::Wallace], Flavor::LowLeakage, &zd_cfg)
+            .unwrap();
+        let bp = characterize_parallel_with(
+            &[Architecture::Wallace],
+            Flavor::LowLeakage,
+            &CharacterizeConfig::new(30, 11),
+        )
+        .unwrap();
+        // Timed leg identical (same lanes/seed); baselines close but
+        // generally not bit-equal (different stimulus volume).
+        assert_eq!(zd[0].activity.to_bits(), bp[0].activity.to_bits());
+        assert!((zd[0].activity_zero_delay - bp[0].activity_zero_delay).abs() < 0.1);
     }
 
     #[test]

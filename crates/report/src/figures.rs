@@ -3,14 +3,16 @@
 //! (Figs. 3/4).
 
 use optpower::calibrate::{build_model, from_breakdown};
-use optpower::reference::{PAPER_FREQUENCY, TABLE1};
+use optpower::reference::{table1_arch_params, PAPER_FREQUENCY, TABLE1};
+use optpower::sweep::log_frequency_axis;
 use optpower::{ArchParams, ModelError, OperatingPoint};
+use optpower_explore::{explore, ExploreConfig, Grid, ResultSet, Workers};
 use optpower_mult::{rca_pipelined, PipelineStyle};
 use optpower_netlist::{Library, Netlist};
 use optpower_sim::{measure_activity, Engine};
 use optpower_sta::TimingAnalysis;
 use optpower_tech::{Flavor, Linearization, Technology};
-use optpower_units::{Farads, SquareMicrons, Volts, Watts};
+use optpower_units::{Farads, Hertz, SquareMicrons, Volts, Watts};
 
 use crate::render::{fnum, Table};
 
@@ -261,6 +263,176 @@ pub fn render_figure34(fig: &Figure34) -> String {
     )
 }
 
+/// The Ptot-vs-frequency Pareto figure: a design-space exploration
+/// over the calibrated Table 1 architectures, all three STM CMOS09
+/// flavours and a log frequency axis, plus the extracted
+/// (throughput ↑, power ↓) Pareto front.
+#[derive(Debug, Clone)]
+pub struct ParetoFigure {
+    /// The explored design space, in grid order.
+    pub result: ResultSet,
+    /// The swept frequency axis.
+    pub frequencies: Vec<Hertz>,
+}
+
+impl ParetoFigure {
+    /// `(frequency_hz, tech, arch, ptot_w)` of every front point, by
+    /// ascending frequency.
+    pub fn front_points(&self) -> Vec<(f64, &'static str, String, f64)> {
+        self.result
+            .pareto_front()
+            .into_iter()
+            .map(|r| {
+                let opt = r.optimum().expect("front members are closed");
+                (
+                    r.frequency.value(),
+                    r.tech,
+                    r.arch.clone(),
+                    opt.ptot().value(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Runs the Pareto sweep: the thirteen calibrated Table 1
+/// architectures × all three flavours × `freq_points` log-spaced
+/// frequencies in `[1 MHz, 250 MHz]` on the exploration engine.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] from calibration or an invalid axis.
+pub fn figure_pareto(freq_points: usize, workers: Workers) -> Result<ParetoFigure, ModelError> {
+    let frequencies = log_frequency_axis(Hertz::new(1e6), Hertz::new(250e6), freq_points)?;
+    let grid = Grid::builder()
+        .technologies(Flavor::ALL.iter().map(|&fl| Technology::stm_cmos09(fl)))
+        .architectures(table1_arch_params()?)
+        .frequencies(frequencies.iter().copied())
+        .build()
+        .expect("all three axes are non-empty and validated");
+    let config = ExploreConfig {
+        workers,
+        ..ExploreConfig::default()
+    };
+    Ok(ParetoFigure {
+        result: explore(&grid, &config),
+        frequencies,
+    })
+}
+
+/// Renders the Pareto figure: an ASCII log-log scatter (front points
+/// `*`, dominated closed points `.`) above the front table.
+pub fn render_pareto(fig: &ParetoFigure) -> String {
+    const COLS: usize = 64;
+    const ROWS: usize = 16;
+    // Computed once and shared by the scatter and the table below.
+    let front = fig.result.pareto_front();
+    let closed: Vec<(f64, f64, bool)> = fig
+        .result
+        .records()
+        .iter()
+        .filter_map(|r| {
+            r.optimum().map(|o| {
+                let on_front = front.iter().any(|f| std::ptr::eq(*f, r));
+                (r.frequency.value(), o.ptot().value(), on_front)
+            })
+        })
+        .collect();
+    let mut out = String::from(
+        "Pareto figure - optimal Ptot vs throughput over the explored design space\n\
+         (log-log; '*' Pareto front, '.' dominated closed points)\n",
+    );
+    if closed.is_empty() {
+        out.push_str("(no closed points)\n");
+        return out;
+    }
+    let (mut fmin, mut fmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut pmin, mut pmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(f, p, _) in &closed {
+        fmin = fmin.min(f);
+        fmax = fmax.max(f);
+        pmin = pmin.min(p);
+        pmax = pmax.max(p);
+    }
+    let fspan = (fmax.log10() - fmin.log10()).max(f64::MIN_POSITIVE);
+    let pspan = (pmax.log10() - pmin.log10()).max(f64::MIN_POSITIVE);
+    let mut canvas = vec![vec![b' '; COLS]; ROWS];
+    for &(f, p, on_front) in &closed {
+        let x = ((f.log10() - fmin.log10()) / fspan * (COLS - 1) as f64).round() as usize;
+        let y = ((pmax.log10() - p.log10()) / pspan * (ROWS - 1) as f64).round() as usize;
+        let cell = &mut canvas[y.min(ROWS - 1)][x.min(COLS - 1)];
+        if on_front {
+            *cell = b'*';
+        } else if *cell == b' ' {
+            *cell = b'.';
+        }
+    }
+    for (i, row) in canvas.into_iter().enumerate() {
+        let label = if i == 0 {
+            format!("{:>9.2} uW", pmax * 1e6)
+        } else if i == ROWS - 1 {
+            format!("{:>9.2} uW", pmin * 1e6)
+        } else {
+            " ".repeat(12)
+        };
+        out.push_str(&format!(
+            "{label} |{}\n",
+            String::from_utf8(row).expect("ascii canvas")
+        ));
+    }
+    out.push_str(&format!(
+        "{} +{}\n{:>18.2} MHz{:>width$.2} MHz\n",
+        " ".repeat(12),
+        "-".repeat(COLS),
+        fmin / 1e6,
+        fmax / 1e6,
+        width = COLS - 6
+    ));
+    let mut t = Table::new(&[
+        "f [MHz]",
+        "tech",
+        "arch",
+        "Vdd [V]",
+        "Vth [V]",
+        "Ptot [uW]",
+        "E/op [pJ]",
+    ]);
+    for r in front {
+        let opt = r.optimum().expect("front members are closed");
+        t.row(&[
+            fnum(r.frequency.value() / 1e6, 2),
+            r.tech.to_string(),
+            r.arch.clone(),
+            fnum(opt.vdd().value(), 3),
+            fnum(opt.vth().value(), 3),
+            fnum(opt.ptot().value() * 1e6, 2),
+            fnum(opt.energy_per_item(r.frequency) * 1e12, 3),
+        ]);
+    }
+    out.push_str(&format!("Pareto front (throughput up, power down)\n{t}"));
+    out
+}
+
+/// Exports the Pareto front as CSV
+/// (`frequency_hz,tech,arch,vdd_v,vth_v,ptot_w,energy_per_op_j`).
+pub fn pareto_front_csv(fig: &ParetoFigure) -> String {
+    let mut out = String::from("frequency_hz,tech,arch,vdd_v,vth_v,ptot_w,energy_per_op_j\n");
+    for r in fig.result.pareto_front() {
+        let opt = r.optimum().expect("front members are closed");
+        out.push_str(&format!(
+            "{:e},{},{},{:e},{:e},{:e},{:e}\n",
+            r.frequency.value(),
+            r.tech,
+            r.arch,
+            opt.vdd().value(),
+            opt.vth().value(),
+            opt.ptot().value(),
+            opt.energy_per_item(r.frequency),
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,5 +518,44 @@ mod tests {
         assert!(render_figure1(&f1).contains("Figure 1"));
         let f2 = figure2(16).unwrap();
         assert!(render_figure2(&f2).contains("alpha"));
+    }
+
+    #[test]
+    fn pareto_figure_front_is_monotone_and_worker_invariant() {
+        let fig = figure_pareto(5, Workers::Fixed(1)).unwrap();
+        assert_eq!(fig.frequencies.len(), 5);
+        assert_eq!(fig.result.len(), 3 * 13 * 5);
+        let front = fig.front_points();
+        assert!(!front.is_empty());
+        // Ascending frequency implies ascending power along the front.
+        for pair in front.windows(2) {
+            assert!(pair[0].0 < pair[1].0);
+            assert!(pair[0].3 < pair[1].3);
+        }
+        // Scheduling never changes the figure.
+        let par = figure_pareto(5, Workers::Fixed(8)).unwrap();
+        assert_eq!(par.result, fig.result);
+    }
+
+    #[test]
+    fn pareto_renders_scatter_and_table() {
+        let fig = figure_pareto(4, Workers::Auto).unwrap();
+        let s = render_pareto(&fig);
+        assert!(s.contains("Pareto front"));
+        assert!(s.contains('*'), "front points plotted:\n{s}");
+        assert!(s.contains("MHz"));
+        let csv = pareto_front_csv(&fig);
+        assert!(csv.starts_with("frequency_hz,tech,arch"));
+        assert_eq!(csv.lines().count(), 1 + fig.front_points().len());
+    }
+
+    #[test]
+    fn pareto_empty_result_set_renders_placeholder() {
+        let fig = ParetoFigure {
+            result: ResultSet::default(),
+            frequencies: Vec::new(),
+        };
+        assert!(render_pareto(&fig).contains("no closed points"));
+        assert_eq!(pareto_front_csv(&fig).lines().count(), 1);
     }
 }

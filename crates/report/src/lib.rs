@@ -28,14 +28,16 @@ mod figures;
 mod render;
 
 pub use abinitio::{
-    ab_initio_table, characterize_all_parallel, characterize_architecture, characterize_parallel,
+    ab_initio_table, characterize_all_parallel, characterize_architecture,
+    characterize_architecture_with, characterize_parallel, characterize_parallel_with,
     glitch_aware_sweep, glitch_rows_to_csv, glitch_rows_to_json, glitch_sweep_from_rows,
     measured_arch_params, render_ab_initio, render_glitch_factors, AbInitioError, AbInitioRow,
-    ActivitySource, GlitchSweep, TIMED_LANES,
+    ActivitySource, CharacterizeConfig, GlitchSweep, TIMED_LANES,
 };
 pub use calibrated::{render_rows, table1, table1_parallel, table2, table3, table4, RowComparison};
 pub use figures::{
-    figure1, figure2, figure34, render_figure1, render_figure2, render_figure34, Figure1,
-    Figure1Curve, Figure2, Figure34, StageSummary,
+    figure1, figure2, figure34, figure_pareto, pareto_front_csv, render_figure1, render_figure2,
+    render_figure34, render_pareto, Figure1, Figure1Curve, Figure2, Figure34, ParetoFigure,
+    StageSummary,
 };
 pub use render::Table;

@@ -173,6 +173,47 @@ impl EventWheel {
         }
     }
 
+    /// Removes the entire earliest-tick bucket in one operation,
+    /// swapping its contents into `run` (whose previous contents are
+    /// cleared) and returning the bucket's tick. Events come back in
+    /// insertion order — within one tick that is `seq` order, exactly
+    /// what [`EventWheel::pop`] would deliver one by one.
+    ///
+    /// This is the *bucket-run drain*: instead of freezing the current
+    /// bucket in place while popping it event by event (so that
+    /// zero-delay cells can append behind the drain point), the whole
+    /// run is taken out and the bucket is immediately free. It is only
+    /// sound when **no event can be scheduled at the run's own tick
+    /// while the run is processed** — i.e. when every delay is at
+    /// least one stride unit, since then a push from tick `t` targets
+    /// `t + d` with `1 ≤ d ≤ W − 1` and never re-enters bucket
+    /// `t & (W − 1)`. The caller asserts that precondition by using
+    /// this method at all; [`crate::TimedSim`] checks it once at
+    /// construction and falls back to [`EventWheel::pop`] when a
+    /// zero-delay evaluable cell exists.
+    ///
+    /// Must not be interleaved with [`EventWheel::pop`] mid-bucket
+    /// (run mode never is: an engine picks one drain style for its
+    /// whole lifetime).
+    #[inline]
+    pub fn pop_run(&mut self, run: &mut Vec<TimedEvent>) -> Option<u64> {
+        debug_assert_eq!(self.drain, 0, "pop_run interleaved with pop mid-bucket");
+        if self.len == 0 {
+            return None;
+        }
+        let mut b = (self.cursor & self.mask) as usize;
+        if self.buckets[b].is_empty() {
+            self.cursor = self.next_occupied_tick(b);
+            b = (self.cursor & self.mask) as usize;
+        }
+        self.occupied[b / 64] &= !(1 << (b % 64));
+        self.len -= self.buckets[b].len();
+        run.clear();
+        core::mem::swap(run, &mut self.buckets[b]);
+        debug_assert!(run.iter().all(|ev| ev.time == self.cursor));
+        Some(self.cursor)
+    }
+
     /// The absolute tick of the next occupied bucket strictly after
     /// bucket `from` in circular order. Only called with `len > 0`.
     fn next_occupied_tick(&self, from: usize) -> u64 {
@@ -321,6 +362,67 @@ mod tests {
         w.push(ev(0, 3));
         let seqs: Vec<u64> = std::iter::from_fn(|| w.pop().map(|e| e.seq)).collect();
         assert_eq!(seqs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pop_run_drains_whole_buckets_in_pop_order() {
+        let mut w = EventWheel::new(100);
+        w.push(ev(50, 1));
+        w.push(ev(10, 2));
+        w.push(ev(50, 3));
+        w.push(ev(0, 4));
+        let mut run = Vec::new();
+        assert_eq!(w.pop_run(&mut run), Some(0));
+        assert_eq!(run.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![4]);
+        assert_eq!(w.pop_run(&mut run), Some(10));
+        assert_eq!(run.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(w.pop_run(&mut run), Some(50));
+        assert_eq!(run.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![1, 3]);
+        assert!(w.is_empty());
+        assert_eq!(w.pop_run(&mut run), None);
+        // The last run buffer is left untouched by a `None` result.
+        assert_eq!(run.len(), 2);
+    }
+
+    #[test]
+    fn pop_run_allows_pushes_into_later_ticks_mid_run() {
+        // Delays >= 1 stride: while processing the tick-3 run, new
+        // events land at later ticks (possibly a full wheel wrap away
+        // in absolute time, but never in the drained bucket).
+        let mut w = EventWheel::new(7);
+        w.push(ev(3, 1));
+        let mut run = Vec::new();
+        assert_eq!(w.pop_run(&mut run), Some(3));
+        w.push(ev(4, 2));
+        w.push(ev(10, 3));
+        assert_eq!(w.pop_run(&mut run), Some(4));
+        assert_eq!(run[0].seq, 2);
+        assert_eq!(w.pop_run(&mut run), Some(10));
+        assert_eq!(run[0].seq, 3);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn pop_run_matches_pop_on_a_random_schedule() {
+        // Differential: the concatenation of pop_run runs equals the
+        // pop-by-pop sequence for the same pushes (all delays >= 1).
+        let schedule: Vec<(u64, u64)> = (0..200u64).map(|i| ((i * 37) % 96, i)).collect();
+        let mut a = EventWheel::new(100);
+        let mut b = EventWheel::new(100);
+        for &(t, s) in &schedule {
+            a.push(ev(t, s));
+            b.push(ev(t, s));
+        }
+        let by_pop: Vec<(u64, u64)> =
+            std::iter::from_fn(|| a.pop().map(|e| (e.time, e.seq))).collect();
+        let mut by_run = Vec::new();
+        let mut run = Vec::new();
+        while let Some(t) = b.pop_run(&mut run) {
+            for e in &run {
+                by_run.push((t, e.seq));
+            }
+        }
+        assert_eq!(by_pop, by_run);
     }
 
     #[test]

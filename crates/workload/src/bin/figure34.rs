@@ -1,0 +1,7 @@
+//! Legacy shim: `figure34` now forwards to the declarative workload
+//! runtime; stdout is byte-identical to the retired bespoke binary.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    optpower_workload::cli::legacy_main("figure34")
+}

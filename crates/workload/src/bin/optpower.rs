@@ -1,0 +1,8 @@
+//! The single CLI over every workload: `optpower run <spec.json>`,
+//! `optpower list`, `optpower table1`, `optpower ab-initio
+//! --glitch-sweep`, … — see `optpower help`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    optpower_workload::cli::main_with_args(std::env::args().skip(1).collect())
+}

@@ -1,0 +1,599 @@
+//! A minimal, dependency-free JSON value with a strict parser and a
+//! deterministic writer — the wire format of [`crate::JobSpec`] and
+//! the [`crate::Artifact`] envelope.
+//!
+//! The workspace is offline (no `serde`), so the workload layer
+//! carries its own JSON implementation, sized to exactly what the wire
+//! format needs:
+//!
+//! * **lossless round-trips** — unsigned integers up to `u64::MAX`
+//!   survive (a `seed` is a full `u64`; shoving it through `f64` would
+//!   corrupt anything above 2⁵³), and floats are written with Rust's
+//!   shortest-round-trip formatting (`{:?}`), so
+//!   `parse(write(v)) == v` bit for bit;
+//! * **total ordering of object keys is the writer's insertion
+//!   order** — specs serialize field-by-field in a fixed order, so the
+//!   same spec always produces the same bytes (golden-file friendly);
+//! * **strict parsing** — trailing garbage, unterminated strings,
+//!   invalid escapes and over-deep nesting are errors with a byte
+//!   offset, not silent acceptance.
+
+use core::fmt;
+
+/// Maximum nesting depth the parser accepts — ample for any spec
+/// (batches nest one level per `Batch`), small enough that a
+/// pathological input cannot overflow the stack.
+const MAX_DEPTH: usize = 64;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer that fits `u64`, kept exact.
+    UInt(u64),
+    /// Any other number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order (duplicate keys: last wins on
+    /// lookup, all are preserved on write).
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse error with the byte offset it occurred at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A float value; non-finite floats become `null` (JSON has no
+    /// literal for them).
+    pub fn num(v: f64) -> Json {
+        if v.is_finite() {
+            Json::Num(v)
+        } else {
+            Json::Null
+        }
+    }
+
+    /// Member lookup on an object (last duplicate wins).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact `u64` (integral floats qualify).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::UInt(u) => Some(u),
+            // `u64::MAX as f64` rounds up to 2^64, which does not fit —
+            // hence the strict bound.
+            Json::Num(v) if v >= 0.0 && v < u64::MAX as f64 && v.fract() == 0.0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `usize`.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|u| usize::try_from(u).ok())
+    }
+
+    /// The value as an `f64` (exact integers convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::UInt(u) => Some(u as f64),
+            Json::Num(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Serialises the value compactly (no whitespace), appending to
+    /// `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::UInt(u) => {
+                out.push_str(&u.to_string());
+            }
+            Json::Num(v) => {
+                if v.is_finite() {
+                    // `{:?}` is Rust's shortest round-trip float form.
+                    let s = format!("{v:?}");
+                    out.push_str(&s);
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a complete JSON document (trailing non-whitespace is an
+    /// error).
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] with the byte offset of the first problem.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+}
+
+/// `Display` is the compact serialisation — `json.to_string()` is the
+/// wire form.
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+/// Writes a JSON string literal with the mandatory escapes.
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let value = self.value(depth + 1)?;
+                    pairs.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(pairs));
+                        }
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                            } else {
+                                hi
+                            };
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid unicode escape")),
+                            }
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                // Raw byte: strings are slices of valid UTF-8, so
+                // multi-byte sequences pass through unmodified.
+                _ if b < 0x20 => return Err(self.err("raw control character in string")),
+                _ => {
+                    // Re-sync on char boundaries: push the whole char.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let s = core::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let Some(b) = self.peek() else {
+                return Err(self.err("truncated \\u escape"));
+            };
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit"))?;
+            code = code * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let integral_end = self.pos;
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            core::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if text.is_empty()
+            || text == "-"
+            || integral_end == start + usize::from(text.starts_with('-'))
+        {
+            return Err(JsonError {
+                offset: start,
+                message: "invalid number".to_string(),
+            });
+        }
+        if !is_float && !text.starts_with('-') {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+        }
+        text.parse::<f64>().map(Json::Num).map_err(|_| JsonError {
+            offset: start,
+            message: "invalid number".to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Json) -> Json {
+        Json::parse(&v.to_string()).expect("writer output parses")
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Bool(false),
+            Json::UInt(0),
+            Json::UInt(u64::MAX),
+            Json::Num(-1.5),
+            Json::Num(core::f64::consts::PI),
+            Json::Num(1e300),
+            Json::str("hello"),
+            Json::str("esc \" \\ \n \t \u{1} π€"),
+        ] {
+            assert_eq!(roundtrip(&v), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn u64_integers_are_exact() {
+        // 2^53 + 1 is not representable in f64 — the UInt arm keeps it.
+        let big = (1u64 << 53) + 1;
+        let v = Json::UInt(big);
+        assert_eq!(v.to_string(), big.to_string());
+        assert_eq!(roundtrip(&v).as_u64(), Some(big));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = Json::obj([
+            (
+                "a",
+                Json::Arr(vec![Json::UInt(1), Json::Null, Json::str("x")]),
+            ),
+            ("b", Json::obj([("nested", Json::Bool(false))])),
+            ("n", Json::Num(0.25)),
+        ]);
+        assert_eq!(roundtrip(&v), v);
+        assert_eq!(
+            v.to_string(),
+            r#"{"a":[1,null,"x"],"b":{"nested":false},"n":0.25}"#
+        );
+    }
+
+    #[test]
+    fn lookup_and_accessors() {
+        let v = Json::parse(r#"{"s":"t","u":7,"f":1.5,"b":true,"arr":[1,2],"z":null}"#).unwrap();
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("t"));
+        assert_eq!(v.get("u").and_then(Json::as_u64), Some(7));
+        assert_eq!(v.get("u").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(v.get("f").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(v.get("f").and_then(Json::as_u64), None);
+        assert_eq!(v.get("b").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            v.get("arr").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+        assert!(v.get("z").is_some_and(Json::is_null));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn integral_floats_convert_to_u64() {
+        assert_eq!(Json::Num(7.0).as_u64(), Some(7));
+        assert_eq!(Json::Num(7.5).as_u64(), None);
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+    }
+
+    #[test]
+    fn whitespace_and_unicode_escapes_parse() {
+        let v = Json::parse(" { \"k\" : [ 1 ,\t\"\\u00e9\\ud83d\\ude00\" ] } ").unwrap();
+        let arr = v.get("k").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[1].as_str(), Some("é😀"));
+    }
+
+    #[test]
+    fn malformed_inputs_error_with_offsets() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            "{\"a\":1} extra",
+            "nul",
+            "\"\\q\"",
+            "\"\\ud800x\"",
+            "-",
+            "[1 2]",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn depth_limit_rejects_pathological_nesting() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.message.contains("deep"));
+        // 40 levels is fine.
+        let ok = "[".repeat(40) + &"]".repeat(40);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        assert_eq!(Json::num(f64::NAN), Json::Null);
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+    }
+}

@@ -1,0 +1,19 @@
+#![doc = include_str!("../README.md")]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod cli;
+pub mod error;
+pub mod json;
+pub mod runtime;
+pub mod spec;
+
+pub use artifact::{Artifact, ExportListing, FlavorRow, Payload, RunMeta, ARTIFACT_SCHEMA};
+pub use error::{SpecError, WorkloadError};
+pub use json::{Json, JsonError};
+pub use runtime::Runtime;
+pub use spec::{
+    engine_from_name, engine_name, AbInitioSpec, ActivitySpec, GlitchSweepSpec, JobSpec, JOB_KINDS,
+    JOB_SCHEMA,
+};

@@ -1,0 +1,451 @@
+//! The single execution engine behind every workload: a [`Runtime`]
+//! owns the `optpower-explore` worker [`Pool`] and turns any
+//! [`JobSpec`] into an [`Artifact`].
+//!
+//! One rule governs the whole module: **the pool is handed in, never
+//! constructed ad hoc per flow.** Each job draws its parallelism from
+//! the runtime's pool (specs may pin an explicit worker count for
+//! their own run), and because every underlying flow is
+//! worker-count-invariant, the artifact payload is a pure function of
+//! the spec.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use optpower_explore::{available_workers, Pool, Workers};
+use optpower_mult::Architecture;
+use optpower_netlist::Library;
+use optpower_report::ablation;
+use optpower_report::extended::{scaling_study_parallel, sensitivity_report_parallel};
+use optpower_report::{
+    characterize_parallel_with, figure1, figure2, figure34, figure_pareto, glitch_sweep_from_rows,
+    table1_parallel, table3, table4, AbInitioRow, CharacterizeConfig, GlitchSweep,
+};
+use optpower_sim::{measure_activity, VcdRecorder, ZeroDelaySim};
+use optpower_tech::{Flavor, Technology};
+
+use crate::artifact::{Artifact, ExportListing, FlavorRow, Payload, RunMeta};
+use crate::error::{SpecError, WorkloadError};
+use crate::spec::{engine_name, AbInitioSpec, GlitchSweepSpec, JobSpec};
+
+/// Console title of the Table 1 artifact (the legacy binary's).
+pub const TABLE1_TITLE: &str = "Table 1 - 16-bit multipliers at the optimal working point \
+                                (ST LL, 31.25 MHz)\n(p) = paper columns; bare = this reproduction";
+/// Console title of the Table 3 artifact.
+pub const TABLE3_TITLE: &str = "Table 3 - Wallace family optimal power, ULL flavour (31.25 MHz)";
+/// Console title of the Table 4 artifact.
+pub const TABLE4_TITLE: &str = "Table 4 - Wallace family optimal power, HS flavour (31.25 MHz)";
+
+/// Executes [`JobSpec`]s on one shared worker pool.
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    pool: Pool,
+    artifact_dir: PathBuf,
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Self::new(Workers::Auto)
+    }
+}
+
+impl Runtime {
+    /// A runtime whose pool uses `workers`, writing side-effect
+    /// artifacts (the export job) under `target/optpower-artifacts`.
+    pub fn new(workers: Workers) -> Self {
+        Self::with_pool(Pool::new(workers))
+    }
+
+    /// A runtime on an existing pool handle.
+    pub fn with_pool(pool: Pool) -> Self {
+        Self {
+            pool,
+            artifact_dir: PathBuf::from("target/optpower-artifacts"),
+        }
+    }
+
+    /// Overrides the directory side-effect artifacts are written to.
+    pub fn with_artifact_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.artifact_dir = dir.into();
+        self
+    }
+
+    /// The worker pool jobs draw parallelism from.
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    /// The directory side-effect artifacts are written to.
+    pub fn artifact_dir(&self) -> &Path {
+        &self.artifact_dir
+    }
+
+    /// Executes one job, returning its artifact.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError`] — the single error surface of every workload.
+    pub fn run(&self, spec: &JobSpec) -> Result<Artifact, WorkloadError> {
+        let started = Instant::now();
+        let workers = self.pool.policy();
+        let (payload, meta_seed, meta_engine, meta_workers) = match spec {
+            JobSpec::Table1Sweep => (
+                Payload::Rows {
+                    title: TABLE1_TITLE.to_string(),
+                    rows: table1_parallel(workers)?,
+                },
+                None,
+                None,
+                resolved(workers),
+            ),
+            JobSpec::Table2 => (
+                Payload::Flavors(
+                    Flavor::ALL
+                        .iter()
+                        .map(|&flavor| {
+                            let tech = Technology::stm_cmos09(flavor);
+                            FlavorRow {
+                                flavor: flavor.abbreviation(),
+                                vdd_nom_v: tech.vdd_nom().value(),
+                                vth0_nom_v: tech.vth0_nom().value(),
+                                io_ua: tech.io().value() * 1e6,
+                                zeta_pf: tech.zeta().value() * 1e12,
+                                alpha: tech.alpha(),
+                                n: tech.n(),
+                            }
+                        })
+                        .collect(),
+                ),
+                None,
+                None,
+                1,
+            ),
+            JobSpec::Table3 => (
+                Payload::Rows {
+                    title: TABLE3_TITLE.to_string(),
+                    rows: table3()?,
+                },
+                None,
+                None,
+                1,
+            ),
+            JobSpec::Table4 => (
+                Payload::Rows {
+                    title: TABLE4_TITLE.to_string(),
+                    rows: table4()?,
+                },
+                None,
+                None,
+                1,
+            ),
+            JobSpec::ScalingStudy { frequencies_mhz } => (
+                Payload::Scaling {
+                    unscaled: scaling_study_parallel(frequencies_mhz, false, workers)?,
+                    scaled: scaling_study_parallel(frequencies_mhz, true, workers)?,
+                },
+                None,
+                None,
+                resolved(workers),
+            ),
+            JobSpec::Sensitivity => (
+                Payload::Sensitivity(sensitivity_report_parallel(workers)?),
+                None,
+                None,
+                resolved(workers),
+            ),
+            JobSpec::Ablation { items, seed } => (
+                Payload::Ablation {
+                    alpha: 1.86,
+                    fit: ablation::fit_range_sensitivity(1.86)?,
+                    optimizer: ablation::optimizer_ablation()?,
+                    glitch: ablation::glitch_ablation(*items, *seed)?,
+                },
+                Some(*seed),
+                None,
+                1,
+            ),
+            JobSpec::AbInitio(s) => {
+                let job_workers = job_workers(workers, s.workers);
+                (
+                    Payload::AbInitio(self.characterize(s, job_workers)?),
+                    Some(s.seed),
+                    Some(engine_name(s.engine)),
+                    resolved(job_workers),
+                )
+            }
+            JobSpec::GlitchSweep(s) => {
+                let job_workers = job_workers(workers, s.workers);
+                (
+                    Payload::Glitch(self.glitch_sweep(s, job_workers)?),
+                    Some(s.seed),
+                    Some(engine_name(s.engine)),
+                    resolved(job_workers),
+                )
+            }
+            JobSpec::ActivityMeasure(s) => {
+                let arch = arch_by_name(&s.arch)?;
+                if !arch.supports_width(s.width) {
+                    return Err(width_error(arch, s.width));
+                }
+                let design = arch
+                    .generate(s.width)
+                    .expect("supported widths generate structurally valid netlists");
+                let report = measure_activity(
+                    &design.netlist,
+                    &Library::cmos13(),
+                    s.engine,
+                    s.items,
+                    design.cycles_per_item,
+                    s.warmup,
+                    s.seed,
+                )?;
+                (
+                    Payload::Activity {
+                        spec: s.clone(),
+                        report,
+                    },
+                    Some(s.seed),
+                    Some(engine_name(s.engine)),
+                    1,
+                )
+            }
+            JobSpec::Figure1 { samples } => (Payload::Figure1(figure1(*samples)?), None, None, 1),
+            JobSpec::Figure2 { samples } => (Payload::Figure2(figure2(*samples)?), None, None, 1),
+            JobSpec::Figure34 { width, items } => {
+                (Payload::Figure34(figure34(*width, *items)?), None, None, 1)
+            }
+            JobSpec::Pareto { freq_points } => (
+                Payload::Pareto(figure_pareto(*freq_points, workers)?),
+                None,
+                None,
+                resolved(workers),
+            ),
+            JobSpec::Export => (Payload::Export(self.export()?), None, None, 1),
+            JobSpec::Batch(jobs) => {
+                let artifacts = jobs
+                    .iter()
+                    .map(|job| self.run(job))
+                    .collect::<Result<Vec<_>, _>>()?;
+                (Payload::Batch(artifacts), None, None, resolved(workers))
+            }
+        };
+        Ok(Artifact {
+            spec: spec.clone(),
+            payload,
+            meta: RunMeta {
+                seed: meta_seed,
+                workers: meta_workers,
+                engine: meta_engine,
+                wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            },
+        })
+    }
+
+    /// Ab-initio characterization for a spec: resolve the architecture
+    /// subset, then run [`characterize_parallel_with`] on the pool.
+    fn characterize(
+        &self,
+        s: &AbInitioSpec,
+        workers: Workers,
+    ) -> Result<Vec<AbInitioRow>, WorkloadError> {
+        let archs = resolve_archs(&s.archs)?;
+        for &arch in &archs {
+            if !arch.supports_width(s.width) {
+                return Err(width_error(arch, s.width));
+            }
+        }
+        let config = CharacterizeConfig {
+            width: s.width,
+            lanes: s.lanes,
+            baseline: s.engine,
+            items: s.items,
+            seed: s.seed,
+            workers,
+        };
+        Ok(characterize_parallel_with(
+            &archs,
+            Flavor::LowLeakage,
+            &config,
+        )?)
+    }
+
+    /// The glitch-aware sweep over the spec's operand-width axis:
+    /// characterize per width, concatenate the rows (width-qualified
+    /// axis names keep them distinct), sweep once.
+    fn glitch_sweep(
+        &self,
+        s: &GlitchSweepSpec,
+        workers: Workers,
+    ) -> Result<GlitchSweep, WorkloadError> {
+        if s.widths.is_empty() {
+            return Err(SpecError::new("\"widths\" must not be empty").into());
+        }
+        if let Some(dup) = first_duplicate(&s.widths) {
+            // A repeated width would characterize everything twice and
+            // alias two identically named rows on the sweep axis.
+            return Err(SpecError::new(format!("\"widths\" lists {dup} more than once")).into());
+        }
+        let archs = resolve_archs(&s.archs)?;
+        let mut rows = Vec::new();
+        for &width in &s.widths {
+            // With an explicit arch list an unsupported width is an
+            // error; with the default (all thirteen) the axis narrows
+            // to the architectures that exist at that width.
+            let subset: Vec<Architecture> = if s.archs.is_some() {
+                for &arch in &archs {
+                    if !arch.supports_width(width) {
+                        return Err(width_error(arch, width));
+                    }
+                }
+                archs.clone()
+            } else {
+                archs
+                    .iter()
+                    .copied()
+                    .filter(|a| a.supports_width(width))
+                    .collect()
+            };
+            if subset.is_empty() {
+                return Err(SpecError::new(format!(
+                    "no requested architecture supports width {width}"
+                ))
+                .into());
+            }
+            let config = CharacterizeConfig {
+                width,
+                lanes: s.lanes,
+                baseline: s.engine,
+                items: s.items,
+                seed: s.seed,
+                workers,
+            };
+            rows.extend(characterize_parallel_with(
+                &subset,
+                Flavor::LowLeakage,
+                &config,
+            )?);
+        }
+        Ok(glitch_sweep_from_rows(rows, s.freq_points, workers)?)
+    }
+
+    /// The structural export job: Verilog + DOT per architecture and a
+    /// short RCA VCD trace, written under the artifact directory.
+    fn export(&self) -> Result<ExportListing, WorkloadError> {
+        let dir = &self.artifact_dir;
+        std::fs::create_dir_all(dir)
+            .map_err(|e| WorkloadError::io(dir.display().to_string(), e))?;
+        let mut files = Vec::new();
+        let mut write = |name: String, contents: String| -> Result<(), WorkloadError> {
+            let path = dir.join(&name);
+            std::fs::write(&path, contents)
+                .map_err(|e| WorkloadError::io(path.display().to_string(), e))?;
+            files.push(name);
+            Ok(())
+        };
+        for arch in Architecture::ALL {
+            let design = arch.generate(16)?;
+            let stem = design.netlist.name().to_string();
+            write(
+                format!("{stem}.v"),
+                optpower_netlist::to_verilog(&design.netlist),
+            )?;
+            write(
+                format!("{stem}.dot"),
+                optpower_netlist::to_dot(&design.netlist, |_| None),
+            )?;
+        }
+        // A short VCD trace of the basic RCA multiplying random
+        // operands (same stimulus as the legacy export binary).
+        let design = Architecture::Rca.generate(16)?;
+        let mut sim = ZeroDelaySim::new(&design.netlist);
+        let mut vcd = VcdRecorder::all_nets(&design.netlist);
+        for i in 0..32u64 {
+            sim.set_input_bits("a", (i * 2654435761) & 0xFFFF);
+            sim.set_input_bits("b", (i * 40503) & 0xFFFF);
+            sim.step();
+            vcd.sample(&sim);
+        }
+        write("rca.vcd".to_string(), vcd.finish())?;
+        Ok(ExportListing {
+            dir: dir.display().to_string(),
+            files,
+        })
+    }
+}
+
+/// A spec-level worker override wins over the runtime pool's policy.
+fn job_workers(pool: Workers, over: Option<usize>) -> Workers {
+    match over {
+        Some(n) => Workers::Fixed(n),
+        None => pool,
+    }
+}
+
+/// The concrete worker count recorded in run metadata.
+fn resolved(workers: Workers) -> usize {
+    match workers {
+        Workers::Auto => available_workers(),
+        Workers::Fixed(n) => n.max(1),
+    }
+}
+
+/// Looks one architecture up by paper name, as a typed error.
+fn arch_by_name(name: &str) -> Result<Architecture, WorkloadError> {
+    Architecture::from_paper_name(name).ok_or_else(|| {
+        SpecError::new(format!(
+            "unknown architecture {name:?} (Table 1 paper names expected)"
+        ))
+        .into()
+    })
+}
+
+/// The first value appearing more than once, if any.
+fn first_duplicate<T: PartialEq + Copy>(items: &[T]) -> Option<T> {
+    items
+        .iter()
+        .enumerate()
+        .find(|(i, v)| items[..*i].contains(v))
+        .map(|(_, &v)| v)
+}
+
+/// Resolves paper names to architectures (`None` = all thirteen).
+/// Duplicate names are rejected — they would silently double-count
+/// every downstream aggregate.
+fn resolve_archs(names: &Option<Vec<String>>) -> Result<Vec<Architecture>, WorkloadError> {
+    match names {
+        None => Ok(Architecture::ALL.to_vec()),
+        Some(names) => {
+            if names.is_empty() {
+                return Err(SpecError::new("\"archs\" must not be an empty list").into());
+            }
+            let archs = names
+                .iter()
+                .map(|name| {
+                    Architecture::from_paper_name(name).ok_or_else(|| {
+                        SpecError::new(format!(
+                            "unknown architecture {name:?} (Table 1 paper names expected)"
+                        ))
+                        .into()
+                    })
+                })
+                .collect::<Result<Vec<_>, WorkloadError>>()?;
+            if let Some(dup) = first_duplicate(&archs) {
+                return Err(SpecError::new(format!(
+                    "\"archs\" lists {:?} more than once",
+                    dup.paper_name()
+                ))
+                .into());
+            }
+            Ok(archs)
+        }
+    }
+}
+
+fn width_error(arch: Architecture, width: usize) -> WorkloadError {
+    SpecError::new(format!(
+        "{} does not support operand width {width} \
+         (arrays/trees: 2..=32; sequential family: power of two >= 4)",
+        arch.paper_name()
+    ))
+    .into()
+}

@@ -1,0 +1,775 @@
+//! The declarative job specification: every workload of the
+//! reproduction as one serializable value.
+//!
+//! A [`JobSpec`] is the unit the [`crate::Runtime`] executes and the
+//! wire format a future service front-end consumes verbatim: it
+//! round-trips **losslessly** through JSON
+//! (`JobSpec::from_json(&spec.to_json()) == spec`, locked by proptests
+//! at the workspace level), and a spec plus a seed fully determines
+//! the [`crate::Artifact`] payload — worker counts only change
+//! wall-clock, never bytes.
+//!
+//! The JSON envelope is schema-versioned:
+//!
+//! ```json
+//! {"schema":"optpower-job/v1","job":"ab_initio","width":16,"lanes":8,
+//!  "engine":"bit_parallel","items":200,"seed":42,"workers":null,"archs":null}
+//! ```
+
+use optpower_sim::Engine;
+
+use crate::error::{SpecError, WorkloadError};
+use crate::json::Json;
+
+/// Schema tag of the JobSpec wire format.
+pub const JOB_SCHEMA: &str = "optpower-job/v1";
+
+/// Simulation-engine choice on the wire (`zero_delay`, `timed`,
+/// `timed_scalar`, `bit_parallel`).
+pub fn engine_name(engine: Engine) -> &'static str {
+    match engine {
+        Engine::ZeroDelay => "zero_delay",
+        Engine::Timed => "timed",
+        Engine::TimedScalar => "timed_scalar",
+        Engine::BitParallel => "bit_parallel",
+    }
+}
+
+/// Parses an engine wire name (the inverse of [`engine_name`]).
+pub fn engine_from_name(name: &str) -> Option<Engine> {
+    match name {
+        "zero_delay" => Some(Engine::ZeroDelay),
+        "timed" => Some(Engine::Timed),
+        "timed_scalar" => Some(Engine::TimedScalar),
+        "bit_parallel" => Some(Engine::BitParallel),
+        _ => None,
+    }
+}
+
+/// Ab-initio characterization spec (Table 1′): architectures are paper
+/// names (`None` = all thirteen), the rest is the measurement
+/// definition of [`optpower_report::CharacterizeConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbInitioSpec {
+    /// Paper names of the architectures to characterize; `None` = all.
+    pub archs: Option<Vec<String>>,
+    /// Operand width in bits.
+    pub width: usize,
+    /// Stimulus lanes of the pooled timed (glitch) leg.
+    pub lanes: u32,
+    /// Glitch-free baseline engine (`bit_parallel` or `zero_delay`).
+    pub engine: Engine,
+    /// Random-stimulus volume per architecture.
+    pub items: u64,
+    /// Base stimulus seed.
+    pub seed: u64,
+    /// Worker override for this job; `None` = the runtime's pool.
+    pub workers: Option<usize>,
+}
+
+impl Default for AbInitioSpec {
+    fn default() -> Self {
+        Self {
+            archs: None,
+            width: 16,
+            lanes: optpower_report::TIMED_LANES,
+            engine: Engine::BitParallel,
+            items: 200,
+            seed: 42,
+            workers: None,
+        }
+    }
+}
+
+impl AbInitioSpec {
+    /// The CI smoke shape: one array and one sequential architecture
+    /// at a reduced stimulus volume (the legacy `--smoke` flag).
+    pub fn smoke() -> Self {
+        Self {
+            archs: Some(vec!["RCA".to_string(), "Sequential".to_string()]),
+            items: 60,
+            ..Self::default()
+        }
+    }
+}
+
+/// Glitch-aware design-space sweep spec: characterize over an operand
+/// **width axis** (strictly more expressive than the legacy
+/// `--glitch-sweep` flag, which was pinned to 16 bits), then sweep the
+/// measured parameters over all three flavours × a log frequency axis,
+/// glitch-aware vs glitch-free.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlitchSweepSpec {
+    /// Paper names of the architectures to characterize; `None` = all
+    /// (widths the sequential family cannot generate at are rejected
+    /// at run time with a typed error).
+    pub archs: Option<Vec<String>>,
+    /// Operand widths to characterize at (e.g. `[8, 16, 24, 32]`).
+    pub widths: Vec<usize>,
+    /// Stimulus lanes of the pooled timed leg.
+    pub lanes: u32,
+    /// Glitch-free baseline engine.
+    pub engine: Engine,
+    /// Random-stimulus volume per architecture and width.
+    pub items: u64,
+    /// Base stimulus seed.
+    pub seed: u64,
+    /// Frequency-axis resolution of the sweep.
+    pub freq_points: usize,
+    /// Worker override for this job; `None` = the runtime's pool.
+    pub workers: Option<usize>,
+}
+
+impl Default for GlitchSweepSpec {
+    fn default() -> Self {
+        Self {
+            archs: None,
+            widths: vec![16],
+            lanes: optpower_report::TIMED_LANES,
+            engine: Engine::BitParallel,
+            items: 200,
+            seed: 42,
+            freq_points: 9,
+            workers: None,
+        }
+    }
+}
+
+/// One activity measurement: an architecture, an engine, a stimulus
+/// definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivitySpec {
+    /// Paper name of the architecture.
+    pub arch: String,
+    /// Operand width in bits.
+    pub width: usize,
+    /// Which engine measures.
+    pub engine: Engine,
+    /// Data items measured (excluding warm-up).
+    pub items: u64,
+    /// Warm-up items, simulated but not counted.
+    pub warmup: u64,
+    /// Stimulus seed.
+    pub seed: u64,
+}
+
+impl Default for ActivitySpec {
+    fn default() -> Self {
+        Self {
+            arch: "RCA".to_string(),
+            width: 16,
+            engine: Engine::Timed,
+            items: 200,
+            warmup: 4,
+            seed: 42,
+        }
+    }
+}
+
+/// A declarative workload: everything previously reachable only
+/// through one of the twelve bespoke report binaries, plus the
+/// composed [`JobSpec::Batch`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSpec {
+    /// Table 1: the thirteen calibrated multipliers (LL flavour),
+    /// re-solved in parallel.
+    Table1Sweep,
+    /// Table 2: the published STM CMOS09 flavour parameters.
+    Table2,
+    /// Table 3: the Wallace family on the ULL flavour.
+    Table3,
+    /// Table 4: the Wallace family on the HS flavour.
+    Table4,
+    /// The technology-scaling study over a frequency axis (both the
+    /// wire-dominated and the fully scaled port).
+    ScalingStudy {
+        /// Evaluated frequencies in MHz.
+        frequencies_mhz: Vec<f64>,
+    },
+    /// Eq. 13 logarithmic sensitivities for all Table 1 architectures.
+    Sensitivity,
+    /// The three ablation studies (fit range, optimiser, glitches).
+    Ablation {
+        /// Stimulus volume of the glitch ablation.
+        items: u64,
+        /// Stimulus seed of the glitch ablation.
+        seed: u64,
+    },
+    /// Ab-initio characterization (Table 1′).
+    AbInitio(AbInitioSpec),
+    /// The glitch-aware design-space sweep, with an operand-width axis.
+    GlitchSweep(GlitchSweepSpec),
+    /// One activity measurement on one architecture.
+    ActivityMeasure(ActivitySpec),
+    /// Figure 1: Ptot vs Vdd per activity.
+    Figure1 {
+        /// Samples per sweep curve.
+        samples: usize,
+    },
+    /// Figure 2: the Vdd^{1/α} linearisation.
+    Figure2 {
+        /// Samples of the plotted range.
+        samples: usize,
+    },
+    /// Figures 3/4: horizontal vs diagonal pipeline structures.
+    Figure34 {
+        /// Operand width in bits.
+        width: usize,
+        /// Stimulus volume of the activity measurement.
+        items: u64,
+    },
+    /// The Ptot-vs-frequency Pareto figure over the explored design
+    /// space.
+    Pareto {
+        /// Frequency-axis resolution.
+        freq_points: usize,
+    },
+    /// Structural exports: Verilog + DOT per architecture and an RCA
+    /// VCD trace, written under the runtime's artifact directory.
+    Export,
+    /// A batch of jobs executed in order, yielding one artifact each.
+    Batch(Vec<JobSpec>),
+}
+
+/// `(kind, summary)` of every job kind, in `optpower list` order.
+pub const JOB_KINDS: &[(&str, &str)] = &[
+    ("table1_sweep", "Table 1: 13 calibrated multipliers (LL)"),
+    ("table2", "Table 2: STM CMOS09 flavour parameters"),
+    ("table3", "Table 3: Wallace family, ULL flavour"),
+    ("table4", "Table 4: Wallace family, HS flavour"),
+    ("scaling_study", "technology-scaling study over frequency"),
+    ("sensitivity", "Eq. 13 sensitivities per architecture"),
+    ("ablation", "fit-range / optimiser / glitch ablations"),
+    ("ab_initio", "Table 1': ab-initio netlist characterization"),
+    (
+        "glitch_sweep",
+        "glitch-aware design-space sweep (width axis)",
+    ),
+    ("activity_measure", "one activity measurement, any engine"),
+    ("figure1", "Figure 1: Ptot vs Vdd per activity"),
+    ("figure2", "Figure 2: Vdd^(1/alpha) linearisation"),
+    ("figure34", "Figures 3/4: pipeline structure comparison"),
+    ("pareto", "Ptot-vs-frequency Pareto figure"),
+    ("export", "Verilog/DOT/VCD structural exports"),
+    ("batch", "a list of jobs run in order"),
+];
+
+impl JobSpec {
+    /// The wire kind tag (`job` field of the JSON form).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Table1Sweep => "table1_sweep",
+            Self::Table2 => "table2",
+            Self::Table3 => "table3",
+            Self::Table4 => "table4",
+            Self::ScalingStudy { .. } => "scaling_study",
+            Self::Sensitivity => "sensitivity",
+            Self::Ablation { .. } => "ablation",
+            Self::AbInitio(_) => "ab_initio",
+            Self::GlitchSweep(_) => "glitch_sweep",
+            Self::ActivityMeasure(_) => "activity_measure",
+            Self::Figure1 { .. } => "figure1",
+            Self::Figure2 { .. } => "figure2",
+            Self::Figure34 { .. } => "figure34",
+            Self::Pareto { .. } => "pareto",
+            Self::Export => "export",
+            Self::Batch(_) => "batch",
+        }
+    }
+
+    /// The default spec of a wire kind (what the legacy binary ran
+    /// with no flags), or `None` for an unknown kind.
+    pub fn default_for(kind: &str) -> Option<JobSpec> {
+        Some(match kind {
+            "table1_sweep" => Self::Table1Sweep,
+            "table2" => Self::Table2,
+            "table3" => Self::Table3,
+            "table4" => Self::Table4,
+            "scaling_study" => Self::ScalingStudy {
+                frequencies_mhz: vec![1.0, 4.0, 31.25, 125.0, 250.0],
+            },
+            "sensitivity" => Self::Sensitivity,
+            "ablation" => Self::Ablation {
+                items: 200,
+                seed: 42,
+            },
+            "ab_initio" => Self::AbInitio(AbInitioSpec::default()),
+            "glitch_sweep" => Self::GlitchSweep(GlitchSweepSpec::default()),
+            "activity_measure" => Self::ActivityMeasure(ActivitySpec::default()),
+            "figure1" => Self::Figure1 { samples: 256 },
+            "figure2" => Self::Figure2 { samples: 601 },
+            "figure34" => Self::Figure34 {
+                width: 16,
+                items: 200,
+            },
+            "pareto" => Self::Pareto { freq_points: 9 },
+            "export" => Self::Export,
+            "batch" => Self::Batch(Vec::new()),
+            _ => return None,
+        })
+    }
+
+    /// The JSON value form (see the module docs for the envelope).
+    pub fn to_json_value(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = vec![
+            ("schema".to_string(), Json::str(JOB_SCHEMA)),
+            ("job".to_string(), Json::str(self.kind())),
+        ];
+        let mut push = |k: &str, v: Json| pairs.push((k.to_string(), v));
+        match self {
+            Self::Table1Sweep
+            | Self::Table2
+            | Self::Table3
+            | Self::Table4
+            | Self::Sensitivity
+            | Self::Export => {}
+            Self::ScalingStudy { frequencies_mhz } => push(
+                "frequencies_mhz",
+                Json::Arr(frequencies_mhz.iter().map(|&f| Json::num(f)).collect()),
+            ),
+            Self::Ablation { items, seed } => {
+                push("items", Json::UInt(*items));
+                push("seed", Json::UInt(*seed));
+            }
+            Self::AbInitio(s) => {
+                push("archs", opt_names(&s.archs));
+                push("width", Json::UInt(s.width as u64));
+                push("lanes", Json::UInt(u64::from(s.lanes)));
+                push("engine", Json::str(engine_name(s.engine)));
+                push("items", Json::UInt(s.items));
+                push("seed", Json::UInt(s.seed));
+                push("workers", opt_uint(s.workers));
+            }
+            Self::GlitchSweep(s) => {
+                push("archs", opt_names(&s.archs));
+                push(
+                    "widths",
+                    Json::Arr(s.widths.iter().map(|&w| Json::UInt(w as u64)).collect()),
+                );
+                push("lanes", Json::UInt(u64::from(s.lanes)));
+                push("engine", Json::str(engine_name(s.engine)));
+                push("items", Json::UInt(s.items));
+                push("seed", Json::UInt(s.seed));
+                push("freq_points", Json::UInt(s.freq_points as u64));
+                push("workers", opt_uint(s.workers));
+            }
+            Self::ActivityMeasure(s) => {
+                push("arch", Json::str(&s.arch));
+                push("width", Json::UInt(s.width as u64));
+                push("engine", Json::str(engine_name(s.engine)));
+                push("items", Json::UInt(s.items));
+                push("warmup", Json::UInt(s.warmup));
+                push("seed", Json::UInt(s.seed));
+            }
+            Self::Figure1 { samples } | Self::Figure2 { samples } => {
+                push("samples", Json::UInt(*samples as u64));
+            }
+            Self::Figure34 { width, items } => {
+                push("width", Json::UInt(*width as u64));
+                push("items", Json::UInt(*items));
+            }
+            Self::Pareto { freq_points } => {
+                push("freq_points", Json::UInt(*freq_points as u64));
+            }
+            Self::Batch(jobs) => push(
+                "jobs",
+                Json::Arr(jobs.iter().map(JobSpec::to_json_value).collect()),
+            ),
+        }
+        Json::Obj(pairs)
+    }
+
+    /// The compact JSON wire form.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+
+    /// Parses the JSON wire form. Unknown kinds, malformed fields and
+    /// schema mismatches are [`WorkloadError::Spec`]; fields absent
+    /// from the document take the kind's defaults, so hand-written
+    /// specs stay terse — but *unrecognized* keys are rejected, so a
+    /// typoed `"sed"` cannot silently run with the default seed.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::Spec`] describing the first problem.
+    pub fn from_json(input: &str) -> Result<JobSpec, WorkloadError> {
+        let doc = Json::parse(input).map_err(|e| SpecError::new(e.to_string()))?;
+        Self::from_json_value(&doc)
+    }
+
+    /// Parses an already-decoded JSON value (used recursively for
+    /// batches).
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::Spec`] describing the first problem.
+    pub fn from_json_value(doc: &Json) -> Result<JobSpec, WorkloadError> {
+        match doc.get("schema") {
+            None => {}
+            Some(v) => {
+                let schema = v
+                    .as_str()
+                    .ok_or_else(|| SpecError::new("\"schema\" must be a string when present"))?;
+                if schema != JOB_SCHEMA {
+                    return Err(SpecError::new(format!(
+                        "unsupported spec schema {schema:?} (expected {JOB_SCHEMA:?})"
+                    ))
+                    .into());
+                }
+            }
+        }
+        let kind = doc
+            .get("job")
+            .and_then(Json::as_str)
+            .ok_or_else(|| SpecError::new("spec object needs a string \"job\" field"))?;
+        let defaults = Self::default_for(kind).ok_or_else(|| {
+            SpecError::new(format!(
+                "unknown job kind {kind:?} (see `optpower list` for the catalogue)"
+            ))
+        })?;
+        reject_unknown_fields(doc, kind)?;
+        let spec = match defaults {
+            Self::ScalingStudy { frequencies_mhz } => Self::ScalingStudy {
+                frequencies_mhz: match doc.get("frequencies_mhz") {
+                    Some(v) => float_array(v, "frequencies_mhz")?,
+                    None => frequencies_mhz,
+                },
+            },
+            Self::Ablation { items, seed } => Self::Ablation {
+                items: uint_field(doc, "items", items)?,
+                seed: uint_field(doc, "seed", seed)?,
+            },
+            Self::AbInitio(d) => Self::AbInitio(AbInitioSpec {
+                archs: names_field(doc, "archs", d.archs)?,
+                width: usize_field(doc, "width", d.width)?,
+                lanes: u32_field(doc, "lanes", d.lanes)?,
+                engine: engine_field(doc, d.engine)?,
+                items: uint_field(doc, "items", d.items)?,
+                seed: uint_field(doc, "seed", d.seed)?,
+                workers: opt_usize_field(doc, "workers")?,
+            }),
+            Self::GlitchSweep(d) => Self::GlitchSweep(GlitchSweepSpec {
+                archs: names_field(doc, "archs", d.archs)?,
+                widths: match doc.get("widths") {
+                    Some(v) => usize_array(v, "widths")?,
+                    None => d.widths,
+                },
+                lanes: u32_field(doc, "lanes", d.lanes)?,
+                engine: engine_field(doc, d.engine)?,
+                items: uint_field(doc, "items", d.items)?,
+                seed: uint_field(doc, "seed", d.seed)?,
+                freq_points: usize_field(doc, "freq_points", d.freq_points)?,
+                workers: opt_usize_field(doc, "workers")?,
+            }),
+            Self::ActivityMeasure(d) => Self::ActivityMeasure(ActivitySpec {
+                arch: match doc.get("arch") {
+                    Some(v) => v
+                        .as_str()
+                        .ok_or_else(|| SpecError::new("\"arch\" must be a string"))?
+                        .to_string(),
+                    None => d.arch,
+                },
+                width: usize_field(doc, "width", d.width)?,
+                engine: engine_field(doc, d.engine)?,
+                items: uint_field(doc, "items", d.items)?,
+                warmup: uint_field(doc, "warmup", d.warmup)?,
+                seed: uint_field(doc, "seed", d.seed)?,
+            }),
+            Self::Figure1 { samples } => Self::Figure1 {
+                samples: usize_field(doc, "samples", samples)?,
+            },
+            Self::Figure2 { samples } => Self::Figure2 {
+                samples: usize_field(doc, "samples", samples)?,
+            },
+            Self::Figure34 { width, items } => Self::Figure34 {
+                width: usize_field(doc, "width", width)?,
+                items: uint_field(doc, "items", items)?,
+            },
+            Self::Pareto { freq_points } => Self::Pareto {
+                freq_points: usize_field(doc, "freq_points", freq_points)?,
+            },
+            Self::Batch(_) => {
+                let jobs = doc
+                    .get("jobs")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| SpecError::new("batch needs a \"jobs\" array"))?;
+                Self::Batch(
+                    jobs.iter()
+                        .map(JobSpec::from_json_value)
+                        .collect::<Result<Vec<_>, _>>()?,
+                )
+            }
+            other => other,
+        };
+        Ok(spec)
+    }
+}
+
+/// The field names each kind accepts (besides `schema` and `job`).
+fn allowed_fields(kind: &str) -> &'static [&'static str] {
+    match kind {
+        "scaling_study" => &["frequencies_mhz"],
+        "ablation" => &["items", "seed"],
+        "ab_initio" => &[
+            "archs", "width", "lanes", "engine", "items", "seed", "workers",
+        ],
+        "glitch_sweep" => &[
+            "archs",
+            "widths",
+            "lanes",
+            "engine",
+            "items",
+            "seed",
+            "freq_points",
+            "workers",
+        ],
+        "activity_measure" => &["arch", "width", "engine", "items", "warmup", "seed"],
+        "figure1" | "figure2" => &["samples"],
+        "figure34" => &["width", "items"],
+        "pareto" => &["freq_points"],
+        "batch" => &["jobs"],
+        _ => &[],
+    }
+}
+
+/// A misspelled key must not silently run the job with a default — an
+/// unrecognized field is an error naming the kind's accepted fields.
+fn reject_unknown_fields(doc: &Json, kind: &str) -> Result<(), WorkloadError> {
+    let Json::Obj(pairs) = doc else {
+        return Err(SpecError::new("a job spec must be a JSON object").into());
+    };
+    let allowed = allowed_fields(kind);
+    for (key, _) in pairs {
+        if key != "schema" && key != "job" && !allowed.contains(&key.as_str()) {
+            return Err(SpecError::new(format!(
+                "unknown field {key:?} for job {kind:?} (accepted: schema, job{}{})",
+                if allowed.is_empty() { "" } else { ", " },
+                allowed.join(", "),
+            ))
+            .into());
+        }
+    }
+    Ok(())
+}
+
+fn opt_uint(v: Option<usize>) -> Json {
+    match v {
+        Some(u) => Json::UInt(u as u64),
+        None => Json::Null,
+    }
+}
+
+fn opt_names(v: &Option<Vec<String>>) -> Json {
+    match v {
+        Some(names) => Json::Arr(names.iter().map(Json::str).collect()),
+        None => Json::Null,
+    }
+}
+
+fn uint_field(doc: &Json, key: &str, default: u64) -> Result<u64, WorkloadError> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| SpecError::new(format!("{key:?} must be an unsigned integer")).into()),
+    }
+}
+
+fn usize_field(doc: &Json, key: &str, default: usize) -> Result<usize, WorkloadError> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| SpecError::new(format!("{key:?} must be an unsigned integer")).into()),
+    }
+}
+
+fn u32_field(doc: &Json, key: &str, default: u32) -> Result<u32, WorkloadError> {
+    uint_field(doc, key, u64::from(default)).and_then(|u| {
+        u32::try_from(u).map_err(|_| SpecError::new(format!("{key:?} must fit 32 bits")).into())
+    })
+}
+
+fn opt_usize_field(doc: &Json, key: &str) -> Result<Option<usize>, WorkloadError> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_usize()
+            .map(Some)
+            .ok_or_else(|| SpecError::new(format!("{key:?} must be an integer or null")).into()),
+    }
+}
+
+fn engine_field(doc: &Json, default: Engine) -> Result<Engine, WorkloadError> {
+    match doc.get("engine") {
+        None => Ok(default),
+        Some(v) => {
+            let name = v
+                .as_str()
+                .ok_or_else(|| SpecError::new("\"engine\" must be a string"))?;
+            engine_from_name(name).ok_or_else(|| {
+                SpecError::new(format!(
+                    "unknown engine {name:?} (zero_delay | timed | timed_scalar | bit_parallel)"
+                ))
+                .into()
+            })
+        }
+    }
+}
+
+fn names_field(
+    doc: &Json,
+    key: &str,
+    default: Option<Vec<String>>,
+) -> Result<Option<Vec<String>>, WorkloadError> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let arr = v
+                .as_arr()
+                .ok_or_else(|| SpecError::new(format!("{key:?} must be an array or null")))?;
+            arr.iter()
+                .map(|item| {
+                    item.as_str().map(str::to_string).ok_or_else(|| {
+                        SpecError::new(format!("{key:?} entries must be strings")).into()
+                    })
+                })
+                .collect::<Result<Vec<_>, WorkloadError>>()
+                .map(Some)
+        }
+    }
+}
+
+fn float_array(v: &Json, key: &str) -> Result<Vec<f64>, WorkloadError> {
+    let arr = v
+        .as_arr()
+        .ok_or_else(|| SpecError::new(format!("{key:?} must be an array of numbers")))?;
+    arr.iter()
+        .map(|item| {
+            item.as_f64()
+                .ok_or_else(|| SpecError::new(format!("{key:?} entries must be numbers")).into())
+        })
+        .collect()
+}
+
+fn usize_array(v: &Json, key: &str) -> Result<Vec<usize>, WorkloadError> {
+    let arr = v
+        .as_arr()
+        .ok_or_else(|| SpecError::new(format!("{key:?} must be an array of integers")))?;
+    arr.iter()
+        .map(|item| {
+            item.as_usize()
+                .ok_or_else(|| SpecError::new(format!("{key:?} entries must be integers")).into())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_roundtrip(spec: &JobSpec) {
+        let json = spec.to_json();
+        let back = JobSpec::from_json(&json)
+            .unwrap_or_else(|e| panic!("{json} failed to parse back: {e}"));
+        assert_eq!(&back, spec, "{json}");
+    }
+
+    #[test]
+    fn every_kind_has_a_default_and_round_trips() {
+        for &(kind, _) in JOB_KINDS {
+            let spec = JobSpec::default_for(kind).expect(kind);
+            assert_eq!(spec.kind(), kind);
+            assert_roundtrip(&spec);
+        }
+        assert_eq!(JobSpec::default_for("nope"), None);
+    }
+
+    #[test]
+    fn non_default_fields_round_trip() {
+        assert_roundtrip(&JobSpec::AbInitio(AbInitioSpec {
+            archs: Some(vec!["RCA".into(), "Wallace parallel".into()]),
+            width: 8,
+            lanes: 3,
+            engine: Engine::ZeroDelay,
+            items: u64::MAX,
+            seed: (1 << 53) + 1,
+            workers: Some(7),
+        }));
+        assert_roundtrip(&JobSpec::GlitchSweep(GlitchSweepSpec {
+            widths: vec![8, 16, 24, 32],
+            freq_points: 3,
+            ..GlitchSweepSpec::default()
+        }));
+        assert_roundtrip(&JobSpec::ScalingStudy {
+            frequencies_mhz: vec![0.5, 31.25, 250.0],
+        });
+        assert_roundtrip(&JobSpec::Batch(vec![
+            JobSpec::Table1Sweep,
+            JobSpec::Batch(vec![JobSpec::Figure2 { samples: 3 }]),
+        ]));
+    }
+
+    #[test]
+    fn terse_specs_fill_defaults() {
+        let spec = JobSpec::from_json(r#"{"job":"ab_initio","items":10}"#).unwrap();
+        match spec {
+            JobSpec::AbInitio(s) => {
+                assert_eq!(s.items, 10);
+                assert_eq!(s.width, 16);
+                assert_eq!(s.lanes, optpower_report::TIMED_LANES);
+                assert_eq!(s.engine, Engine::BitParallel);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_typed_errors() {
+        for bad in [
+            r#"{"jobs":"x"}"#,
+            r#"{"job":"unknown_kind"}"#,
+            r#"{"schema":"optpower-job/v2","job":"table2"}"#,
+            r#"{"job":"ab_initio","engine":"warp"}"#,
+            r#"{"job":"ab_initio","items":-4}"#,
+            r#"{"job":"batch"}"#,
+            r#"{"job":"glitch_sweep","widths":[8.5]}"#,
+            "not json",
+            // Typoed keys must not silently fall back to defaults.
+            r#"{"job":"activity_measure","sed":7}"#,
+            r#"{"job":"ab_initio","itmes":3}"#,
+            r#"{"job":"table2","samples":4}"#,
+            r#"{"schema":7,"job":"table2"}"#,
+            r#"["job","table2"]"#,
+        ] {
+            let err = JobSpec::from_json(bad).unwrap_err();
+            assert!(matches!(err, WorkloadError::Spec(_)), "{bad}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn engine_names_are_bijective() {
+        for engine in [
+            Engine::ZeroDelay,
+            Engine::Timed,
+            Engine::TimedScalar,
+            Engine::BitParallel,
+        ] {
+            assert_eq!(engine_from_name(engine_name(engine)), Some(engine));
+        }
+        assert_eq!(engine_from_name("warp"), None);
+    }
+
+    #[test]
+    fn smoke_spec_matches_the_legacy_flag() {
+        let s = AbInitioSpec::smoke();
+        assert_eq!(s.items, 60);
+        assert_eq!(
+            s.archs.as_deref(),
+            Some(&["RCA".to_string(), "Sequential".to_string()][..])
+        );
+    }
+}

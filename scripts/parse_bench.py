@@ -16,10 +16,19 @@ document:
       "commit": "<sha or null>",
       "entries": [{"id": ..., "mean_ns": ..., "min_ns": ...}, ...],
       "speedups": {"<label>": {"serial_mean_ns": ..., "parallel_mean_ns": ...,
-                               "speedup": ...}, ...}
+                               "speedup": ...}, ...},
+      "notes": {...}   # free-form, carried over via --notes-from
     }
 
 Usage: parse_bench.py <bench-output.txt> <out.json> [--bench NAME]
+                      [--notes-from <existing-summary.json>]
+
+--notes-from copies the "notes" object of an existing summary (for the
+CI job: the committed BENCH_sweep.json) into the new document, so
+durable annotations — e.g. how to confirm the timed multi-core >=5x
+target from the CI artifact — travel with every generated summary.
+The source is read before the output is written, so reading from and
+writing to the same path is safe.
 """
 
 import json
@@ -74,12 +83,35 @@ def derive_speedups(entries):
     return speedups
 
 
+def read_notes(path):
+    """The "notes" object of an existing summary, or None."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f).get("notes")
+    except (OSError, ValueError) as e:
+        print(f"warning: no notes carried from {path}: {e}", file=sys.stderr)
+        return None
+
+
 def main(argv):
     if len(argv) < 3:
         print(__doc__, file=sys.stderr)
         return 2
     src, dst = argv[1], argv[2]
-    bench_name = argv[4] if len(argv) > 4 and argv[3] == "--bench" else "sweep"
+    bench_name = "sweep"
+    notes = None
+    rest = argv[3:]
+    while rest:
+        flag = rest.pop(0)
+        if flag == "--bench" and rest:
+            bench_name = rest.pop(0)
+        elif flag == "--notes-from" and rest:
+            # Read now, before the output path (possibly the same
+            # file) is overwritten.
+            notes = read_notes(rest.pop(0))
+        else:
+            print(f"error: unknown argument {flag!r}", file=sys.stderr)
+            return 2
     with open(src, encoding="utf-8") as f:
         entries = parse(f.read())
     if not entries:
@@ -92,6 +124,8 @@ def main(argv):
         "entries": entries,
         "speedups": derive_speedups(entries),
     }
+    if notes is not None:
+        doc["notes"] = notes
     with open(dst, "w", encoding="utf-8") as f:
         json.dump(doc, f, indent=2, sort_keys=False)
         f.write("\n")

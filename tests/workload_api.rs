@@ -1,0 +1,549 @@
+//! Acceptance suite of the declarative workload API:
+//!
+//! * **lossless round-trips** — proptest over randomized [`JobSpec`]s:
+//!   `from_json(to_json(spec)) == spec`, `u64` seeds surviving exactly;
+//! * **worker invariance** — the same spec at 1/2/8 workers produces a
+//!   bit-identical artifact (payload JSON, CSV and console text);
+//! * **legacy faithfulness** — `Artifact::render_text` is byte-identical
+//!   to the stdout the retired bespoke report binaries assembled from
+//!   the library calls, for the same seed/workers;
+//! * **golden wire formats** — the default spec JSON of every kind and
+//!   the Table 2 payload envelope are pinned to checked-in files
+//!   (`UPDATE_GOLDENS=1 cargo test -q --test workload_api` refreshes).
+
+use optpower_explore::Workers;
+use optpower_mult::Architecture;
+use optpower_sim::Engine;
+use optpower_workload::{
+    AbInitioSpec, ActivitySpec, GlitchSweepSpec, JobSpec, Runtime, WorkloadError, JOB_KINDS,
+};
+use proptest::prelude::*;
+
+const ENGINES: [Engine; 4] = [
+    Engine::ZeroDelay,
+    Engine::Timed,
+    Engine::TimedScalar,
+    Engine::BitParallel,
+];
+
+/// Deterministically builds a spec from random draws — every variant
+/// reachable, every field exercised.
+fn spec_from(kind: usize, a: u64, b: u64, c: usize, widths: &[usize], names_ix: &[u8]) -> JobSpec {
+    let names: Option<Vec<String>> = if names_ix.is_empty() {
+        None
+    } else {
+        Some(
+            names_ix
+                .iter()
+                .map(|&i| {
+                    Architecture::ALL[i as usize % Architecture::ALL.len()]
+                        .paper_name()
+                        .to_string()
+                })
+                .collect(),
+        )
+    };
+    let freqs = vec![(a % 997) as f64 * 0.25 + 0.5, 31.25, (b % 211) as f64 + 1.0];
+    match kind % 16 {
+        0 => JobSpec::Table1Sweep,
+        1 => JobSpec::Table2,
+        2 => JobSpec::Table3,
+        3 => JobSpec::Table4,
+        4 => JobSpec::ScalingStudy {
+            frequencies_mhz: freqs,
+        },
+        5 => JobSpec::Sensitivity,
+        6 => JobSpec::Ablation { items: a, seed: b },
+        7 => JobSpec::AbInitio(AbInitioSpec {
+            archs: names,
+            width: 2 + c % 31,
+            lanes: 1 + (c as u32 % 16),
+            engine: ENGINES[c % 4],
+            items: a,
+            seed: b,
+            workers: if c.is_multiple_of(3) {
+                None
+            } else {
+                Some(c % 17)
+            },
+        }),
+        8 => JobSpec::GlitchSweep(GlitchSweepSpec {
+            archs: names,
+            widths: widths.to_vec(),
+            lanes: 1 + (c as u32 % 16),
+            engine: ENGINES[c % 4],
+            items: a,
+            seed: b,
+            freq_points: 2 + c % 20,
+            workers: if c.is_multiple_of(2) {
+                None
+            } else {
+                Some(c % 9)
+            },
+        }),
+        9 => JobSpec::ActivityMeasure(ActivitySpec {
+            arch: Architecture::ALL[c % 13].paper_name().to_string(),
+            width: 2 + c % 31,
+            engine: ENGINES[c % 4],
+            items: a,
+            warmup: b % 32,
+            seed: b,
+        }),
+        10 => JobSpec::Figure1 { samples: c },
+        11 => JobSpec::Figure2 { samples: c },
+        12 => JobSpec::Figure34 {
+            width: 2 + c % 31,
+            items: a,
+        },
+        13 => JobSpec::Pareto {
+            freq_points: 2 + c % 30,
+        },
+        14 => JobSpec::Export,
+        _ => JobSpec::Batch(vec![
+            JobSpec::Table2,
+            JobSpec::Ablation { items: a, seed: b },
+            JobSpec::Batch(vec![JobSpec::Figure2 { samples: c }]),
+        ]),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline wire-format contract: every JobSpec serializes to
+    /// JSON and parses back to an equal value — u64 seeds (beyond
+    /// 2^53) included.
+    #[test]
+    fn jobspec_round_trips_losslessly(
+        kind in 0usize..16,
+        a in any::<u64>(),
+        b in any::<u64>(),
+        c in 0usize..1000,
+        widths in prop::collection::vec(2usize..33, 1..4),
+        names_ix in prop::collection::vec(any::<u8>(), 0..5),
+    ) {
+        let spec = spec_from(kind, a, b, c, &widths, &names_ix);
+        let json = spec.to_json();
+        let back = JobSpec::from_json(&json).expect("serialized specs parse");
+        prop_assert_eq!(&back, &spec, "wire form: {}", json);
+        // Serialization is deterministic: same spec, same bytes.
+        prop_assert_eq!(back.to_json(), json);
+    }
+}
+
+/// A cheap-but-covering spec set for execution-level properties.
+fn representative_specs() -> Vec<JobSpec> {
+    vec![
+        JobSpec::Table1Sweep,
+        JobSpec::Table2,
+        JobSpec::Table3,
+        JobSpec::ScalingStudy {
+            frequencies_mhz: vec![1.0, 250.0],
+        },
+        JobSpec::Sensitivity,
+        JobSpec::AbInitio(AbInitioSpec {
+            archs: Some(vec!["RCA".into(), "Wallace".into()]),
+            items: 20,
+            seed: 5,
+            ..AbInitioSpec::default()
+        }),
+        JobSpec::GlitchSweep(GlitchSweepSpec {
+            archs: Some(vec!["Wallace".into()]),
+            widths: vec![8, 16],
+            items: 15,
+            seed: 7,
+            freq_points: 3,
+            ..GlitchSweepSpec::default()
+        }),
+        JobSpec::ActivityMeasure(ActivitySpec {
+            arch: "RCA".into(),
+            width: 8,
+            engine: Engine::BitParallel,
+            items: 20,
+            warmup: 2,
+            seed: 3,
+        }),
+        JobSpec::Figure1 { samples: 8 },
+        JobSpec::Figure2 { samples: 8 },
+        JobSpec::Pareto { freq_points: 3 },
+    ]
+}
+
+/// The satellite acceptance test: a spec's artifact is bit-identical
+/// at 1, 2 and 8 workers — payload JSON, CSV and console text. The
+/// pool only schedules; it never changes bytes.
+#[test]
+fn artifacts_are_bit_identical_across_worker_counts() {
+    for spec in representative_specs() {
+        let reference = Runtime::new(Workers::Fixed(1))
+            .run(&spec)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.kind()));
+        for workers in [2usize, 8] {
+            let artifact = Runtime::new(Workers::Fixed(workers))
+                .run(&spec)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.kind()));
+            assert_eq!(
+                artifact.payload_json(),
+                reference.payload_json(),
+                "{} at {workers} workers",
+                spec.kind()
+            );
+            assert_eq!(
+                artifact.to_csv(),
+                reference.to_csv(),
+                "{} at {workers} workers",
+                spec.kind()
+            );
+            assert_eq!(
+                artifact.render_text(),
+                reference.render_text(),
+                "{} at {workers} workers",
+                spec.kind()
+            );
+        }
+    }
+}
+
+/// A spec survives a full JSON round-trip *and then* produces the
+/// bit-identical artifact — the wire format carries everything the
+/// runtime needs.
+#[test]
+fn round_tripped_specs_produce_identical_artifacts() {
+    let runtime = Runtime::new(Workers::Fixed(2));
+    for spec in [
+        JobSpec::Table3,
+        JobSpec::ActivityMeasure(ActivitySpec {
+            arch: "Seq4_16".into(),
+            width: 8,
+            engine: Engine::Timed,
+            items: 10,
+            warmup: 2,
+            seed: 99,
+        }),
+        JobSpec::Batch(vec![JobSpec::Table2, JobSpec::Figure2 { samples: 4 }]),
+    ] {
+        let wire = JobSpec::from_json(&spec.to_json()).unwrap();
+        let a = runtime.run(&spec).unwrap();
+        let b = runtime.run(&wire).unwrap();
+        assert_eq!(a.payload_json(), b.payload_json(), "{}", spec.kind());
+    }
+}
+
+/// `render_text` reproduces, byte for byte, the stdout the retired
+/// bespoke binaries assembled — same library calls, same seed, same
+/// workers.
+#[test]
+fn render_text_matches_the_legacy_binary_output() {
+    let runtime = Runtime::new(Workers::Auto);
+
+    // table1 (crates/report/src/bin/table1.rs)
+    let rows = optpower_report::table1_parallel(Workers::Auto).unwrap();
+    let legacy = optpower_report::render_rows(
+        "Table 1 - 16-bit multipliers at the optimal working point (ST LL, 31.25 MHz)\n\
+         (p) = paper columns; bare = this reproduction",
+        &rows,
+    );
+    assert_eq!(
+        runtime.run(&JobSpec::Table1Sweep).unwrap().render_text(),
+        legacy
+    );
+
+    // table2 (two printlns)
+    let legacy = format!(
+        "Table 2 - STM CMOS09 technology flavours\n{}",
+        optpower_report::table2()
+    );
+    assert_eq!(runtime.run(&JobSpec::Table2).unwrap().render_text(), legacy);
+
+    // table3 / table4
+    let legacy = optpower_report::render_rows(
+        "Table 3 - Wallace family optimal power, ULL flavour (31.25 MHz)",
+        &optpower_report::table3().unwrap(),
+    );
+    assert_eq!(runtime.run(&JobSpec::Table3).unwrap().render_text(), legacy);
+    let legacy = optpower_report::render_rows(
+        "Table 4 - Wallace family optimal power, HS flavour (31.25 MHz)",
+        &optpower_report::table4().unwrap(),
+    );
+    assert_eq!(runtime.run(&JobSpec::Table4).unwrap().render_text(), legacy);
+
+    // scaling (two sections, four printlns)
+    let freqs = [1.0, 31.25];
+    let unscaled =
+        optpower_report::extended::scaling_study_parallel(&freqs, false, Workers::Auto).unwrap();
+    let scaled =
+        optpower_report::extended::scaling_study_parallel(&freqs, true, Workers::Auto).unwrap();
+    let legacy = format!(
+        "== wire-dominated port (capacitance does not scale) ==\n{}\n\
+         == full gate-capacitance scaling (x0.7 per node) ==\n{}",
+        optpower_report::extended::render_scaling(&unscaled),
+        optpower_report::extended::render_scaling(&scaled)
+    );
+    let artifact = runtime
+        .run(&JobSpec::ScalingStudy {
+            frequencies_mhz: freqs.to_vec(),
+        })
+        .unwrap();
+    assert_eq!(artifact.render_text(), legacy);
+
+    // sensitivity
+    let legacy = optpower_report::extended::render_sensitivities(
+        &optpower_report::extended::sensitivity_report_parallel(Workers::Auto).unwrap(),
+    );
+    assert_eq!(
+        runtime.run(&JobSpec::Sensitivity).unwrap().render_text(),
+        legacy
+    );
+
+    // figure2 (render + CSV lines through `{}` float Display)
+    let fig = optpower_report::figure2(7).unwrap();
+    let mut legacy = optpower_report::render_figure2(&fig);
+    legacy.push_str("\nvdd_v,exact,approx");
+    for &(v, e, a) in &fig.points {
+        legacy.push_str(&format!("\n{v},{e},{a}"));
+    }
+    assert_eq!(
+        runtime
+            .run(&JobSpec::Figure2 { samples: 7 })
+            .unwrap()
+            .render_text(),
+        legacy
+    );
+
+    // figure34
+    let legacy = optpower_report::render_figure34(&optpower_report::figure34(8, 30).unwrap());
+    assert_eq!(
+        runtime
+            .run(&JobSpec::Figure34 {
+                width: 8,
+                items: 30
+            })
+            .unwrap()
+            .render_text(),
+        legacy
+    );
+
+    // ab_initio (no sweep), on a cheap subset with an explicit seed
+    let spec = AbInitioSpec {
+        archs: Some(vec!["RCA".into(), "Sequential".into()]),
+        items: 20,
+        seed: 42,
+        ..AbInitioSpec::default()
+    };
+    let rows = optpower_report::characterize_parallel(
+        &[Architecture::Rca, Architecture::Sequential],
+        optpower_tech::Flavor::LowLeakage,
+        20,
+        42,
+        Workers::Auto,
+    )
+    .unwrap();
+    let legacy = optpower_report::render_ab_initio(&rows);
+    assert_eq!(
+        runtime.run(&JobSpec::AbInitio(spec)).unwrap().render_text(),
+        legacy
+    );
+}
+
+/// `ab_initio --glitch-sweep`'s stdout: table, glitch-factor figure,
+/// then the summary line, assembled exactly as the legacy binary did.
+#[test]
+fn glitch_sweep_render_matches_the_legacy_composition() {
+    let runtime = Runtime::new(Workers::Auto);
+    let spec = GlitchSweepSpec {
+        archs: Some(vec!["RCA".into(), "Sequential".into()]),
+        items: 20,
+        seed: 42,
+        freq_points: 3,
+        ..GlitchSweepSpec::default()
+    };
+    let artifact = runtime.run(&JobSpec::GlitchSweep(spec)).unwrap();
+    let optpower_workload::Payload::Glitch(sweep) = &artifact.payload else {
+        panic!("glitch_sweep produces Payload::Glitch");
+    };
+    let (ga, gf) = (sweep.glitch_aware.summary(), sweep.glitch_free.summary());
+    let legacy = format!(
+        "{}\n{}\nGlitch-aware sweep: {} points ({} closed); glitch-free: {} closed; \
+         design-space glitch cost {:.2} uW over jointly closed points",
+        optpower_report::render_ab_initio(&sweep.rows),
+        optpower_report::render_glitch_factors(&sweep.rows),
+        ga.points,
+        ga.closed,
+        gf.closed,
+        sweep.total_glitch_cost_w() * 1e6,
+    );
+    assert_eq!(artifact.render_text(), legacy);
+    // The width axis is strictly more expressive than the legacy
+    // flag: the 16-bit-only sweep is the defaults' special case.
+    assert!(sweep.rows.iter().all(|r| r.width == 16));
+}
+
+/// Every workload previously reachable via a bespoke report binary is
+/// reachable as a JobSpec through the runtime (the export job runs in
+/// a temp dir to avoid clobbering real artifacts).
+#[test]
+fn every_legacy_binary_workload_is_reachable_as_a_jobspec() {
+    // Cheap stand-ins: the *kind* coverage is the point here; output
+    // equality is locked by the tests above.
+    let cheap: Vec<JobSpec> = vec![
+        JobSpec::Table1Sweep, // table1
+        JobSpec::Table2,      // table2
+        JobSpec::Table3,      // table3
+        JobSpec::Table4,      // table4
+        JobSpec::ScalingStudy {
+            frequencies_mhz: vec![31.25],
+        }, // scaling
+        JobSpec::Sensitivity, // sensitivity
+        JobSpec::Ablation { items: 20, seed: 3 }, // ablation
+        JobSpec::AbInitio(AbInitioSpec {
+            archs: Some(vec!["RCA".into()]),
+            items: 10,
+            ..AbInitioSpec::default()
+        }), // ab_initio
+        JobSpec::GlitchSweep(GlitchSweepSpec {
+            archs: Some(vec!["RCA".into()]),
+            items: 10,
+            freq_points: 2,
+            ..GlitchSweepSpec::default()
+        }), // ab_initio --glitch-sweep
+        JobSpec::Figure1 { samples: 4 }, // figure1
+        JobSpec::Figure2 { samples: 4 }, // figure2
+        JobSpec::Figure34 {
+            width: 8,
+            items: 10,
+        }, // figure34
+        JobSpec::Export,      // export
+        JobSpec::Pareto { freq_points: 2 }, // pareto (new)
+        JobSpec::ActivityMeasure(ActivitySpec {
+            items: 5,
+            warmup: 2,
+            ..ActivitySpec::default()
+        }), // activity (new)
+    ];
+    let dir = std::env::temp_dir().join(format!("optpower-workload-test-{}", std::process::id()));
+    let runtime = Runtime::new(Workers::Auto).with_artifact_dir(&dir);
+    // And the whole thing as one batch — the CI smoke shape.
+    let batch = JobSpec::Batch(cheap);
+    let artifact = runtime.run(&batch).unwrap();
+    let optpower_workload::Payload::Batch(members) = &artifact.payload else {
+        panic!("batch produces Payload::Batch");
+    };
+    assert_eq!(members.len(), 15);
+    // Every member renders, exports JSON and CSV without error.
+    for member in members {
+        assert!(!member.render_text().is_empty(), "{}", member.kind());
+        assert!(
+            member
+                .payload_json()
+                .starts_with("{\"schema\":\"optpower-workload/v1\""),
+            "{}",
+            member.kind()
+        );
+        assert!(!member.to_csv().is_empty(), "{}", member.kind());
+    }
+    // The export member wrote its files.
+    assert!(dir.join("rca.vcd").is_file());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Misdeclared specs fail with the unified error, not a panic.
+#[test]
+fn invalid_specs_surface_one_workload_error() {
+    let runtime = Runtime::new(Workers::Fixed(1));
+    for (spec, needle) in [
+        (
+            JobSpec::ActivityMeasure(ActivitySpec {
+                arch: "No Such Multiplier".into(),
+                ..ActivitySpec::default()
+            }),
+            "unknown architecture",
+        ),
+        (
+            JobSpec::ActivityMeasure(ActivitySpec {
+                arch: "Sequential".into(),
+                width: 24,
+                ..ActivitySpec::default()
+            }),
+            "width",
+        ),
+        (
+            JobSpec::GlitchSweep(GlitchSweepSpec {
+                archs: Some(vec!["Sequential".into()]),
+                widths: vec![24],
+                ..GlitchSweepSpec::default()
+            }),
+            "width",
+        ),
+        (
+            JobSpec::GlitchSweep(GlitchSweepSpec {
+                widths: vec![],
+                ..GlitchSweepSpec::default()
+            }),
+            "widths",
+        ),
+        (
+            JobSpec::GlitchSweep(GlitchSweepSpec {
+                widths: vec![16, 8, 16],
+                ..GlitchSweepSpec::default()
+            }),
+            "more than once",
+        ),
+        (
+            JobSpec::AbInitio(AbInitioSpec {
+                archs: Some(vec!["RCA".into(), "RCA".into()]),
+                ..AbInitioSpec::default()
+            }),
+            "more than once",
+        ),
+    ] {
+        let err = runtime.run(&spec).unwrap_err();
+        assert!(matches!(err, WorkloadError::Spec(_)), "{spec:?}: {err:?}");
+        assert!(err.to_string().contains(needle), "{err}");
+    }
+}
+
+/// Golden wire formats: the default spec JSON of every kind, pinned.
+/// `UPDATE_GOLDENS=1` refreshes the files.
+#[test]
+fn golden_default_specs() {
+    let mut lines = String::new();
+    for &(kind, _) in JOB_KINDS {
+        lines.push_str(&JobSpec::default_for(kind).unwrap().to_json());
+        lines.push('\n');
+    }
+    golden_compare("tests/golden/default_specs.jsonl", &lines);
+}
+
+/// Golden artifact envelope: the Table 2 payload document (pure
+/// published constants — deterministic everywhere).
+#[test]
+fn golden_table2_payload() {
+    let artifact = Runtime::new(Workers::Fixed(1))
+        .run(&JobSpec::Table2)
+        .unwrap();
+    golden_compare(
+        "tests/golden/table2_payload.json",
+        &format!("{}\n", artifact.payload_json()),
+    );
+}
+
+fn golden_compare(path: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(path);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run UPDATE_GOLDENS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "golden drift at {} (UPDATE_GOLDENS=1 refreshes after intentional changes)",
+        path.display()
+    );
+}
