@@ -14,6 +14,9 @@
 //!   × 80 vectors across the worker pool) at the same total stimulus
 //!   volume (acceptance ≥ 5×; single-core machines see the pure
 //!   engine ratio, every extra worker multiplies it).
+//! * `sta_vs_timed_wallace16` — static path: the dynamic glitch
+//!   measurement (wheel engine, 640 vectors) vs one full static pass
+//!   (STA windows + glitch bound); acceptance ≥ 100×.
 //!
 //! The `timed_scalar`/`timed_wheel` rows isolate the engine rebuild
 //! itself (identical single-stream workloads, no pooling): what the
@@ -27,6 +30,7 @@ use optpower_explore::{measure_timed_activity_pooled, TimedPoolConfig, Workers};
 use optpower_mult::Architecture;
 use optpower_netlist::Library;
 use optpower_sim::{measure_activity, Engine, LANES};
+use optpower_sta::{GlitchProfile, TimingAnalysis};
 
 fn bench_activity_measurement(c: &mut Criterion) {
     let design = Architecture::Wallace.generate(16).expect("wallace builds");
@@ -116,6 +120,36 @@ fn bench_activity_measurement(c: &mut Criterion) {
                 measure_timed_activity_pooled(&design.netlist, &lib, &pooled_config)
                     .expect("measures"),
             )
+        })
+    });
+    // Static-vs-dynamic cost: the dynamic glitch measurement (wheel
+    // engine, one stream at the acceptance-pair volume of 640
+    // vectors) vs one full static pass (integer-tick STA windows +
+    // glitch bound) on the same netlist. The static pass is the
+    // preflight the Runtime runs before every characterization; the
+    // `sta_vs_timed_wallace16` speedup row documents that it is
+    // effectively free (>= 100x cheaper than the simulation it
+    // sanity-checks).
+    c.bench_function("sim/serial_core/sta_vs_timed_wallace16", |b| {
+        b.iter(|| {
+            black_box(
+                measure_activity(
+                    &design.netlist,
+                    &lib,
+                    Engine::Timed,
+                    timed_vectors,
+                    1,
+                    2,
+                    42,
+                )
+                .expect("measures"),
+            )
+        })
+    });
+    c.bench_function("sim/parallel/sta_vs_timed_wallace16", |b| {
+        b.iter(|| {
+            let sta = TimingAnalysis::analyze(&design.netlist, &lib);
+            black_box(GlitchProfile::compute(&design.netlist, &sta))
         })
     });
 }

@@ -1,1 +1,4 @@
 //! Benchmark-only crate; all content lives in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

@@ -114,6 +114,19 @@ impl Netlist {
         &self.topo
     }
 
+    /// Timing endpoints: `(endpoint cell, sampled net)` for every
+    /// primary output and every DFF `D` pin, in cell order. This is
+    /// the one definition of *observable* shared by static timing
+    /// analysis (endpoint arrivals), lint (reachability from
+    /// endpoints) and the simulators (where paths terminate).
+    pub fn endpoints(&self) -> impl Iterator<Item = (CellId, NetId)> + '_ {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| matches!(c.kind, CellKind::Output | CellKind::Dff))
+            .map(|(i, c)| (CellId(i as u32), c.inputs[0]))
+    }
+
     /// Number of logic cells — the paper's `N` (gates + flip-flops;
     /// ports and constants excluded).
     pub fn logic_cell_count(&self) -> usize {
@@ -405,6 +418,18 @@ mod tests {
         let x_net = nl.cell(nl.primary_inputs()[0]).output;
         // x feeds both the XOR and the AND.
         assert_eq!(nl.fanout(x_net).len(), 2);
+    }
+
+    #[test]
+    fn endpoints_are_outputs_and_dff_d_pins() {
+        let nl = half_adder();
+        let eps: Vec<_> = nl.endpoints().collect();
+        // Two primary outputs, no flops.
+        assert_eq!(eps.len(), 2);
+        for (cell, net) in eps {
+            assert_eq!(nl.cell(cell).kind, CellKind::Output);
+            assert_eq!(nl.cell(cell).inputs[0], net);
+        }
     }
 
     #[test]

@@ -433,9 +433,50 @@ pub fn pareto_front_csv(fig: &ParetoFigure) -> String {
     out
 }
 
+/// Pearson correlation coefficient of paired samples, used by the
+/// static-vs-measured glitch artifact (`optpower sta`) to quantify how
+/// well the static bound tracks the simulated glitch factor across
+/// architectures — the paper's Section-4 claim, reduced to one number.
+///
+/// Returns `None` for fewer than two pairs or zero variance on either
+/// axis (the coefficient is undefined there, not 0 or 1).
+pub fn pearson_correlation(pairs: &[(f64, f64)]) -> Option<f64> {
+    let n = pairs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let (mx, my) = pairs
+        .iter()
+        .fold((0.0, 0.0), |(sx, sy), &(x, y)| (sx + x, sy + y));
+    let (mx, my) = (mx / nf, my / nf);
+    let (mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0);
+    for &(x, y) in pairs {
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+        sxy += (x - mx) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pearson_basics() {
+        // Perfectly linear: r = 1; anti-linear: r = -1.
+        let up: Vec<(f64, f64)> = (0..5).map(|i| (i as f64, 2.0 + 3.0 * i as f64)).collect();
+        assert!((pearson_correlation(&up).unwrap() - 1.0).abs() < 1e-12);
+        let down: Vec<(f64, f64)> = (0..5).map(|i| (i as f64, -(i as f64))).collect();
+        assert!((pearson_correlation(&down).unwrap() + 1.0).abs() < 1e-12);
+        // Degenerate inputs have no defined coefficient.
+        assert_eq!(pearson_correlation(&[(1.0, 2.0)]), None);
+        assert_eq!(pearson_correlation(&[(1.0, 2.0), (1.0, 5.0)]), None);
+    }
 
     #[test]
     fn figure1_reproduces_activity_trends() {

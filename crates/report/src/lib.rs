@@ -36,8 +36,8 @@ pub use abinitio::{
 };
 pub use calibrated::{render_rows, table1, table1_parallel, table2, table3, table4, RowComparison};
 pub use figures::{
-    figure1, figure2, figure34, figure_pareto, pareto_front_csv, render_figure1, render_figure2,
-    render_figure34, render_pareto, Figure1, Figure1Curve, Figure2, Figure34, ParetoFigure,
-    StageSummary,
+    figure1, figure2, figure34, figure_pareto, pareto_front_csv, pearson_correlation,
+    render_figure1, render_figure2, render_figure34, render_pareto, Figure1, Figure1Curve, Figure2,
+    Figure34, ParetoFigure, StageSummary,
 };
 pub use render::Table;

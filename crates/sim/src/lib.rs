@@ -86,7 +86,7 @@ pub use bus::{
 };
 pub use error::SimError;
 pub use event_wheel::{EventWheel, TimedEvent};
-pub use timed::{quantize_delays, TimedSim, MAX_DELAY_GATES, TICKS_PER_GATE};
+pub use timed::{quantize_delays, tick_stride, TimedSim, MAX_DELAY_GATES, TICKS_PER_GATE};
 pub use timed_scalar::ScalarTimedSim;
 pub use vcd::{parse_vcd, LaneProbe, NetProbe, VcdDump, VcdRecorder};
 pub use verify::{verify_product, VerifyOutcome};

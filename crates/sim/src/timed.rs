@@ -89,6 +89,16 @@ fn gcd(a: u64, b: u64) -> u64 {
     }
 }
 
+/// The GCD stride the timed engines normalise quantized delays by:
+/// event ordering is invariant under scaling every delay by a common
+/// factor, so the wheel runs on tick/`stride` units. Exposed so static
+/// analysis (`optpower-sta`) can reproduce the engine's exact time
+/// base: arrival windows computed on the same stride compare directly
+/// against [`TimedEvent::time`].
+pub fn tick_stride(ticks: &[u64]) -> u64 {
+    ticks.iter().copied().filter(|&d| d > 0).fold(0, gcd).max(1)
+}
+
 /// Three-valued levels as table indices: `Zero = 0`, `One = 1`,
 /// `X = 2`.
 #[inline]
@@ -233,6 +243,13 @@ pub struct TimedSim<'n> {
     run_drain: bool,
     /// Reusable bucket-run buffer for the run-drain loop.
     run_buf: Vec<TimedEvent>,
+    /// When set, every popped event is appended to `events_log` before
+    /// the inertial-preemption check (stale events included — they were
+    /// legitimately scheduled and must obey the same timing windows).
+    /// Off by default: the hot path pays one predictable branch.
+    record: bool,
+    /// The recorded events (see `record`), in pop order across cycles.
+    events_log: Vec<TimedEvent>,
     seq: u64,
     cycle: u64,
 }
@@ -281,11 +298,10 @@ impl<'n> TimedSim<'n> {
     /// finite, is negative, or exceeds [`MAX_DELAY_GATES`].
     pub fn new(netlist: &'n Netlist, library: &Library) -> Result<Self, SimError> {
         let ticks = quantize_delays(netlist, library)?;
-        // Event ordering is invariant under scaling every delay by a
-        // common factor, so run the wheel on tick/stride units: the
-        // cmos13 delays (all multiples of 0.1 gate units) collapse
+        // Run the wheel on tick/stride units (see [`tick_stride`]):
+        // the cmos13 delays (all multiples of 0.1 gate units) collapse
         // from a sparse 4096-bucket wheel to a dense 32-bucket one.
-        let stride = ticks.iter().copied().filter(|&d| d > 0).fold(0, gcd).max(1);
+        let stride = tick_stride(&ticks);
         let delays: Vec<u64> = ticks.iter().map(|&d| d / stride).collect();
         let max_delay = delays.iter().copied().max().unwrap_or(0);
 
@@ -382,6 +398,8 @@ impl<'n> TimedSim<'n> {
             dff_scratch,
             run_drain,
             run_buf: Vec::new(),
+            record: false,
+            events_log: Vec::new(),
             seq: 0,
             cycle: 0,
         })
@@ -551,6 +569,9 @@ impl<'n> TimedSim<'n> {
     /// the per-event pop loop and the bucket-run drain loop.
     #[inline]
     fn apply_event(&mut self, ev: &TimedEvent) {
+        if self.record {
+            self.events_log.push(*ev);
+        }
         let net = ev.net.index();
         // Inertial preemption: a newer evaluation of the driver
         // supersedes this event.
@@ -682,6 +703,23 @@ impl<'n> TimedSim<'n> {
     /// Resets the transition counters (e.g. after warm-up cycles).
     pub fn reset_transitions(&mut self) {
         self.transitions.iter_mut().for_each(|t| *t = 0);
+    }
+
+    /// Turns event recording on or off. While on, every event the
+    /// engine pops — including stale events later swallowed by
+    /// inertial preemption — is kept with its cycle-local due tick, so
+    /// static timing windows can be checked against the engine's real
+    /// event stream (`tests/sta_differential.rs`). Event times are in
+    /// tick/stride units; compare against windows computed on
+    /// [`tick_stride`] of [`quantize_delays`].
+    pub fn record_events(&mut self, on: bool) {
+        self.record = on;
+    }
+
+    /// Drains the recorded event log (see [`TimedSim::record_events`]),
+    /// leaving it empty for further recording.
+    pub fn take_events(&mut self) -> Vec<TimedEvent> {
+        core::mem::take(&mut self.events_log)
     }
 }
 

@@ -1,6 +1,20 @@
-//! Arrival-time propagation and path statistics.
+//! Arrival-*window* propagation and path statistics on the timed
+//! engine's exact integer time base.
+//!
+//! Every arrival is kept as an earliest/latest pair of integer
+//! tick/stride units — the same quantization
+//! ([`optpower_sim::quantize_delays`]) and the same GCD stride
+//! ([`optpower_sim::tick_stride`]) the event-wheel [`TimedSim`]
+//! engine runs on — so the static windows are directly comparable to
+//! simulated event times with `u64` equality, no epsilon. The
+//! differential suite (`tests/sta_differential.rs`) holds the engine
+//! to it: every event the timed engine processes lies inside the
+//! static window of its net.
+//!
+//! [`TimedSim`]: optpower_sim::TimedSim
 
 use optpower_netlist::{CellId, CellKind, Library, NetId, Netlist};
+use optpower_sim::{quantize_delays, tick_stride, SimError, TICKS_PER_GATE};
 
 /// A reported timing path (for diagnostics and the Figure 3/4 report).
 #[derive(Debug, Clone, PartialEq)]
@@ -13,116 +27,181 @@ pub struct PathReport {
 
 /// The result of one static timing analysis.
 ///
-/// Arrival times are measured in normalised gate units from the cycle
-/// edge. Start points (primary inputs, constants, DFF outputs) arrive
-/// at `0`; every combinational cell adds its library delay.
+/// Windows are computed in integer tick/stride units and converted to
+/// normalised gate units (FO4 inverter = 1.0) at the accessor
+/// boundary. Start points (primary inputs, constants, DFF outputs)
+/// arrive in the degenerate window `[0, 0]` — exactly the tick the
+/// timed engine commits them at; every combinational cell adds its
+/// quantized library delay to both bounds.
 #[derive(Debug, Clone)]
 pub struct TimingAnalysis {
-    max_arrival: Vec<f64>,
-    min_arrival: Vec<f64>,
-    logical_depth: f64,
-    shortest_endpoint_path: f64,
+    /// Ticks per stride unit (the engine's wheel granularity).
+    stride: u64,
+    /// Per-cell propagation delay in stride units.
+    delay_units: Vec<u64>,
+    /// Per-net earliest possible arrival, in stride units.
+    earliest: Vec<u64>,
+    /// Per-net latest possible arrival, in stride units.
+    latest: Vec<u64>,
+    /// Latest endpoint arrival (the paper's `LD`), in stride units.
+    depth_units: u64,
+    /// Earliest endpoint arrival, in stride units.
+    shortest_units: u64,
     mean_input_skew: f64,
     critical_endpoint: Option<CellId>,
 }
 
 impl TimingAnalysis {
     /// Runs the analysis. Single topological pass; `O(cells + pins)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a library delay is invalid (not finite, negative, or
+    /// above [`optpower_sim::MAX_DELAY_GATES`]); use
+    /// [`TimingAnalysis::try_analyze`] for the fallible form. The
+    /// built-in libraries are always valid.
     pub fn analyze(netlist: &Netlist, library: &Library) -> Self {
-        let n_nets = netlist.nets().len();
-        let mut max_arrival = vec![0.0f64; n_nets];
-        let mut min_arrival = vec![0.0f64; n_nets];
+        Self::try_analyze(netlist, library).expect("library delays are valid")
+    }
 
-        let mut skew_sum = 0.0f64;
+    /// Runs the analysis, surfacing invalid library delays as the same
+    /// typed error the timed engine constructor reports.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidDelay`] — precisely when
+    /// [`optpower_sim::TimedSim::new`] would reject the same pair.
+    pub fn try_analyze(netlist: &Netlist, library: &Library) -> Result<Self, SimError> {
+        let ticks = quantize_delays(netlist, library)?;
+        let stride = tick_stride(&ticks);
+        let delay_units: Vec<u64> = ticks.iter().map(|&t| t / stride).collect();
+
+        let n_nets = netlist.nets().len();
+        let mut earliest = vec![0u64; n_nets];
+        let mut latest = vec![0u64; n_nets];
+
+        let mut skew_sum: u128 = 0;
         let mut skew_cells = 0usize;
 
         for &id in netlist.topo_order() {
             let cell = netlist.cell(id);
             let out = cell.output.index();
             match cell.kind {
-                // Timing start points: arrive at the cycle edge.
+                // Timing start points: committed exactly at the cycle
+                // edge (tick 0) by the timed engine. A DFF cell may
+                // appear after its readers in the topo order (DFF
+                // outputs are sources, the cell is ordered by its D
+                // pin) — safe here because its window equals the
+                // arrays' zero initialization.
                 CellKind::Input | CellKind::Const0 | CellKind::Const1 | CellKind::Dff => {
-                    max_arrival[out] = 0.0;
-                    min_arrival[out] = 0.0;
+                    earliest[out] = 0;
+                    latest[out] = 0;
                 }
                 // Output markers are transparent.
                 CellKind::Output => {
                     let i = cell.inputs[0].index();
-                    max_arrival[out] = max_arrival[i];
-                    min_arrival[out] = min_arrival[i];
+                    earliest[out] = earliest[i];
+                    latest[out] = latest[i];
                 }
                 _ => {
-                    let d = library.delay(cell.kind);
-                    let mut in_max = 0.0f64;
-                    let mut in_min = f64::INFINITY;
+                    let d = delay_units[id.index()];
+                    let mut in_latest = 0u64;
+                    let mut in_earliest = u64::MAX;
                     for &pin in &cell.inputs {
-                        in_max = in_max.max(max_arrival[pin.index()]);
-                        in_min = in_min.min(min_arrival[pin.index()]);
+                        in_latest = in_latest.max(latest[pin.index()]);
+                        in_earliest = in_earliest.min(earliest[pin.index()]);
                     }
                     if cell.inputs.len() >= 2 {
-                        skew_sum += in_max - in_min;
+                        skew_sum += u128::from(in_latest - in_earliest);
                         skew_cells += 1;
                     }
-                    max_arrival[out] = in_max + d;
-                    min_arrival[out] = in_min + d;
+                    earliest[out] = in_earliest + d;
+                    latest[out] = in_latest + d;
                 }
             }
         }
 
         // Endpoints: primary outputs and DFF D pins.
-        let mut logical_depth = 0.0f64;
-        let mut shortest = f64::INFINITY;
+        let mut depth_units = 0u64;
+        let mut shortest = u64::MAX;
         let mut critical_endpoint = None;
-        let mut consider = |net: NetId, endpoint: CellId| {
-            let a = max_arrival[net.index()];
-            if a > logical_depth {
-                logical_depth = a;
-                critical_endpoint = Some(endpoint);
+        for (id, net) in netlist.endpoints() {
+            let net = net.index();
+            // Strict `>` keeps the first (lowest-CellId) endpoint on
+            // ties, matching the walk's lowest-id tie-break.
+            if latest[net] > depth_units {
+                depth_units = latest[net];
+                critical_endpoint = Some(id);
             }
-            shortest = shortest.min(min_arrival[net.index()]);
-        };
-        for (i, cell) in netlist.cells().iter().enumerate() {
-            match cell.kind {
-                CellKind::Output | CellKind::Dff => {
-                    consider(cell.inputs[0], CellId(i as u32));
-                }
-                _ => {}
-            }
+            shortest = shortest.min(earliest[net]);
         }
-        if !shortest.is_finite() {
-            shortest = 0.0;
+        if shortest == u64::MAX {
+            shortest = 0;
         }
 
-        Self {
-            max_arrival,
-            min_arrival,
-            logical_depth,
-            shortest_endpoint_path: shortest,
-            mean_input_skew: if skew_cells > 0 {
-                skew_sum / skew_cells as f64
-            } else {
-                0.0
-            },
+        let mean_input_skew = if skew_cells > 0 {
+            units_to_gates_u128(skew_sum, stride) / skew_cells as f64
+        } else {
+            0.0
+        };
+
+        Ok(Self {
+            stride,
+            delay_units,
+            earliest,
+            latest,
+            depth_units,
+            shortest_units: shortest,
+            mean_input_skew,
             critical_endpoint,
-        }
+        })
+    }
+
+    /// Ticks per stride unit: the granularity both this analysis and
+    /// the event-wheel engine express time in. Identical to the
+    /// stride `TimedSim::new` derives for the same netlist/library.
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// A cell's propagation delay in stride units.
+    pub fn delay_units(&self, cell: CellId) -> u64 {
+        self.delay_units[cell.index()]
+    }
+
+    /// Earliest possible arrival of a net, in stride units.
+    pub fn earliest_units(&self, net: NetId) -> u64 {
+        self.earliest[net.index()]
+    }
+
+    /// Latest possible arrival of a net, in stride units.
+    pub fn latest_units(&self, net: NetId) -> u64 {
+        self.latest[net.index()]
+    }
+
+    /// The arrival window `[earliest, latest]` of a net in stride
+    /// units: every event the timed engine ever schedules on this net
+    /// falls inside it (locked by `tests/sta_differential.rs`).
+    pub fn window_units(&self, net: NetId) -> (u64, u64) {
+        (self.earliest[net.index()], self.latest[net.index()])
     }
 
     /// The paper's logical depth `LD`: the longest start-to-endpoint
     /// combinational path in gate units.
     pub fn logical_depth(&self) -> f64 {
-        self.logical_depth
+        self.units_to_gates(self.depth_units)
     }
 
     /// The shortest endpoint path (lower bound of the path spread).
     pub fn shortest_endpoint_path(&self) -> f64 {
-        self.shortest_endpoint_path
+        self.units_to_gates(self.shortest_units)
     }
 
     /// `LD − shortest path`: the global path-delay spread. Larger
     /// spread ⇒ more glitch-prone (Section 4's diagonal-pipeline
     /// observation).
     pub fn path_spread(&self) -> f64 {
-        self.logical_depth - self.shortest_endpoint_path
+        self.units_to_gates(self.depth_units - self.shortest_units.min(self.depth_units))
     }
 
     /// Mean over multi-input cells of (latest − earliest input
@@ -131,14 +210,14 @@ impl TimingAnalysis {
         self.mean_input_skew
     }
 
-    /// Latest arrival time of a net.
+    /// Latest arrival time of a net, in gate units.
     pub fn arrival(&self, net: NetId) -> f64 {
-        self.max_arrival[net.index()]
+        self.units_to_gates(self.latest[net.index()])
     }
 
-    /// Earliest arrival time of a net.
+    /// Earliest arrival time of a net, in gate units.
     pub fn min_arrival(&self, net: NetId) -> f64 {
-        self.min_arrival[net.index()]
+        self.units_to_gates(self.earliest[net.index()])
     }
 
     /// The endpoint cell of the critical path, if any combinational
@@ -157,16 +236,14 @@ impl TimingAnalysis {
     pub fn arrival_histogram(&self, netlist: &Netlist, bins: usize) -> Vec<usize> {
         let bins = bins.max(1);
         let mut hist = vec![0usize; bins];
-        if self.logical_depth <= 0.0 {
+        if self.depth_units == 0 {
             return hist;
         }
-        for cell in netlist.cells() {
-            let net = match cell.kind {
-                CellKind::Output | CellKind::Dff => cell.inputs[0],
-                _ => continue,
-            };
-            let a = self.max_arrival[net.index()];
-            let ix = ((a / self.logical_depth) * bins as f64) as usize;
+        for (_, net) in netlist.endpoints() {
+            // Exact integer binning: bin = floor(a · bins / depth),
+            // clamped so arrival == depth lands in the last bin.
+            let a = u128::from(self.latest[net.index()]);
+            let ix = (a * bins as u128 / u128::from(self.depth_units)) as usize;
             hist[ix.min(bins - 1)] += 1;
         }
         hist
@@ -174,7 +251,14 @@ impl TimingAnalysis {
 
     /// Reconstructs the critical path by walking back along
     /// worst-arrival pins from the critical endpoint.
-    pub fn critical_path(&self, netlist: &Netlist, library: &Library) -> Option<PathReport> {
+    ///
+    /// Integer arrivals make the walk total and exact: at each cell
+    /// the chosen pin satisfies `latest(pin) + delay == latest(out)`
+    /// by `u64` equality (the old `f64` walk needed a NaN-tolerant
+    /// comparator and an epsilon assertion). Ties are broken towards
+    /// the lowest [`NetId`], so the reported path is deterministic
+    /// across platforms.
+    pub fn critical_path(&self, netlist: &Netlist, _library: &Library) -> Option<PathReport> {
         let endpoint = self.critical_endpoint?;
         let mut cells = vec![endpoint];
         let mut current = netlist.cell(endpoint).inputs[0];
@@ -189,26 +273,46 @@ impl TimingAnalysis {
             if is_start || cell.inputs.is_empty() {
                 break;
             }
-            // Follow the latest-arriving input.
-            let d = library.delay(cell.kind);
-            let target = self.max_arrival[cell.output.index()] - d;
-            current = *cell
-                .inputs
-                .iter()
-                .max_by(|a, b| {
-                    self.max_arrival[a.index()]
-                        .partial_cmp(&self.max_arrival[b.index()])
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .expect("non-start cells have inputs");
-            debug_assert!(self.max_arrival[current.index()] <= target + 1e-9);
+            // Follow the latest-arriving input; lowest NetId on ties.
+            let mut best: Option<NetId> = None;
+            for &pin in &cell.inputs {
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        let (a, bb) = (self.latest[pin.index()], self.latest[b.index()]);
+                        a > bb || (a == bb && pin.index() < b.index())
+                    }
+                };
+                if better {
+                    best = Some(pin);
+                }
+            }
+            current = best.expect("non-start cells have inputs");
+            debug_assert_eq!(
+                self.latest[current.index()] + self.delay_units[driver.index()],
+                self.latest[cell.output.index()],
+                "critical-path walk left the worst path"
+            );
         }
         cells.reverse();
         Some(PathReport {
             cells,
-            length: self.logical_depth,
+            length: self.logical_depth(),
         })
     }
+
+    /// Converts stride units to normalised gate units.
+    fn units_to_gates(&self, units: u64) -> f64 {
+        units_to_gates_u128(u128::from(units), self.stride)
+    }
+}
+
+/// Stride units → gate units with one rounding at the very end: the
+/// integer product `units × stride` is exact in `u128`, so derived
+/// `f64` depths match the old per-cell `f64` sums to well below any
+/// test tolerance.
+fn units_to_gates_u128(units: u128, stride: u64) -> f64 {
+    (units * u128::from(stride)) as f64 / TICKS_PER_GATE as f64
 }
 
 #[cfg(test)]
@@ -303,6 +407,27 @@ mod tests {
     }
 
     #[test]
+    fn critical_path_tie_breaks_to_lowest_net_id() {
+        // Two equally slow pins into the endpoint gate: the walk must
+        // deterministically pick the lower NetId.
+        let lib = Library::cmos13();
+        let mut b = NetlistBuilder::new("tie");
+        let x = b.add_input("x0");
+        let y = b.add_input("x1");
+        let p = b.add_cell(CellKind::Inv, &[x]);
+        let q = b.add_cell(CellKind::Inv, &[y]);
+        let top = b.add_cell(CellKind::And2, &[q, p]);
+        b.add_output("y0", top);
+        let nl = b.build().unwrap();
+        let sta = TimingAnalysis::analyze(&nl, &lib);
+        let path = sta.critical_path(&nl, &lib).unwrap();
+        // Both inverters arrive together; `p` has the lower net id
+        // even though `q` is the first pin.
+        assert!(path.cells.contains(&nl.net(p).driver));
+        assert!(!path.cells.contains(&nl.net(q).driver));
+    }
+
+    #[test]
     fn pure_register_file_has_zero_depth() {
         let lib = Library::cmos13();
         let mut b = NetlistBuilder::new("regs");
@@ -313,6 +438,36 @@ mod tests {
         let sta = TimingAnalysis::analyze(&nl, &lib);
         assert_eq!(sta.logical_depth(), 0.0);
         assert_eq!(sta.path_spread(), 0.0);
+        assert_eq!(sta.critical_endpoint(), None);
+    }
+
+    #[test]
+    fn windows_are_in_engine_units() {
+        // Buf chain: windows collapse to points at exact multiples of
+        // the buffer delay in stride units.
+        let lib = Library::cmos13();
+        let mut b = NetlistBuilder::new("w");
+        let x = b.add_input("x0");
+        let d1 = b.add_cell(CellKind::Buf, &[x]);
+        let d2 = b.add_cell(CellKind::Buf, &[d1]);
+        b.add_output("y0", d2);
+        let nl = b.build().unwrap();
+        let sta = TimingAnalysis::analyze(&nl, &lib);
+        let buf_units = (lib.delay(CellKind::Buf) * 1000.0).round() as u64 / sta.stride();
+        assert_eq!(sta.window_units(x), (0, 0));
+        assert_eq!(sta.window_units(d1), (buf_units, buf_units));
+        assert_eq!(sta.window_units(d2), (2 * buf_units, 2 * buf_units));
+    }
+
+    #[test]
+    fn invalid_delays_are_a_typed_error() {
+        let mut b = NetlistBuilder::new("bad");
+        let x = b.add_input("x0");
+        let y = b.add_cell(CellKind::Inv, &[x]);
+        b.add_output("y0", y);
+        let nl = b.build().unwrap();
+        let err = TimingAnalysis::try_analyze(&nl, &Library::with_uniform_delay(f64::NAN));
+        assert!(matches!(err, Err(SimError::InvalidDelay { .. })));
     }
 }
 

@@ -1,36 +1,11 @@
-//! Static timing analysis over `optpower-netlist` designs.
-//!
-//! Computes the paper's *logical depth* (`LD`): the critical-path
-//! length in normalised gate units (inverter = 1) between timing
-//! start points (primary inputs, DFF outputs, constants) and timing
-//! endpoints (primary outputs, DFF `D` pins).
-//!
-//! Also exposes the **path-delay spread** statistics that explain the
-//! paper's horizontal-vs-diagonal pipeline observation: a larger
-//! spread of arrival times at a cell's inputs produces more glitches,
-//! i.e. higher activity (Section 4).
-//!
-//! # Examples
-//!
-//! ```
-//! use optpower_netlist::{CellKind, Library, NetlistBuilder};
-//! use optpower_sta::TimingAnalysis;
-//!
-//! // Two inverters in series: depth 2 gate units.
-//! let mut b = NetlistBuilder::new("chain");
-//! let x = b.add_input("x0");
-//! let n1 = b.add_cell(CellKind::Inv, &[x]);
-//! let n2 = b.add_cell(CellKind::Inv, &[n1]);
-//! b.add_output("y0", n2);
-//! let nl = b.build()?;
-//! let sta = TimingAnalysis::analyze(&nl, &Library::cmos13());
-//! assert_eq!(sta.logical_depth(), 2.0);
-//! # Ok::<(), optpower_netlist::NetlistError>(())
-//! ```
-
+#![doc = include_str!("../README.md")]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod analysis;
+mod glitch;
+mod lint;
 
 pub use analysis::{PathReport, TimingAnalysis};
+pub use glitch::GlitchProfile;
+pub use lint::{Diagnostic, LintReport, LintRule, Severity};

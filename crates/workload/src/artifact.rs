@@ -52,6 +52,57 @@ pub struct FlavorRow {
     pub n: f64,
 }
 
+/// One linted netlist: the architecture/width coordinates plus the
+/// full structural report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintSummary {
+    /// Paper name of the architecture.
+    pub arch: String,
+    /// Operand width in bits.
+    pub width: usize,
+    /// The structural lint report.
+    pub report: optpower_sta::LintReport,
+}
+
+/// One architecture's static-analysis row: integer-tick STA numbers
+/// plus the static glitch bound, optionally paired with the measured
+/// glitch factor for the static-vs-measured correlation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaRow {
+    /// Paper name of the architecture.
+    pub arch: String,
+    /// Operand width in bits.
+    pub width: usize,
+    /// Logic cell count (the paper's `N`).
+    pub cells: usize,
+    /// Picosecond ticks per stride unit of the shared time base.
+    pub stride_ticks: u64,
+    /// Longest endpoint path in gate units (the paper's `LD`).
+    pub logical_depth: f64,
+    /// Shortest endpoint path in gate units.
+    pub shortest_path: f64,
+    /// `LD − shortest` in gate units.
+    pub path_spread: f64,
+    /// Mean multi-input arrival skew in gate units.
+    pub mean_input_skew: f64,
+    /// Cells on the reconstructed critical path.
+    pub critical_path_cells: usize,
+    /// The static glitch factor — the static analogue of the measured
+    /// `a(timed)/a(zero-delay)` ratio (a ranking statistic, correlated
+    /// but not a bound on the ratio).
+    pub static_glitch_factor: f64,
+    /// The simulated glitch factor, when the spec ran the measured
+    /// leg (`items > 0`).
+    pub measured_glitch_factor: Option<f64>,
+    /// The *provable* ceiling: mean per-cell transition bound per data
+    /// item (per-cycle bound × cycles per item). Measured timed
+    /// activity can never exceed this.
+    pub static_activity_bound: f64,
+    /// The simulated timed activity (transitions per logic cell per
+    /// data item), when the spec ran the measured leg.
+    pub measured_activity: Option<f64>,
+}
+
 /// What the export job wrote.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExportListing {
@@ -130,6 +181,10 @@ pub enum Payload {
     Pareto(ParetoFigure),
     /// The export listing.
     Export(ExportListing),
+    /// One lint report per (architecture, width).
+    Lint(Vec<LintSummary>),
+    /// One static-analysis row per architecture.
+    Sta(Vec<StaRow>),
     /// One artifact per batch member, in batch order.
     Batch(Vec<Artifact>),
 }
@@ -251,6 +306,75 @@ impl Artifact {
                 "wrote Verilog/DOT for 13 architectures + rca.vcd to {}",
                 listing.dir
             ),
+            Payload::Lint(summaries) => {
+                let errors: usize = summaries.iter().map(|s| s.report.error_count()).sum();
+                let warnings: usize = summaries.iter().map(|s| s.report.warning_count()).sum();
+                let mut out = format!(
+                    "Lint - {} netlist(s), {} error(s), {} warning(s)\n",
+                    summaries.len(),
+                    errors,
+                    warnings
+                );
+                for s in summaries {
+                    out.push_str(&s.report.render_text());
+                }
+                out
+            }
+            Payload::Sta(rows) => {
+                let mut t = optpower_report::Table::new(&[
+                    "arch",
+                    "width",
+                    "cells",
+                    "stride",
+                    "LD",
+                    "shortest",
+                    "spread",
+                    "skew",
+                    "cp cells",
+                    "g_static",
+                    "g_measured",
+                    "a_bound",
+                    "a_measured",
+                ]);
+                let opt = |v: Option<f64>| match v {
+                    Some(g) => format!("{g:.3}"),
+                    None => "-".to_string(),
+                };
+                for r in rows {
+                    t.row(&[
+                        r.arch.clone(),
+                        r.width.to_string(),
+                        r.cells.to_string(),
+                        r.stride_ticks.to_string(),
+                        format!("{:.2}", r.logical_depth),
+                        format!("{:.2}", r.shortest_path),
+                        format!("{:.2}", r.path_spread),
+                        format!("{:.3}", r.mean_input_skew),
+                        r.critical_path_cells.to_string(),
+                        format!("{:.3}", r.static_glitch_factor),
+                        opt(r.measured_glitch_factor),
+                        format!("{:.3}", r.static_activity_bound),
+                        opt(r.measured_activity),
+                    ]);
+                }
+                let mut out = format!("Static timing + glitch bound\n{t}");
+                let pairs: Vec<(f64, f64)> = rows
+                    .iter()
+                    .filter_map(|r| {
+                        r.measured_glitch_factor
+                            .map(|m| (r.static_glitch_factor, m))
+                    })
+                    .collect();
+                match optpower_report::pearson_correlation(&pairs) {
+                    Some(r) => out.push_str(&format!(
+                        "static-vs-measured glitch correlation r = {:.3} over {} architecture(s)\n",
+                        r,
+                        pairs.len()
+                    )),
+                    None => out.push_str("static-vs-measured glitch correlation: n/a\n"),
+                }
+                out
+            }
             Payload::Batch(artifacts) => artifacts
                 .iter()
                 .map(Artifact::render_text)
@@ -462,6 +586,68 @@ impl Artifact {
                 for f in &listing.files {
                     out.push_str(&csv_field(f));
                     out.push('\n');
+                }
+                out
+            }
+            Payload::Lint(summaries) => {
+                let mut out =
+                    String::from("arch,width,cells,nets,severity,rule_id,rule,cell,net,message\n");
+                for s in summaries {
+                    if s.report.is_clean() {
+                        out.push_str(&format!(
+                            "{},{},{},{},clean,,,,,\n",
+                            csv_field(&s.arch),
+                            s.width,
+                            s.report.cell_count(),
+                            s.report.net_count(),
+                        ));
+                        continue;
+                    }
+                    for d in s.report.diagnostics() {
+                        out.push_str(&format!(
+                            "{},{},{},{},{},{},{},{},{},{}\n",
+                            csv_field(&s.arch),
+                            s.width,
+                            s.report.cell_count(),
+                            s.report.net_count(),
+                            d.rule.severity().label(),
+                            d.rule.id(),
+                            d.rule.name(),
+                            d.cell.map(|c| c.index().to_string()).unwrap_or_default(),
+                            d.net.map(|n| n.index().to_string()).unwrap_or_default(),
+                            csv_field(&d.message),
+                        ));
+                    }
+                }
+                out
+            }
+            Payload::Sta(rows) => {
+                let mut out = String::from(
+                    "arch,width,cells,stride_ticks,logical_depth,shortest_path,path_spread,\
+                     mean_input_skew,critical_path_cells,static_glitch_factor,\
+                     measured_glitch_factor,static_activity_bound,measured_activity\n",
+                );
+                for r in rows {
+                    out.push_str(&format!(
+                        "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                        csv_field(&r.arch),
+                        r.width,
+                        r.cells,
+                        r.stride_ticks,
+                        r.logical_depth,
+                        r.shortest_path,
+                        r.path_spread,
+                        r.mean_input_skew,
+                        r.critical_path_cells,
+                        r.static_glitch_factor,
+                        r.measured_glitch_factor
+                            .map(|g| g.to_string())
+                            .unwrap_or_default(),
+                        r.static_activity_bound,
+                        r.measured_activity
+                            .map(|a| a.to_string())
+                            .unwrap_or_default(),
+                    ));
                 }
                 out
             }
@@ -727,6 +913,105 @@ fn payload_data(payload: &Payload) -> Json {
                 Json::Arr(listing.files.iter().map(Json::str).collect()),
             ),
         ]),
+        Payload::Lint(summaries) => Json::obj([(
+            "netlists",
+            Json::Arr(
+                summaries
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("arch", Json::str(s.arch.clone())),
+                            ("width", Json::UInt(s.width as u64)),
+                            ("cells", Json::UInt(s.report.cell_count() as u64)),
+                            ("nets", Json::UInt(s.report.net_count() as u64)),
+                            ("errors", Json::UInt(s.report.error_count() as u64)),
+                            ("warnings", Json::UInt(s.report.warning_count() as u64)),
+                            (
+                                "diagnostics",
+                                Json::Arr(
+                                    s.report
+                                        .diagnostics()
+                                        .iter()
+                                        .map(|d| {
+                                            Json::obj([
+                                                ("id", Json::str(d.rule.id())),
+                                                ("rule", Json::str(d.rule.name())),
+                                                ("severity", Json::str(d.rule.severity().label())),
+                                                (
+                                                    "cell",
+                                                    d.cell
+                                                        .map(|c| Json::UInt(c.index() as u64))
+                                                        .unwrap_or(Json::Null),
+                                                ),
+                                                (
+                                                    "net",
+                                                    d.net
+                                                        .map(|n| Json::UInt(n.index() as u64))
+                                                        .unwrap_or(Json::Null),
+                                                ),
+                                                ("message", Json::str(d.message.clone())),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )]),
+        Payload::Sta(rows) => {
+            let pairs: Vec<(f64, f64)> = rows
+                .iter()
+                .filter_map(|r| {
+                    r.measured_glitch_factor
+                        .map(|m| (r.static_glitch_factor, m))
+                })
+                .collect();
+            Json::obj([
+                (
+                    "rows",
+                    Json::Arr(
+                        rows.iter()
+                            .map(|r| {
+                                Json::obj([
+                                    ("arch", Json::str(r.arch.clone())),
+                                    ("width", Json::UInt(r.width as u64)),
+                                    ("cells", Json::UInt(r.cells as u64)),
+                                    ("stride_ticks", Json::UInt(r.stride_ticks)),
+                                    ("logical_depth", Json::num(r.logical_depth)),
+                                    ("shortest_path", Json::num(r.shortest_path)),
+                                    ("path_spread", Json::num(r.path_spread)),
+                                    ("mean_input_skew", Json::num(r.mean_input_skew)),
+                                    (
+                                        "critical_path_cells",
+                                        Json::UInt(r.critical_path_cells as u64),
+                                    ),
+                                    ("static_glitch_factor", Json::num(r.static_glitch_factor)),
+                                    (
+                                        "measured_glitch_factor",
+                                        r.measured_glitch_factor
+                                            .map(Json::num)
+                                            .unwrap_or(Json::Null),
+                                    ),
+                                    ("static_activity_bound", Json::num(r.static_activity_bound)),
+                                    (
+                                        "measured_activity",
+                                        r.measured_activity.map(Json::num).unwrap_or(Json::Null),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "static_vs_measured_r",
+                    optpower_report::pearson_correlation(&pairs)
+                        .map(Json::num)
+                        .unwrap_or(Json::Null),
+                ),
+            ])
+        }
         Payload::Batch(artifacts) => Json::Arr(
             artifacts
                 .iter()

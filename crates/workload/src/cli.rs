@@ -81,6 +81,8 @@ fn dispatch(args: &[String]) -> Result<(), WorkloadError> {
             Ok(())
         }
         "run" => run_command(&args[1..]),
+        "lint" => run_lint(&args[1..]),
+        "sta" => run_sta(&args[1..]),
         // Every legacy binary name (and its kebab-case spelling) is an
         // `optpower` subcommand with the legacy flag set.
         other => {
@@ -105,6 +107,11 @@ fn usage() -> String {
      \x20 optpower spec <kind>                            print a kind's default JobSpec JSON\n\
      \x20 optpower run <spec.json|-> [--workers N]\n\
      \x20               [--out DIR] [--json] [--csv]      execute a JSON JobSpec\n\
+     \x20 optpower lint [--arch NAME]* [--width N]*\n\
+     \x20               [--out DIR] [--json] [--csv]      structural netlist lint gate\n\
+     \x20 optpower sta  [--arch NAME]* [--width N] [--items N] [--seed N]\n\
+     \x20               [--workers N] [--out DIR]\n\
+     \x20               [--json] [--csv]                  integer-tick STA + glitch bound\n\
      \x20 optpower <kind> [flags]                         run one kind with its legacy flags\n\
      \n\
      kinds double as legacy binary names: table1..table4, scaling, sensitivity,\n\
@@ -153,15 +160,109 @@ fn run_command(args: &[String]) -> Result<(), WorkloadError> {
         std::fs::read_to_string(&source).map_err(|e| WorkloadError::io(&source, e))?
     };
     let spec = JobSpec::from_json(&text)?;
-    let runtime = Runtime::new(workers);
-    let artifact = runtime.run(&spec)?;
+    let artifact = Runtime::new(workers).run(&spec)?;
+    emit(&artifact, format, out_dir.as_deref())
+}
+
+/// `optpower lint [--arch NAME]* [--width N]* [--json|--csv] [--out DIR]`.
+/// No `--arch` means all 13 architectures; no `--width` means every
+/// supported width per architecture (the CI gate shape).
+fn run_lint(args: &[String]) -> Result<(), WorkloadError> {
+    let mut spec = crate::spec::LintSpec::default();
+    let mut format = OutputFormat::Text;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--arch" => {
+                let name = it
+                    .next()
+                    .ok_or_else(|| SpecError::new("--arch needs a name"))?;
+                spec.archs.get_or_insert_with(Vec::new).push(name.clone());
+            }
+            "--width" => {
+                let w = parse_count(it.next(), "--width")?;
+                spec.widths.get_or_insert_with(Vec::new).push(w);
+            }
+            "--json" => format = OutputFormat::Json,
+            "--csv" => format = OutputFormat::Csv,
+            "--out" => out_dir = Some(parse_path(it.next(), "--out")?),
+            other => {
+                return Err(SpecError::new(format!(
+                    "unknown argument {other:?} \
+                     (try --arch NAME / --width N / --json / --csv / --out DIR)"
+                ))
+                .into())
+            }
+        }
+    }
+    let artifact = Runtime::new(Workers::Auto).run(&JobSpec::Lint(spec))?;
+    emit(&artifact, format, out_dir.as_deref())?;
+    // The subcommand is a gate: emit the full report first, then fail
+    // the invocation if any netlist carried an error-severity
+    // diagnostic, so `optpower lint` works as a CI tripwire.
+    if let crate::artifact::Payload::Lint(rows) = &artifact.payload {
+        let errors: usize = rows.iter().map(|r| r.report.error_count()).sum();
+        if errors > 0 {
+            return Err(SpecError::new(format!(
+                "lint found {errors} error-severity diagnostic(s); see the report above"
+            ))
+            .into());
+        }
+    }
+    Ok(())
+}
+
+/// `optpower sta [--arch NAME]* [--width N] [--items N] [--seed N]
+/// [--workers N] [--json|--csv] [--out DIR]`. `--items 0` skips the
+/// measured (timed-simulation) leg and reports static columns only.
+fn run_sta(args: &[String]) -> Result<(), WorkloadError> {
+    let mut spec = crate::spec::StaSpec::default();
+    let mut format = OutputFormat::Text;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--arch" => {
+                let name = it
+                    .next()
+                    .ok_or_else(|| SpecError::new("--arch needs a name"))?;
+                spec.archs.get_or_insert_with(Vec::new).push(name.clone());
+            }
+            "--width" => spec.width = parse_count(it.next(), "--width")?,
+            "--items" => spec.items = parse_count(it.next(), "--items")? as u64,
+            "--seed" => spec.seed = parse_count(it.next(), "--seed")? as u64,
+            "--workers" => spec.workers = Some(parse_count(it.next(), "--workers")?),
+            "--json" => format = OutputFormat::Json,
+            "--csv" => format = OutputFormat::Csv,
+            "--out" => out_dir = Some(parse_path(it.next(), "--out")?),
+            other => {
+                return Err(SpecError::new(format!(
+                    "unknown argument {other:?} (try --arch NAME / --width N / --items N \
+                     / --seed N / --workers N / --json / --csv / --out DIR)"
+                ))
+                .into())
+            }
+        }
+    }
+    let artifact = Runtime::new(Workers::Auto).run(&JobSpec::Sta(spec))?;
+    emit(&artifact, format, out_dir.as_deref())
+}
+
+/// Prints the artifact in the chosen format and optionally writes the
+/// `<kind>.{json,csv,txt}` triple to `out_dir`.
+fn emit(
+    artifact: &Artifact,
+    format: OutputFormat,
+    out_dir: Option<&Path>,
+) -> Result<(), WorkloadError> {
     match format {
         OutputFormat::Text => println!("{}", artifact.render_text()),
         OutputFormat::Json => println!("{}", artifact.to_json()),
         OutputFormat::Csv => print!("{}", artifact.to_csv()),
     }
     if let Some(dir) = out_dir {
-        let written = write_artifact_files(&artifact, &dir)?;
+        let written = write_artifact_files(artifact, dir)?;
         eprintln!("wrote {} artifact files to {}", written, dir.display());
     }
     Ok(())
@@ -395,4 +496,9 @@ fn print_spec(spec: &JobSpec, workers: Workers) -> Result<(), WorkloadError> {
 fn parse_count(arg: Option<&String>, flag: &str) -> Result<usize, WorkloadError> {
     arg.and_then(|v| v.parse().ok())
         .ok_or_else(|| SpecError::new(format!("{flag} needs an unsigned integer")).into())
+}
+
+fn parse_path(arg: Option<&String>, flag: &str) -> Result<PathBuf, WorkloadError> {
+    arg.map(PathBuf::from)
+        .ok_or_else(|| SpecError::new(format!("{flag} needs a directory argument")).into())
 }

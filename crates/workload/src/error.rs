@@ -46,6 +46,14 @@ pub enum WorkloadError {
     Sim(SimError),
     /// Netlist generation or validation failed.
     Netlist(NetlistError),
+    /// The lint preflight found error-severity diagnostics: the
+    /// netlist would simulate to meaningless numbers.
+    Lint {
+        /// Name of the rejected netlist.
+        netlist: String,
+        /// The full lint report (error and warning diagnostics).
+        report: optpower_sta::LintReport,
+    },
     /// The job specification was malformed or invalid.
     Spec(SpecError),
     /// Reading a spec or writing an artifact failed.
@@ -64,6 +72,21 @@ impl fmt::Display for WorkloadError {
             Self::AbInitio(e) => write!(f, "ab-initio flow failure: {e}"),
             Self::Sim(e) => write!(f, "simulation failure: {e}"),
             Self::Netlist(e) => write!(f, "netlist failure: {e}"),
+            Self::Lint { netlist, report } => {
+                write!(
+                    f,
+                    "lint rejected netlist '{netlist}' ({} error(s)):",
+                    report.error_count()
+                )?;
+                for d in report
+                    .diagnostics()
+                    .iter()
+                    .filter(|d| d.rule.severity() == optpower_sta::Severity::Error)
+                {
+                    write!(f, " [{} {}] {};", d.rule.id(), d.rule.name(), d.message)?;
+                }
+                Ok(())
+            }
             Self::Spec(e) => write!(f, "{e}"),
             Self::Io { path, source } => write!(f, "io failure at {path}: {source}"),
         }
@@ -77,6 +100,7 @@ impl std::error::Error for WorkloadError {
             Self::AbInitio(e) => Some(e),
             Self::Sim(e) => Some(e),
             Self::Netlist(e) => Some(e),
+            Self::Lint { .. } => None,
             Self::Spec(e) => Some(e),
             Self::Io { source, .. } => Some(source),
         }

@@ -9,11 +9,13 @@ pub mod json;
 pub mod runtime;
 pub mod spec;
 
-pub use artifact::{Artifact, ExportListing, FlavorRow, Payload, RunMeta, ARTIFACT_SCHEMA};
+pub use artifact::{
+    Artifact, ExportListing, FlavorRow, LintSummary, Payload, RunMeta, StaRow, ARTIFACT_SCHEMA,
+};
 pub use error::{SpecError, WorkloadError};
 pub use json::{Json, JsonError};
 pub use runtime::Runtime;
 pub use spec::{
-    engine_from_name, engine_name, AbInitioSpec, ActivitySpec, GlitchSweepSpec, JobSpec, JOB_KINDS,
-    JOB_SCHEMA,
+    engine_from_name, engine_name, AbInitioSpec, ActivitySpec, GlitchSweepSpec, JobSpec, LintSpec,
+    StaSpec, JOB_KINDS, JOB_SCHEMA,
 };

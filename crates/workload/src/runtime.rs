@@ -14,19 +14,20 @@ use std::time::Instant;
 
 use optpower_explore::{available_workers, Pool, Workers};
 use optpower_mult::Architecture;
-use optpower_netlist::Library;
+use optpower_netlist::{Library, Netlist};
 use optpower_report::ablation;
 use optpower_report::extended::{scaling_study_parallel, sensitivity_report_parallel};
 use optpower_report::{
     characterize_parallel_with, figure1, figure2, figure34, figure_pareto, glitch_sweep_from_rows,
     table1_parallel, table3, table4, AbInitioRow, CharacterizeConfig, GlitchSweep,
 };
-use optpower_sim::{measure_activity, VcdRecorder, ZeroDelaySim};
+use optpower_sim::{measure_activity, Engine, VcdRecorder, ZeroDelaySim};
+use optpower_sta::{GlitchProfile, LintReport, TimingAnalysis};
 use optpower_tech::{Flavor, Technology};
 
-use crate::artifact::{Artifact, ExportListing, FlavorRow, Payload, RunMeta};
+use crate::artifact::{Artifact, ExportListing, FlavorRow, LintSummary, Payload, RunMeta, StaRow};
 use crate::error::{SpecError, WorkloadError};
-use crate::spec::{engine_name, AbInitioSpec, GlitchSweepSpec, JobSpec};
+use crate::spec::{engine_name, AbInitioSpec, GlitchSweepSpec, JobSpec, LintSpec, StaSpec};
 
 /// Console title of the Table 1 artifact (the legacy binary's).
 pub const TABLE1_TITLE: &str = "Table 1 - 16-bit multipliers at the optimal working point \
@@ -190,6 +191,7 @@ impl Runtime {
                 let design = arch
                     .generate(s.width)
                     .expect("supported widths generate structurally valid netlists");
+                lint_preflight(&design.netlist)?;
                 let report = measure_activity(
                     &design.netlist,
                     &Library::cmos13(),
@@ -221,6 +223,16 @@ impl Runtime {
                 resolved(workers),
             ),
             JobSpec::Export => (Payload::Export(self.export()?), None, None, 1),
+            JobSpec::Lint(s) => (Payload::Lint(lint_job(s)?), None, None, 1),
+            JobSpec::Sta(s) => {
+                let job_workers = job_workers(workers, s.workers);
+                (
+                    Payload::Sta(sta_job(s, job_workers)?),
+                    Some(s.seed),
+                    (s.items > 0).then_some("timed"),
+                    resolved(job_workers),
+                )
+            }
             JobSpec::Batch(jobs) => {
                 let artifacts = jobs
                     .iter()
@@ -253,6 +265,7 @@ impl Runtime {
             if !arch.supports_width(s.width) {
                 return Err(width_error(arch, s.width));
             }
+            lint_preflight(&arch.generate(s.width)?.netlist)?;
         }
         let config = CharacterizeConfig {
             width: s.width,
@@ -310,6 +323,9 @@ impl Runtime {
                     "no requested architecture supports width {width}"
                 ))
                 .into());
+            }
+            for &arch in &subset {
+                lint_preflight(&arch.generate(width)?.netlist)?;
             }
             let config = CharacterizeConfig {
                 width,
@@ -371,6 +387,132 @@ impl Runtime {
             files,
         })
     }
+}
+
+/// The runtime's preflight: structural lint before any simulation,
+/// failing with the typed [`WorkloadError::Lint`] on error-severity
+/// diagnostics (warnings pass). Generating a netlist is orders of
+/// magnitude cheaper than simulating it, so the gate is effectively
+/// free next to the jobs it protects.
+fn lint_preflight(netlist: &Netlist) -> Result<(), WorkloadError> {
+    let report = LintReport::lint(netlist);
+    if report.gate().is_err() {
+        return Err(WorkloadError::Lint {
+            netlist: netlist.name().to_string(),
+            report,
+        });
+    }
+    Ok(())
+}
+
+/// The lint job: one report per (architecture, width). `widths: None`
+/// is the CI gate shape — every width each architecture supports.
+fn lint_job(s: &LintSpec) -> Result<Vec<LintSummary>, WorkloadError> {
+    let archs = resolve_archs(&s.archs)?;
+    if let Some(ws) = &s.widths {
+        if ws.is_empty() {
+            return Err(SpecError::new("\"widths\" must not be empty").into());
+        }
+        if let Some(dup) = first_duplicate(ws) {
+            return Err(SpecError::new(format!("\"widths\" lists {dup} more than once")).into());
+        }
+    }
+    let mut out = Vec::new();
+    for &arch in &archs {
+        // Same semantics as the glitch sweep: explicit arch list +
+        // unsupported width is an error; the default (all thirteen)
+        // narrows to the widths each architecture exists at.
+        let widths: Vec<usize> = match &s.widths {
+            Some(ws) if s.archs.is_some() => {
+                for &w in ws {
+                    if !arch.supports_width(w) {
+                        return Err(width_error(arch, w));
+                    }
+                }
+                ws.clone()
+            }
+            Some(ws) => ws
+                .iter()
+                .copied()
+                .filter(|&w| arch.supports_width(w))
+                .collect(),
+            None => (2..=32).filter(|&w| arch.supports_width(w)).collect(),
+        };
+        for width in widths {
+            let design = arch.generate(width)?;
+            out.push(LintSummary {
+                arch: arch.paper_name().to_string(),
+                width,
+                report: LintReport::lint(&design.netlist),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// The STA job: integer-tick windows, path statistics and the static
+/// glitch bound per architecture; when `items > 0` a measured timed
+/// leg runs on the pool and each row carries the simulated glitch
+/// factor for the static-vs-measured correlation.
+fn sta_job(s: &StaSpec, workers: Workers) -> Result<Vec<StaRow>, WorkloadError> {
+    let archs = resolve_archs(&s.archs)?;
+    for &arch in &archs {
+        if !arch.supports_width(s.width) {
+            return Err(width_error(arch, s.width));
+        }
+    }
+    let measured: Vec<(Architecture, f64, f64)> = if s.items > 0 {
+        let config = CharacterizeConfig {
+            width: s.width,
+            lanes: s.lanes,
+            baseline: Engine::BitParallel,
+            items: s.items,
+            seed: s.seed,
+            workers,
+        };
+        characterize_parallel_with(&archs, Flavor::LowLeakage, &config)?
+            .iter()
+            .map(|r| (r.arch, r.glitch_factor(), r.activity))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let lib = Library::cmos13();
+    let mut rows = Vec::new();
+    for &arch in &archs {
+        let design = arch.generate(s.width)?;
+        lint_preflight(&design.netlist)?;
+        let sta = TimingAnalysis::try_analyze(&design.netlist, &lib)?;
+        let glitch = GlitchProfile::compute(&design.netlist, &sta);
+        let critical_path_cells = sta
+            .critical_path(&design.netlist, &lib)
+            .map(|p| p.cells.len())
+            .unwrap_or(0);
+        rows.push(StaRow {
+            arch: arch.paper_name().to_string(),
+            width: s.width,
+            cells: design.netlist.logic_cell_count(),
+            stride_ticks: sta.stride(),
+            logical_depth: sta.logical_depth(),
+            shortest_path: sta.shortest_endpoint_path(),
+            path_spread: sta.path_spread(),
+            mean_input_skew: sta.mean_input_skew(),
+            critical_path_cells,
+            static_glitch_factor: glitch.static_glitch_factor(),
+            measured_glitch_factor: measured
+                .iter()
+                .find(|(a, _, _)| *a == arch)
+                .map(|&(_, g, _)| g),
+            // Activity is per data item; the per-cycle cell bound
+            // scales by the item's cycle count.
+            static_activity_bound: glitch.mean_cell_bound() * f64::from(design.cycles_per_item),
+            measured_activity: measured
+                .iter()
+                .find(|(a, _, _)| *a == arch)
+                .map(|&(_, _, a)| a),
+        });
+    }
+    Ok(rows)
 }
 
 /// A spec-level worker override wins over the runtime pool's policy.

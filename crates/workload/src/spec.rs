@@ -166,6 +166,52 @@ impl Default for ActivitySpec {
     }
 }
 
+/// Netlist lint spec: run the structural rules of
+/// `optpower_sta::LintReport` over generated architectures, one
+/// report per (architecture, width).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LintSpec {
+    /// Paper names of the architectures to lint; `None` = all.
+    pub archs: Option<Vec<String>>,
+    /// Operand widths to lint at; `None` = every width the
+    /// architecture supports (the CI gate shape).
+    pub widths: Option<Vec<usize>>,
+}
+
+/// Static-timing-analysis spec: integer-tick arrival windows, path
+/// statistics and the static glitch bound per architecture, with an
+/// optional measured-glitch leg for the static-vs-measured
+/// correlation artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaSpec {
+    /// Paper names of the architectures to analyze; `None` = all.
+    pub archs: Option<Vec<String>>,
+    /// Operand width in bits.
+    pub width: usize,
+    /// Stimulus lanes of the measured (timed pooled) leg.
+    pub lanes: u32,
+    /// Stimulus volume of the measured leg; `0` skips simulation
+    /// entirely and reports static numbers only.
+    pub items: u64,
+    /// Base stimulus seed of the measured leg.
+    pub seed: u64,
+    /// Worker override for this job; `None` = the runtime's pool.
+    pub workers: Option<usize>,
+}
+
+impl Default for StaSpec {
+    fn default() -> Self {
+        Self {
+            archs: None,
+            width: 16,
+            lanes: optpower_report::TIMED_LANES,
+            items: 120,
+            seed: 42,
+            workers: None,
+        }
+    }
+}
+
 /// A declarative workload: everything previously reachable only
 /// through one of the twelve bespoke report binaries, plus the
 /// composed [`JobSpec::Batch`].
@@ -227,6 +273,11 @@ pub enum JobSpec {
     /// Structural exports: Verilog + DOT per architecture and an RCA
     /// VCD trace, written under the runtime's artifact directory.
     Export,
+    /// Netlist lint over architectures × widths.
+    Lint(LintSpec),
+    /// Integer-tick STA + static glitch bound, optionally correlated
+    /// against the measured glitch factor.
+    Sta(StaSpec),
     /// A batch of jobs executed in order, yielding one artifact each.
     Batch(Vec<JobSpec>),
 }
@@ -251,6 +302,8 @@ pub const JOB_KINDS: &[(&str, &str)] = &[
     ("figure34", "Figures 3/4: pipeline structure comparison"),
     ("pareto", "Ptot-vs-frequency Pareto figure"),
     ("export", "Verilog/DOT/VCD structural exports"),
+    ("lint", "structural netlist lint over archs x widths"),
+    ("sta", "integer-tick STA + static glitch bound"),
     ("batch", "a list of jobs run in order"),
 ];
 
@@ -273,6 +326,8 @@ impl JobSpec {
             Self::Figure34 { .. } => "figure34",
             Self::Pareto { .. } => "pareto",
             Self::Export => "export",
+            Self::Lint(_) => "lint",
+            Self::Sta(_) => "sta",
             Self::Batch(_) => "batch",
         }
     }
@@ -304,6 +359,8 @@ impl JobSpec {
             },
             "pareto" => Self::Pareto { freq_points: 9 },
             "export" => Self::Export,
+            "lint" => Self::Lint(LintSpec::default()),
+            "sta" => Self::Sta(StaSpec::default()),
             "batch" => Self::Batch(Vec::new()),
             _ => return None,
         })
@@ -370,6 +427,24 @@ impl JobSpec {
             }
             Self::Pareto { freq_points } => {
                 push("freq_points", Json::UInt(*freq_points as u64));
+            }
+            Self::Lint(s) => {
+                push("archs", opt_names(&s.archs));
+                push(
+                    "widths",
+                    match &s.widths {
+                        Some(ws) => Json::Arr(ws.iter().map(|&w| Json::UInt(w as u64)).collect()),
+                        None => Json::Null,
+                    },
+                );
+            }
+            Self::Sta(s) => {
+                push("archs", opt_names(&s.archs));
+                push("width", Json::UInt(s.width as u64));
+                push("lanes", Json::UInt(u64::from(s.lanes)));
+                push("items", Json::UInt(s.items));
+                push("seed", Json::UInt(s.seed));
+                push("workers", opt_uint(s.workers));
             }
             Self::Batch(jobs) => push(
                 "jobs",
@@ -489,6 +564,22 @@ impl JobSpec {
             Self::Pareto { freq_points } => Self::Pareto {
                 freq_points: usize_field(doc, "freq_points", freq_points)?,
             },
+            Self::Lint(d) => Self::Lint(LintSpec {
+                archs: names_field(doc, "archs", d.archs)?,
+                widths: match doc.get("widths") {
+                    None => d.widths,
+                    Some(Json::Null) => None,
+                    Some(v) => Some(usize_array(v, "widths")?),
+                },
+            }),
+            Self::Sta(d) => Self::Sta(StaSpec {
+                archs: names_field(doc, "archs", d.archs)?,
+                width: usize_field(doc, "width", d.width)?,
+                lanes: u32_field(doc, "lanes", d.lanes)?,
+                items: uint_field(doc, "items", d.items)?,
+                seed: uint_field(doc, "seed", d.seed)?,
+                workers: opt_usize_field(doc, "workers")?,
+            }),
             Self::Batch(_) => {
                 let jobs = doc
                     .get("jobs")
@@ -528,6 +619,8 @@ fn allowed_fields(kind: &str) -> &'static [&'static str] {
         "figure1" | "figure2" => &["samples"],
         "figure34" => &["width", "items"],
         "pareto" => &["freq_points"],
+        "lint" => &["archs", "widths"],
+        "sta" => &["archs", "width", "lanes", "items", "seed", "workers"],
         "batch" => &["jobs"],
         _ => &[],
     }
@@ -707,6 +800,16 @@ mod tests {
         assert_roundtrip(&JobSpec::ScalingStudy {
             frequencies_mhz: vec![0.5, 31.25, 250.0],
         });
+        assert_roundtrip(&JobSpec::Lint(LintSpec {
+            archs: Some(vec!["RCA".into()]),
+            widths: Some(vec![8, 16]),
+        }));
+        assert_roundtrip(&JobSpec::Sta(StaSpec {
+            width: 8,
+            items: 0,
+            workers: Some(3),
+            ..StaSpec::default()
+        }));
         assert_roundtrip(&JobSpec::Batch(vec![
             JobSpec::Table1Sweep,
             JobSpec::Batch(vec![JobSpec::Figure2 { samples: 3 }]),

@@ -1,0 +1,48 @@
+//! Repo self-lint: the same "is this even worth building" spirit as
+//! the netlist lint, applied to the workspace itself. Every workspace
+//! crate must carry the safety/doc lint headers, so a new crate can't
+//! silently opt out.
+
+use std::path::Path;
+
+/// Crate roots under `dir`, as `(crate name, lib.rs contents)`.
+fn lib_sources(dir: &str) -> Vec<(String, String)> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join(dir);
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(&root).unwrap_or_else(|e| panic!("{}: {e}", root.display())) {
+        let path = entry.unwrap().path().join("src/lib.rs");
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            out.push((path.display().to_string(), text));
+        }
+    }
+    assert!(!out.is_empty(), "no crates found under {dir}");
+    out.sort();
+    out
+}
+
+/// Every first-party crate forbids `unsafe` and warns on missing docs.
+#[test]
+fn workspace_crates_carry_the_lint_headers() {
+    for (path, text) in lib_sources("crates") {
+        assert!(
+            text.contains("#![forbid(unsafe_code)]"),
+            "{path} is missing #![forbid(unsafe_code)]"
+        );
+        assert!(
+            text.contains("#![warn(missing_docs)]"),
+            "{path} is missing #![warn(missing_docs)]"
+        );
+    }
+}
+
+/// The dependency shims forbid `unsafe` too (they deliberately skip
+/// `missing_docs`: they mirror external crates' APIs, not ours).
+#[test]
+fn shims_forbid_unsafe() {
+    for (path, text) in lib_sources("shims") {
+        assert!(
+            text.contains("#![forbid(unsafe_code)]"),
+            "{path} is missing #![forbid(unsafe_code)]"
+        );
+    }
+}

@@ -15,7 +15,8 @@ use optpower_explore::Workers;
 use optpower_mult::Architecture;
 use optpower_sim::Engine;
 use optpower_workload::{
-    AbInitioSpec, ActivitySpec, GlitchSweepSpec, JobSpec, Runtime, WorkloadError, JOB_KINDS,
+    AbInitioSpec, ActivitySpec, GlitchSweepSpec, JobSpec, LintSpec, Runtime, StaSpec,
+    WorkloadError, JOB_KINDS,
 };
 use proptest::prelude::*;
 
@@ -44,7 +45,7 @@ fn spec_from(kind: usize, a: u64, b: u64, c: usize, widths: &[usize], names_ix: 
         )
     };
     let freqs = vec![(a % 997) as f64 * 0.25 + 0.5, 31.25, (b % 211) as f64 + 1.0];
-    match kind % 16 {
+    match kind % 18 {
         0 => JobSpec::Table1Sweep,
         1 => JobSpec::Table2,
         2 => JobSpec::Table3,
@@ -99,6 +100,26 @@ fn spec_from(kind: usize, a: u64, b: u64, c: usize, widths: &[usize], names_ix: 
             freq_points: 2 + c % 30,
         },
         14 => JobSpec::Export,
+        15 => JobSpec::Lint(LintSpec {
+            archs: names,
+            widths: if c.is_multiple_of(4) {
+                None
+            } else {
+                Some(widths.to_vec())
+            },
+        }),
+        16 => JobSpec::Sta(StaSpec {
+            archs: names,
+            width: 2 + c % 31,
+            lanes: 1 + (c as u32 % 16),
+            items: a,
+            seed: b,
+            workers: if c.is_multiple_of(3) {
+                None
+            } else {
+                Some(c % 17)
+            },
+        }),
         _ => JobSpec::Batch(vec![
             JobSpec::Table2,
             JobSpec::Ablation { items: a, seed: b },
@@ -115,7 +136,7 @@ proptest! {
     /// 2^53) included.
     #[test]
     fn jobspec_round_trips_losslessly(
-        kind in 0usize..16,
+        kind in 0usize..18,
         a in any::<u64>(),
         b in any::<u64>(),
         c in 0usize..1000,
@@ -166,6 +187,17 @@ fn representative_specs() -> Vec<JobSpec> {
         JobSpec::Figure1 { samples: 8 },
         JobSpec::Figure2 { samples: 8 },
         JobSpec::Pareto { freq_points: 3 },
+        JobSpec::Lint(LintSpec {
+            archs: Some(vec!["RCA".into(), "Wallace".into()]),
+            widths: Some(vec![8, 16]),
+        }),
+        JobSpec::Sta(StaSpec {
+            archs: Some(vec!["RCA".into(), "Sequential".into()]),
+            width: 8,
+            items: 12,
+            seed: 11,
+            ..StaSpec::default()
+        }),
     ]
 }
 
