@@ -1,0 +1,6 @@
+//! The `optpower` binary: service verbs (`serve`, `submit`) plus the
+//! full workload command surface by delegation.
+
+fn main() -> std::process::ExitCode {
+    optpower_serve::cli::main_with_args(std::env::args().skip(1).collect())
+}

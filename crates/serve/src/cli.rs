@@ -1,0 +1,220 @@
+//! The `optpower` front-end with service verbs: `serve` boots the
+//! job service, `submit` is the wire client, and every other
+//! subcommand delegates to the workload CLI unchanged — one binary,
+//! one command surface.
+
+use std::io::{self, Read, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use optpower_explore::Workers;
+use optpower_workload::WireFormat;
+
+use crate::client;
+use crate::server::{self, Config};
+
+/// Entry point of the `optpower` binary: service verbs here,
+/// everything else forwarded to the workload CLI.
+pub fn main_with_args(args: Vec<String>) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("serve") => run_serve(&args[1..]),
+        Some("submit") => run_submit(&args[1..]),
+        None | Some("help" | "--help" | "-h") => {
+            let code = optpower_workload::cli::main_with_args(args);
+            print!("{}", serve_usage());
+            code
+        }
+        _ => optpower_workload::cli::main_with_args(args),
+    }
+}
+
+fn serve_usage() -> String {
+    "\nservice verbs (crates/serve):\n\
+     \x20 optpower serve  [--addr HOST:PORT] [--queue N] [--executors N]\n\
+     \x20                 [--workers N] [--cache N] [--timeout-ms N]\n\
+     \x20                 [--out DIR] [--drain-on-stdin-eof]          boot the job service\n\
+     \x20 optpower submit <spec.json|-> [--addr HOST:PORT]\n\
+     \x20                 [--format text|json|csv] [--async]\n\
+     \x20                 [--timeout-ms N]                            POST a spec, print the artifact\n"
+        .to_string()
+}
+
+fn usage_error(message: impl std::fmt::Display) -> ExitCode {
+    eprintln!("error: {message}");
+    ExitCode::from(2)
+}
+
+fn run_serve(args: &[String]) -> ExitCode {
+    let mut config = Config::default();
+    let mut drain_on_stdin_eof = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut count = |flag: &str| -> Result<usize, String> {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("{flag} needs an unsigned integer"))
+        };
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(addr) => config.addr = addr.clone(),
+                None => return usage_error("--addr needs HOST:PORT"),
+            },
+            "--queue" => match count("--queue") {
+                Ok(n) => config.queue_capacity = n,
+                Err(e) => return usage_error(e),
+            },
+            "--executors" => match count("--executors") {
+                Ok(n) => config.executors = n,
+                Err(e) => return usage_error(e),
+            },
+            "--workers" => match count("--workers") {
+                Ok(n) => config.workers = Workers::Fixed(n),
+                Err(e) => return usage_error(e),
+            },
+            "--cache" => match count("--cache") {
+                Ok(n) => config.cache_capacity = n,
+                Err(e) => return usage_error(e),
+            },
+            "--store" => match count("--store") {
+                Ok(n) => config.store_capacity = n,
+                Err(e) => return usage_error(e),
+            },
+            "--timeout-ms" => match count("--timeout-ms") {
+                Ok(n) => config.request_timeout_ms = n as u64,
+                Err(e) => return usage_error(e),
+            },
+            "--retry-after" => match count("--retry-after") {
+                Ok(n) => config.retry_after_s = n as u64,
+                Err(e) => return usage_error(e),
+            },
+            "--max-body" => match count("--max-body") {
+                Ok(n) => config.max_body_bytes = n,
+                Err(e) => return usage_error(e),
+            },
+            "--out" => match it.next() {
+                Some(dir) => config.artifact_dir = Some(PathBuf::from(dir)),
+                None => return usage_error("--out needs a directory argument"),
+            },
+            "--drain-on-stdin-eof" => drain_on_stdin_eof = true,
+            other => return usage_error(format!("unknown `optpower serve` argument {other:?}")),
+        }
+    }
+
+    let handle = match server::start(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("error: could not start the server: {e}");
+            return ExitCode::from(4);
+        }
+    };
+    println!("optpower serve listening on http://{}", handle.addr());
+    let _ = io::stdout().flush();
+    if drain_on_stdin_eof {
+        // No signal handler (the workspace forbids `unsafe`), so a
+        // supervisor that can't POST /v1/shutdown may simply close
+        // our stdin to trigger the same graceful drain.
+        let drainer = handle.drainer();
+        std::thread::spawn(move || {
+            let mut sink = Vec::new();
+            let _ = io::stdin().read_to_end(&mut sink);
+            drainer.drain();
+        });
+    }
+    handle.join();
+    println!("optpower serve drained; exiting");
+    ExitCode::SUCCESS
+}
+
+fn run_submit(args: &[String]) -> ExitCode {
+    let mut source: Option<String> = None;
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut format = WireFormat::Json;
+    let mut mode_async = false;
+    let mut timeout = Duration::from_millis(120_000);
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => addr = a.clone(),
+                None => return usage_error("--addr needs HOST:PORT"),
+            },
+            "--format" => match it.next().and_then(|n| WireFormat::from_name(n)) {
+                Some(f) => format = f,
+                None => return usage_error("--format needs text | json | csv"),
+            },
+            "--async" => mode_async = true,
+            "--timeout-ms" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) => timeout = Duration::from_millis(ms),
+                None => return usage_error("--timeout-ms needs an unsigned integer"),
+            },
+            other if source.is_none() && !other.starts_with("--") => {
+                source = Some(other.to_string());
+            }
+            other => return usage_error(format!("unknown `optpower submit` argument {other:?}")),
+        }
+    }
+    let Some(source) = source else {
+        return usage_error("usage: optpower submit <spec.json|-> [flags]");
+    };
+    let body = if source == "-" {
+        let mut buf = String::new();
+        if let Err(e) = io::stdin().read_to_string(&mut buf) {
+            eprintln!("error: reading stdin: {e}");
+            return ExitCode::from(2);
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&source) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: reading {source}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let accept = match format {
+        WireFormat::Text => "text/plain",
+        WireFormat::Json => "application/json",
+        WireFormat::Csv => "text/csv",
+    };
+    let target = if mode_async {
+        "/v1/jobs?mode=async"
+    } else {
+        "/v1/jobs"
+    };
+    let reply = match client::request(
+        &addr,
+        "POST",
+        target,
+        &[("Accept", accept)],
+        body.as_bytes(),
+        timeout,
+    ) {
+        Ok(reply) => reply,
+        Err(e) => {
+            eprintln!("error: request to {addr} failed: {e}");
+            return ExitCode::from(4);
+        }
+    };
+    if matches!(reply.status, 200 | 202) {
+        if let Some(cache) = reply.header("x-optpower-cache") {
+            eprintln!("cache: {cache}");
+        }
+        print!("{}", reply.body_text());
+        if !reply.body.ends_with(b"\n") {
+            println!();
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: HTTP {}: {}", reply.status, reply.body_text());
+        // Mirror ErrorBody::exit_code: 422 job failures are 3, other
+        // client-side statuses 2, host-side 4.
+        ExitCode::from(match reply.status {
+            422 => 3,
+            400..=499 => 2,
+            _ => 4,
+        })
+    }
+}

@@ -1,0 +1,113 @@
+//! A minimal blocking HTTP/1.1 client for the v1 wire API — enough
+//! for `optpower submit`, the CI smoke step, and the integration
+//! tests, with the same no-new-dependencies constraint as the server.
+//! One request per connection (`Connection: close`), so a reply is
+//! simply "write the request, read to EOF, split head from body".
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One parsed reply.
+#[derive(Debug)]
+pub struct HttpReply {
+    /// The status code from the status line.
+    pub status: u16,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpReply {
+    /// The first value of a header (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Sends one request and reads the full reply. `headers` are extra
+/// request headers beyond `Host` and `Content-Length` (e.g.
+/// `("Accept", "application/json")`).
+pub fn request(
+    addr: &str,
+    method: &str,
+    target: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    timeout: Duration,
+) -> io::Result<HttpReply> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut head = format!("{method} {target} HTTP/1.1\r\nHost: {addr}\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!(
+        "Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    ));
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_reply(&raw)
+}
+
+fn parse_reply(raw: &[u8]) -> io::Result<HttpReply> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| io::Error::other("reply has no head terminator"))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| io::Error::other("reply head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines
+        .next()
+        .ok_or_else(|| io::Error::other("empty reply"))?;
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| io::Error::other(format!("bad status line {status_line:?}")))?;
+    let headers = lines
+        .filter(|l| !l.is_empty())
+        .filter_map(|l| {
+            l.split_once(':')
+                .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        })
+        .collect();
+    Ok(HttpReply {
+        status,
+        headers,
+        body: raw[head_end + 4..].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replies_parse_status_headers_and_body() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\nRetry-After: 1\r\n\
+                    Content-Length: 4\r\n\r\nbody";
+        let reply = parse_reply(raw).expect("parses");
+        assert_eq!(reply.status, 429);
+        assert_eq!(reply.header("retry-after"), Some("1"));
+        assert_eq!(reply.header("Retry-After"), Some("1"));
+        assert_eq!(reply.body_text(), "body");
+    }
+}

@@ -1,0 +1,282 @@
+//! A deliberately small HTTP/1.1 layer over `std::net`: enough to
+//! frame the v1 wire API (request line + headers + `Content-Length`
+//! body in, status + headers + body out) and nothing more. Every
+//! connection is `Connection: close` — one request, one response, one
+//! TCP stream — which keeps the server loop free of keep-alive
+//! bookkeeping and makes per-request timeouts trivial (the socket
+//! deadline *is* the request deadline).
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers). Requests
+/// with longer heads are rejected before any allocation proportional
+/// to attacker input.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct HttpRequest {
+    /// The method verbatim (`GET`, `POST`, …).
+    pub method: String,
+    /// The path component of the target, percent-decoding *not*
+    /// applied (v1 paths and keys are plain ASCII).
+    pub path: String,
+    /// The query component, split on `&` into `key=value` pairs.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// The first value of a header (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first value of a query parameter.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be framed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, header, or length field.
+    Malformed(String),
+    /// The body exceeded the server's configured limit.
+    BodyTooLarge {
+        /// The declared `Content-Length`.
+        declared: usize,
+        /// The server's limit.
+        limit: usize,
+    },
+    /// The socket failed or timed out mid-request.
+    Io(io::Error),
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one request from the stream. `max_body` bounds the accepted
+/// `Content-Length`; the caller is expected to have set a read
+/// timeout on the stream already.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<HttpRequest, HttpError> {
+    let head = read_head(stream)?;
+    let (head_str, leftover) = head;
+    let mut lines = head_str.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request".to_string()))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::Malformed("missing method".to_string()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".to_string()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing HTTP version".to_string()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported protocol {version:?}"
+        )));
+    }
+    let (path, query) = split_target(target);
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("malformed header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    if headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::Malformed(
+            "transfer-encoding is not supported; send Content-Length".to_string(),
+        ));
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("bad Content-Length {v:?}")))?,
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(HttpError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body,
+        });
+    }
+    let mut body = leftover;
+    while body.len() < content_length {
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Malformed(
+                "connection closed before the declared body arrived".to_string(),
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(HttpRequest {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Reads up to the `\r\n\r\n` head terminator, returning the head as
+/// text plus any body bytes that arrived in the same reads.
+fn read_head(stream: &mut TcpStream) -> Result<(String, Vec<u8>), HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    loop {
+        if let Some(end) = find_head_end(&buf) {
+            let head = String::from_utf8(buf[..end].to_vec())
+                .map_err(|_| HttpError::Malformed("request head is not UTF-8".to_string()))?;
+            return Ok((head, buf[end + 4..].to_vec()));
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::Malformed(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let mut chunk = [0u8; 1024];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Malformed(
+                "connection closed before the request head completed".to_string(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn split_target(target: &str) -> (String, Vec<(String, String)>) {
+    match target.split_once('?') {
+        None => (target.to_string(), Vec::new()),
+        Some((path, query)) => {
+            let params = query
+                .split('&')
+                .filter(|p| !p.is_empty())
+                .map(|p| match p.split_once('=') {
+                    Some((k, v)) => (k.to_string(), v.to_string()),
+                    None => (p.to_string(), String::new()),
+                })
+                .collect();
+            (path.to_string(), params)
+        }
+    }
+}
+
+/// One response, written as `HTTP/1.1` with `Connection: close` and
+/// an exact `Content-Length`.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond the framing set.
+    pub headers: Vec<(String, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// A bodyless response with a status.
+    pub fn new(status: u16) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Adds a header.
+    pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Sets the body and its content type.
+    pub fn body(mut self, content_type: &str, body: impl Into<Vec<u8>>) -> Self {
+        self.headers
+            .push(("Content-Type".to_string(), content_type.to_string()));
+        self.body = body.into();
+        self
+    }
+
+    /// Writes the response to the stream.
+    pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\n",
+            self.status,
+            optpower_workload::reason_phrase(self.status)
+        );
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!(
+            "Content-Length: {}\r\nConnection: close\r\n\r\n",
+            self.body.len()
+        ));
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn targets_split_into_path_and_query() {
+        let (path, query) = split_target("/v1/jobs?mode=async&x");
+        assert_eq!(path, "/v1/jobs");
+        assert_eq!(
+            query,
+            vec![
+                ("mode".to_string(), "async".to_string()),
+                ("x".to_string(), String::new()),
+            ]
+        );
+        assert_eq!(split_target("/healthz"), ("/healthz".to_string(), vec![]));
+    }
+
+    #[test]
+    fn head_terminator_is_found_mid_buffer() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_head_end(b"partial\r\n"), None);
+    }
+}

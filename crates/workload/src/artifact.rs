@@ -112,6 +112,29 @@ pub struct ExportListing {
     pub files: Vec<String>,
 }
 
+/// Whether an artifact came out of the runtime's content-addressed
+/// cache or was computed fresh. Lives in [`RunMeta`] because cache
+/// residency is a scheduling fact, never part of the deterministic
+/// payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Served from the cache without re-executing the job.
+    Hit,
+    /// Executed fresh (and, when a cache is attached, inserted).
+    Miss,
+}
+
+impl CacheStatus {
+    /// The wire spelling (`"hit"` / `"miss"`) used in the JSON `meta`
+    /// object and the `X-Optpower-Cache` response header.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+        }
+    }
+}
+
 /// Run metadata: how an artifact was produced. Everything here is
 /// either scheduling or wall-clock — never part of the deterministic
 /// payload.
@@ -125,6 +148,10 @@ pub struct RunMeta {
     pub engine: Option<&'static str>,
     /// Wall-clock duration of the run in milliseconds.
     pub wall_ms: f64,
+    /// Cache disposition, when the runtime ran with a cache attached
+    /// (`None` for cacheless runtimes, which keeps the legacy CLI
+    /// envelope unchanged).
+    pub cache: Option<CacheStatus>,
 }
 
 /// The typed payload of one executed job.
@@ -408,6 +435,13 @@ impl Artifact {
                     self.meta.engine.map(Json::str).unwrap_or(Json::Null),
                 ),
                 ("wall_ms", Json::num(self.meta.wall_ms)),
+                (
+                    "cache",
+                    self.meta
+                        .cache
+                        .map(|c| Json::str(c.label()))
+                        .unwrap_or(Json::Null),
+                ),
             ]),
         ));
         Json::Obj(doc).to_string()

@@ -25,15 +25,20 @@ use crate::artifact::{Artifact, Payload};
 use crate::error::{SpecError, WorkloadError};
 use crate::runtime::Runtime;
 use crate::spec::{AbInitioSpec, GlitchSweepSpec, JobSpec, JOB_KINDS};
+use crate::wire::{ErrorBody, WireFormat};
 
 /// Entry point of the `optpower` binary: parses `args` (without the
-/// program name), runs, prints, and maps errors to a non-zero exit.
+/// program name), runs, prints, and maps errors through the frozen
+/// wire surface — the exit code is [`ErrorBody::exit_code`] (2 =
+/// client error, 3 = job failed, 4 = host failure), the same
+/// classification the job service sends as HTTP statuses.
 pub fn main_with_args(args: Vec<String>) -> ExitCode {
     match dispatch(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
+            let body = ErrorBody::of(&e);
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(body.exit_code())
         }
     }
 }
@@ -125,7 +130,7 @@ fn run_command(args: &[String]) -> Result<(), WorkloadError> {
     let mut source: Option<String> = None;
     let mut workers = Workers::Auto;
     let mut out_dir: Option<PathBuf> = None;
-    let mut format = OutputFormat::Text;
+    let mut format = WireFormat::Text;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -136,8 +141,8 @@ fn run_command(args: &[String]) -> Result<(), WorkloadError> {
                         SpecError::new("--out needs a directory argument")
                     })?));
             }
-            "--json" => format = OutputFormat::Json,
-            "--csv" => format = OutputFormat::Csv,
+            "--json" => format = WireFormat::Json,
+            "--csv" => format = WireFormat::Csv,
             other if source.is_none() && !other.starts_with("--") => {
                 source = Some(other.to_string());
             }
@@ -169,7 +174,7 @@ fn run_command(args: &[String]) -> Result<(), WorkloadError> {
 /// supported width per architecture (the CI gate shape).
 fn run_lint(args: &[String]) -> Result<(), WorkloadError> {
     let mut spec = crate::spec::LintSpec::default();
-    let mut format = OutputFormat::Text;
+    let mut format = WireFormat::Text;
     let mut out_dir: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -184,8 +189,8 @@ fn run_lint(args: &[String]) -> Result<(), WorkloadError> {
                 let w = parse_count(it.next(), "--width")?;
                 spec.widths.get_or_insert_with(Vec::new).push(w);
             }
-            "--json" => format = OutputFormat::Json,
-            "--csv" => format = OutputFormat::Csv,
+            "--json" => format = WireFormat::Json,
+            "--csv" => format = WireFormat::Csv,
             "--out" => out_dir = Some(parse_path(it.next(), "--out")?),
             other => {
                 return Err(SpecError::new(format!(
@@ -218,7 +223,7 @@ fn run_lint(args: &[String]) -> Result<(), WorkloadError> {
 /// measured (timed-simulation) leg and reports static columns only.
 fn run_sta(args: &[String]) -> Result<(), WorkloadError> {
     let mut spec = crate::spec::StaSpec::default();
-    let mut format = OutputFormat::Text;
+    let mut format = WireFormat::Text;
     let mut out_dir: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -233,8 +238,8 @@ fn run_sta(args: &[String]) -> Result<(), WorkloadError> {
             "--items" => spec.items = parse_count(it.next(), "--items")? as u64,
             "--seed" => spec.seed = parse_count(it.next(), "--seed")? as u64,
             "--workers" => spec.workers = Some(parse_count(it.next(), "--workers")?),
-            "--json" => format = OutputFormat::Json,
-            "--csv" => format = OutputFormat::Csv,
+            "--json" => format = WireFormat::Json,
+            "--csv" => format = WireFormat::Csv,
             "--out" => out_dir = Some(parse_path(it.next(), "--out")?),
             other => {
                 return Err(SpecError::new(format!(
@@ -253,25 +258,19 @@ fn run_sta(args: &[String]) -> Result<(), WorkloadError> {
 /// `<kind>.{json,csv,txt}` triple to `out_dir`.
 fn emit(
     artifact: &Artifact,
-    format: OutputFormat,
+    format: WireFormat,
     out_dir: Option<&Path>,
 ) -> Result<(), WorkloadError> {
     match format {
-        OutputFormat::Text => println!("{}", artifact.render_text()),
-        OutputFormat::Json => println!("{}", artifact.to_json()),
-        OutputFormat::Csv => print!("{}", artifact.to_csv()),
+        WireFormat::Text => println!("{}", artifact.render_text()),
+        WireFormat::Json => println!("{}", artifact.to_json()),
+        WireFormat::Csv => print!("{}", artifact.to_csv()),
     }
     if let Some(dir) = out_dir {
         let written = write_artifact_files(artifact, dir)?;
         eprintln!("wrote {} artifact files to {}", written, dir.display());
     }
     Ok(())
-}
-
-enum OutputFormat {
-    Text,
-    Json,
-    Csv,
 }
 
 /// Writes `<kind>.{json,csv,txt}` for the artifact (batch members get

@@ -8,14 +8,20 @@ pub mod error;
 pub mod json;
 pub mod runtime;
 pub mod spec;
+pub mod wire;
 
 pub use artifact::{
-    Artifact, ExportListing, FlavorRow, LintSummary, Payload, RunMeta, StaRow, ARTIFACT_SCHEMA,
+    Artifact, CacheStatus, ExportListing, FlavorRow, LintSummary, Payload, RunMeta, StaRow,
+    ARTIFACT_SCHEMA,
 };
 pub use error::{SpecError, WorkloadError};
 pub use json::{Json, JsonError};
-pub use runtime::Runtime;
+pub use runtime::{ArtifactCache, Runtime};
 pub use spec::{
-    engine_from_name, engine_name, AbInitioSpec, ActivitySpec, GlitchSweepSpec, JobSpec, LintSpec,
-    StaSpec, JOB_KINDS, JOB_SCHEMA,
+    engine_from_name, engine_name, fnv1a_64, AbInitioSpec, ActivitySpec, GlitchSweepSpec, JobSpec,
+    LintSpec, StaSpec, JOB_KINDS, JOB_SCHEMA,
+};
+pub use wire::{
+    reason_phrase, status_json, ErrorBody, JobRequest, JobResponse, SubmitMode, WireFormat,
+    ERROR_SCHEMA, STATUS_SCHEMA,
 };

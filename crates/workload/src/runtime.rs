@@ -9,7 +9,9 @@
 //! worker-count-invariant, the artifact payload is a pure function of
 //! the spec.
 
+use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 use optpower_explore::{available_workers, Pool, Workers};
@@ -25,7 +27,9 @@ use optpower_sim::{measure_activity, Engine, VcdRecorder, ZeroDelaySim};
 use optpower_sta::{GlitchProfile, LintReport, TimingAnalysis};
 use optpower_tech::{Flavor, Technology};
 
-use crate::artifact::{Artifact, ExportListing, FlavorRow, LintSummary, Payload, RunMeta, StaRow};
+use crate::artifact::{
+    Artifact, CacheStatus, ExportListing, FlavorRow, LintSummary, Payload, RunMeta, StaRow,
+};
 use crate::error::{SpecError, WorkloadError};
 use crate::spec::{engine_name, AbInitioSpec, GlitchSweepSpec, JobSpec, LintSpec, StaSpec};
 
@@ -37,11 +41,105 @@ pub const TABLE3_TITLE: &str = "Table 3 - Wallace family optimal power, ULL flav
 /// Console title of the Table 4 artifact.
 pub const TABLE4_TITLE: &str = "Table 4 - Wallace family optimal power, HS flavour (31.25 MHz)";
 
+/// A bounded, content-addressed artifact cache keyed by
+/// [`JobSpec::canonical_key`]. Shared by handle: clones see (and
+/// fill) the same store, which is how every executor thread of the
+/// job service shares one cache through cloned [`Runtime`]s.
+///
+/// Eviction is FIFO on insertion order — artifacts are immutable
+/// pure functions of their spec, so recency carries no correctness
+/// weight and FIFO keeps eviction O(1) with no per-hit bookkeeping.
+/// Each entry stores the spec's canonical JSON alongside the
+/// artifact and a hit re-checks it, so a 64-bit FNV collision
+/// degrades to a miss instead of serving the wrong artifact.
+#[derive(Debug, Clone)]
+pub struct ArtifactCache {
+    inner: Arc<Mutex<CacheInner>>,
+}
+
+#[derive(Debug)]
+struct CacheInner {
+    entries: HashMap<String, CacheEntry>,
+    order: VecDeque<String>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    canonical_json: String,
+    artifact: Artifact,
+}
+
+impl ArtifactCache {
+    /// A cache holding at most `capacity` artifacts (at least one).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(CacheInner {
+                entries: HashMap::new(),
+                order: VecDeque::new(),
+                capacity: capacity.max(1),
+            })),
+        }
+    }
+
+    /// Artifacts currently resident.
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks a spec up by key, verifying the stored canonical JSON so
+    /// a hash collision reads as a miss.
+    fn lookup(&self, key: &str, canonical_json: &str) -> Option<Artifact> {
+        let inner = self.lock();
+        let entry = inner.entries.get(key)?;
+        (entry.canonical_json == canonical_json).then(|| entry.artifact.clone())
+    }
+
+    /// Inserts an artifact, evicting the oldest entry over capacity.
+    fn insert(&self, key: String, canonical_json: String, artifact: &Artifact) {
+        let mut inner = self.lock();
+        if inner.entries.contains_key(&key) {
+            // A racing executor computed the same spec first; keep its
+            // entry (the payloads are identical by determinism).
+            return;
+        }
+        while inner.entries.len() >= inner.capacity {
+            match inner.order.pop_front() {
+                Some(oldest) => {
+                    inner.entries.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+        inner.order.push_back(key.clone());
+        inner.entries.insert(
+            key,
+            CacheEntry {
+                canonical_json,
+                artifact: artifact.clone(),
+            },
+        );
+    }
+
+    /// A poisoned lock only means a panic mid-insert on another
+    /// thread; the map itself is still structurally sound, so the
+    /// cache keeps serving rather than cascading the panic.
+    fn lock(&self) -> MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
 /// Executes [`JobSpec`]s on one shared worker pool.
 #[derive(Debug, Clone)]
 pub struct Runtime {
     pool: Pool,
     artifact_dir: PathBuf,
+    cache: Option<ArtifactCache>,
 }
 
 impl Default for Runtime {
@@ -62,6 +160,7 @@ impl Runtime {
         Self {
             pool,
             artifact_dir: PathBuf::from("target/optpower-artifacts"),
+            cache: None,
         }
     }
 
@@ -69,6 +168,21 @@ impl Runtime {
     pub fn with_artifact_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.artifact_dir = dir.into();
         self
+    }
+
+    /// Attaches a fresh content-addressed artifact cache holding at
+    /// most `capacity` artifacts. Once attached, every [`Runtime::run`]
+    /// stamps `meta.cache` and identical specs (by canonical JSON —
+    /// key order and float spelling don't matter) are served from the
+    /// cache. Cloned runtimes share the same cache store.
+    pub fn with_cache(mut self, capacity: usize) -> Self {
+        self.cache = Some(ArtifactCache::new(capacity));
+        self
+    }
+
+    /// The attached artifact cache, if any.
+    pub fn cache(&self) -> Option<&ArtifactCache> {
+        self.cache.as_ref()
     }
 
     /// The worker pool jobs draw parallelism from.
@@ -83,10 +197,50 @@ impl Runtime {
 
     /// Executes one job, returning its artifact.
     ///
+    /// With a cache attached (see [`Runtime::with_cache`]) the spec's
+    /// canonical key is consulted first: a hit returns the stored
+    /// artifact with `meta.cache = hit` and the lookup's own wall
+    /// time; a miss executes, stamps `meta.cache = miss` and inserts.
+    /// Batch members recurse through this method, so each member is
+    /// cached (and served) individually too. The export job is cached
+    /// like any other: a hit returns the original listing — the files
+    /// it names were written by the miss that populated the entry.
+    ///
     /// # Errors
     ///
     /// [`WorkloadError`] — the single error surface of every workload.
     pub fn run(&self, spec: &JobSpec) -> Result<Artifact, WorkloadError> {
+        let Some(cache) = &self.cache else {
+            return self.execute(spec, None);
+        };
+        if let Some(artifact) = self.cache_lookup(spec) {
+            return Ok(artifact);
+        }
+        let artifact = self.execute(spec, Some(CacheStatus::Miss))?;
+        cache.insert(spec.canonical_key(), spec.canonical_json(), &artifact);
+        Ok(artifact)
+    }
+
+    /// Serves a spec straight from the attached cache, if resident:
+    /// the stored artifact with `meta.cache = hit` and the lookup's
+    /// wall time. `None` when no cache is attached or the spec hasn't
+    /// run yet. The job service uses this at admission so hits never
+    /// occupy a queue slot.
+    pub fn cache_lookup(&self, spec: &JobSpec) -> Option<Artifact> {
+        let started = Instant::now();
+        let cache = self.cache.as_ref()?;
+        let mut artifact = cache.lookup(&spec.canonical_key(), &spec.canonical_json())?;
+        artifact.meta.cache = Some(CacheStatus::Hit);
+        artifact.meta.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        Some(artifact)
+    }
+
+    /// The uncached execution path behind [`Runtime::run`].
+    fn execute(
+        &self,
+        spec: &JobSpec,
+        cache_status: Option<CacheStatus>,
+    ) -> Result<Artifact, WorkloadError> {
         let started = Instant::now();
         let workers = self.pool.policy();
         let (payload, meta_seed, meta_engine, meta_workers) = match spec {
@@ -249,6 +403,7 @@ impl Runtime {
                 workers: meta_workers,
                 engine: meta_engine,
                 wall_ms: started.elapsed().as_secs_f64() * 1e3,
+                cache: cache_status,
             },
         })
     }

@@ -459,6 +459,25 @@ impl JobSpec {
         self.to_json_value().to_string()
     }
 
+    /// The canonical JSON form: the byte sequence [`JobSpec::to_json`]
+    /// emits, which is a pure function of the spec *value* — field
+    /// order is fixed by the serializer, integers are written exactly,
+    /// and floats use shortest-round-trip formatting. Two wire
+    /// documents that parse to equal specs (whatever their key order,
+    /// whitespace or float spelling) share one canonical form, so it
+    /// is the content-address of the job.
+    pub fn canonical_json(&self) -> String {
+        self.to_json()
+    }
+
+    /// The content-addressed cache key: 64-bit FNV-1a over
+    /// [`JobSpec::canonical_json`], as 16 lowercase hex digits.
+    /// Deterministic across processes and platforms (no randomized
+    /// hashing), so a client can predict the key of a spec it submits.
+    pub fn canonical_key(&self) -> String {
+        format!("{:016x}", fnv1a_64(self.canonical_json().as_bytes()))
+    }
+
     /// Parses the JSON wire form. Unknown kinds, malformed fields and
     /// schema mismatches are [`WorkloadError::Spec`]; fields absent
     /// from the document take the kind's defaults, so hand-written
@@ -595,6 +614,20 @@ impl JobSpec {
         };
         Ok(spec)
     }
+}
+
+/// 64-bit FNV-1a over a byte slice — the std-only hash behind
+/// [`JobSpec::canonical_key`]. Stable by construction (no per-process
+/// seeding), unlike `std::hash::DefaultHasher`.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
 }
 
 /// The field names each kind accepts (besides `schema` and `job`).
@@ -864,6 +897,42 @@ mod tests {
             assert_eq!(engine_from_name(engine_name(engine)), Some(engine));
         }
         assert_eq!(engine_from_name("warp"), None);
+    }
+
+    #[test]
+    fn canonical_key_is_invariant_under_wire_spelling() {
+        // Key order, whitespace, float spelling and the optional
+        // schema tag are wire noise: all five documents address the
+        // same job.
+        let canonical = JobSpec::from_json(
+            r#"{"schema":"optpower-job/v1","job":"scaling_study","frequencies_mhz":[1.0,31.25]}"#,
+        )
+        .unwrap();
+        for variant in [
+            r#"{"job":"scaling_study","frequencies_mhz":[1.0,31.25]}"#,
+            r#"{"frequencies_mhz":[1.0,31.25],"job":"scaling_study"}"#,
+            r#"{ "job" : "scaling_study", "frequencies_mhz" : [ 1, 31.25 ] }"#,
+            r#"{"job":"scaling_study","frequencies_mhz":[1e0,3.125e1]}"#,
+        ] {
+            let spec = JobSpec::from_json(variant).unwrap();
+            assert_eq!(spec.canonical_key(), canonical.canonical_key(), "{variant}");
+            assert_eq!(spec.canonical_json(), canonical.canonical_json());
+        }
+        // ... and a different job is a different address.
+        let other =
+            JobSpec::from_json(r#"{"job":"scaling_study","frequencies_mhz":[2.0,31.25]}"#).unwrap();
+        assert_ne!(other.canonical_key(), canonical.canonical_key());
+    }
+
+    #[test]
+    fn canonical_key_shape_and_fnv_vectors() {
+        // The published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+        let key = JobSpec::Table2.canonical_key();
+        assert_eq!(key.len(), 16);
+        assert!(key.bytes().all(|b| b.is_ascii_hexdigit()));
     }
 
     #[test]

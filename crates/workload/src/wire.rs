@@ -1,0 +1,326 @@
+//! The frozen v1 wire surface shared by every front-end: output
+//! format negotiation, the machine-readable error body, and the
+//! HTTP-independent job request/response pair.
+//!
+//! This module is deliberately transport-free — nothing here knows
+//! about sockets or HTTP framing. The `optpower` CLI and the
+//! `optpower serve` job service both build on these types, so a spec
+//! that fails with `invalid_spec` on the command line fails with the
+//! same machine-readable code (and the same derived exit/status) over
+//! the wire. Freezing the mapping in `crates/workload` is what makes
+//! the contract in `crates/serve/README.md` stable: the serve crate
+//! adds transport-level codes (`queue_full`, `draining`, …) but never
+//! re-maps a workload failure.
+
+use crate::artifact::Artifact;
+use crate::error::WorkloadError;
+use crate::json::Json;
+use crate::spec::JobSpec;
+
+/// Schema tag of the machine-readable error body.
+pub const ERROR_SCHEMA: &str = "optpower-error/v1";
+
+/// Schema tag of the job status document (async submissions).
+pub const STATUS_SCHEMA: &str = "optpower-job-status/v1";
+
+/// The three renderings every artifact supports, as a negotiable wire
+/// format. The CLI selects one with `--json` / `--csv` flags; the
+/// server selects one from the `Accept` header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireFormat {
+    /// The legacy console rendering ([`Artifact::render_text`]).
+    Text,
+    /// The full JSON envelope ([`Artifact::to_json`]).
+    #[default]
+    Json,
+    /// The primary table as CSV ([`Artifact::to_csv`]).
+    Csv,
+}
+
+impl WireFormat {
+    /// The short name (`text` / `json` / `csv`).
+    pub fn name(self) -> &'static str {
+        match self {
+            WireFormat::Text => "text",
+            WireFormat::Json => "json",
+            WireFormat::Csv => "csv",
+        }
+    }
+
+    /// The format by short name, as accepted by `--format`.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "text" => Some(WireFormat::Text),
+            "json" => Some(WireFormat::Json),
+            "csv" => Some(WireFormat::Csv),
+            _ => None,
+        }
+    }
+
+    /// The `Content-Type` this format is served with.
+    pub fn content_type(self) -> &'static str {
+        match self {
+            WireFormat::Text => "text/plain; charset=utf-8",
+            WireFormat::Json => "application/json",
+            WireFormat::Csv => "text/csv",
+        }
+    }
+
+    /// Content negotiation over an `Accept` header value: the first
+    /// listed media type we can produce wins (explicit order, not
+    /// q-values, decides). An empty or absent header means JSON; a
+    /// header listing only unsupported types is `None` (HTTP 406).
+    pub fn from_accept(header: &str) -> Option<Self> {
+        let mut listed_any = false;
+        for part in header.split(',') {
+            let media = part
+                .split(';')
+                .next()
+                .unwrap_or("")
+                .trim()
+                .to_ascii_lowercase();
+            if media.is_empty() {
+                continue;
+            }
+            listed_any = true;
+            match media.as_str() {
+                "application/json" | "application/*" | "*/*" => return Some(WireFormat::Json),
+                "text/csv" => return Some(WireFormat::Csv),
+                "text/plain" | "text/*" => return Some(WireFormat::Text),
+                _ => {}
+            }
+        }
+        if listed_any {
+            None
+        } else {
+            Some(WireFormat::Json)
+        }
+    }
+
+    /// Renders an artifact in this format.
+    pub fn render(self, artifact: &Artifact) -> String {
+        match self {
+            WireFormat::Text => artifact.render_text(),
+            WireFormat::Json => artifact.to_json(),
+            WireFormat::Csv => artifact.to_csv(),
+        }
+    }
+}
+
+/// The machine-readable error surface: an HTTP-shaped status, a
+/// stable snake_case code, and the human message. Every front-end
+/// derives its failure signalling from this one struct — the server
+/// sends it as the `optpower-error/v1` JSON body, the CLI derives its
+/// exit code from the status class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorBody {
+    /// HTTP-shaped status (400/404/422/429/5xx…).
+    pub status: u16,
+    /// Stable machine-readable code (`invalid_spec`, `queue_full`, …).
+    pub code: &'static str,
+    /// The human-readable message.
+    pub message: String,
+}
+
+impl ErrorBody {
+    /// An error body from parts.
+    pub fn new(status: u16, code: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// The frozen [`WorkloadError`] → wire mapping. Spec problems are
+    /// the client's fault (400); jobs that parsed but cannot execute
+    /// are unprocessable (422, with a per-family code); IO is the
+    /// host's fault (500).
+    pub fn of(err: &WorkloadError) -> Self {
+        let (status, code) = match err {
+            WorkloadError::Spec(_) => (400, "invalid_spec"),
+            WorkloadError::Lint { .. } => (422, "lint_rejected"),
+            WorkloadError::Model(_) => (422, "model_failed"),
+            WorkloadError::AbInitio(_) => (422, "ab_initio_failed"),
+            WorkloadError::Sim(_) => (422, "simulation_failed"),
+            WorkloadError::Netlist(_) => (422, "netlist_failed"),
+            WorkloadError::Io { .. } => (500, "io_failed"),
+        };
+        Self::new(status, code, err.to_string())
+    }
+
+    /// The `optpower-error/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        Json::obj([
+            ("schema", Json::str(ERROR_SCHEMA)),
+            ("status", Json::UInt(u64::from(self.status))),
+            ("code", Json::str(self.code)),
+            ("error", Json::str(self.message.clone())),
+        ])
+        .to_string()
+    }
+
+    /// The process exit code a CLI front-end maps this error to:
+    /// 2 for client-side errors (4xx), 3 for jobs that parsed but
+    /// failed to execute (422 specifically), 4 for host-side failures
+    /// (5xx). Success is 0; exit 1 is left to panics.
+    pub fn exit_code(&self) -> u8 {
+        match self.status {
+            422 => 3,
+            400..=499 => 2,
+            _ => 4,
+        }
+    }
+}
+
+/// The canonical reason phrase for the status codes the v1 wire API
+/// uses (a plain `Error` for anything off-contract).
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        406 => "Not Acceptable",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Error",
+    }
+}
+
+/// Whether a submission waits for the artifact or returns immediately
+/// with the job key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SubmitMode {
+    /// Hold the request open until the artifact (or error) is ready.
+    #[default]
+    Sync,
+    /// Accept, return the canonical key, let the client poll.
+    Async,
+}
+
+/// One job submission, transport-independent: the parsed spec plus
+/// how the caller wants the result back.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// The job to run.
+    pub spec: JobSpec,
+    /// The negotiated response rendering.
+    pub format: WireFormat,
+    /// Sync (wait for the artifact) or async (return the key).
+    pub mode: SubmitMode,
+}
+
+impl JobRequest {
+    /// A synchronous JSON-format request for a spec.
+    pub fn new(spec: JobSpec) -> Self {
+        Self {
+            spec,
+            format: WireFormat::default(),
+            mode: SubmitMode::default(),
+        }
+    }
+}
+
+/// The transport-independent outcome of a submission. The server
+/// frames this as an HTTP response; a CLI front-end prints the body
+/// and derives its exit code.
+#[derive(Debug, Clone)]
+pub enum JobResponse {
+    /// The job ran (or was served from cache): the artifact itself
+    /// (boxed — artifacts dwarf the other variants).
+    Completed(Box<Artifact>),
+    /// The job was queued asynchronously under its canonical key.
+    Accepted {
+        /// The spec's [`JobSpec::canonical_key`].
+        key: String,
+    },
+    /// The job was rejected or failed.
+    Failed(ErrorBody),
+}
+
+impl JobResponse {
+    /// The HTTP-shaped status of this outcome.
+    pub fn status(&self) -> u16 {
+        match self {
+            JobResponse::Completed(_) => 200,
+            JobResponse::Accepted { .. } => 202,
+            JobResponse::Failed(body) => body.status,
+        }
+    }
+}
+
+/// The `optpower-job-status/v1` document: the canonical key plus the
+/// job's lifecycle state (`queued` / `running` / `done` / `failed`).
+pub fn status_json(key: &str, state: &str) -> String {
+    Json::obj([
+        ("schema", Json::str(STATUS_SCHEMA)),
+        ("key", Json::str(key)),
+        ("state", Json::str(state)),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::SpecError;
+
+    #[test]
+    fn accept_negotiation_follows_listed_order() {
+        assert_eq!(WireFormat::from_accept(""), Some(WireFormat::Json));
+        assert_eq!(
+            WireFormat::from_accept("application/json"),
+            Some(WireFormat::Json)
+        );
+        assert_eq!(WireFormat::from_accept("text/csv"), Some(WireFormat::Csv));
+        assert_eq!(
+            WireFormat::from_accept("text/plain, application/json"),
+            Some(WireFormat::Text)
+        );
+        assert_eq!(
+            WireFormat::from_accept("application/xml, text/csv;q=0.5"),
+            Some(WireFormat::Csv)
+        );
+        assert_eq!(WireFormat::from_accept("*/*"), Some(WireFormat::Json));
+        assert_eq!(WireFormat::from_accept("image/png"), None);
+    }
+
+    #[test]
+    fn workload_errors_map_to_frozen_codes() {
+        let spec_err: WorkloadError = SpecError::new("bad").into();
+        let body = ErrorBody::of(&spec_err);
+        assert_eq!((body.status, body.code), (400, "invalid_spec"));
+        assert_eq!(body.exit_code(), 2);
+
+        let io_err = WorkloadError::io("/tmp/x", std::io::Error::other("boom"));
+        let body = ErrorBody::of(&io_err);
+        assert_eq!((body.status, body.code), (500, "io_failed"));
+        assert_eq!(body.exit_code(), 4);
+
+        let model_err: WorkloadError = optpower::ModelError::InvalidFrequency { hertz: 0.0 }.into();
+        let body = ErrorBody::of(&model_err);
+        assert_eq!((body.status, body.code), (422, "model_failed"));
+        assert_eq!(body.exit_code(), 3);
+    }
+
+    #[test]
+    fn error_body_json_is_schema_tagged() {
+        let body = ErrorBody::new(429, "queue_full", "queue is full");
+        let json = body.to_json();
+        assert_eq!(
+            json,
+            r#"{"schema":"optpower-error/v1","status":429,"code":"queue_full","error":"queue is full"}"#
+        );
+        assert_eq!(
+            status_json("00ff00ff00ff00ff", "queued"),
+            r#"{"schema":"optpower-job-status/v1","key":"00ff00ff00ff00ff","state":"queued"}"#
+        );
+    }
+}

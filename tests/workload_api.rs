@@ -15,8 +15,8 @@ use optpower_explore::Workers;
 use optpower_mult::Architecture;
 use optpower_sim::Engine;
 use optpower_workload::{
-    AbInitioSpec, ActivitySpec, GlitchSweepSpec, JobSpec, LintSpec, Runtime, StaSpec,
-    WorkloadError, JOB_KINDS,
+    AbInitioSpec, ActivitySpec, CacheStatus, GlitchSweepSpec, JobSpec, Json, LintSpec, RunMeta,
+    Runtime, StaSpec, WorkloadError, JOB_KINDS,
 };
 use proptest::prelude::*;
 
@@ -149,6 +149,57 @@ proptest! {
         prop_assert_eq!(&back, &spec, "wire form: {}", json);
         // Serialization is deterministic: same spec, same bytes.
         prop_assert_eq!(back.to_json(), json);
+    }
+}
+
+/// Rotates the key order of every JSON object (first pair moves to
+/// the end) — a semantically equal but differently spelled wire form.
+fn rotate_json_keys(value: Json) -> Json {
+    match value {
+        Json::Obj(pairs) => {
+            let mut rotated: Vec<(String, Json)> = pairs
+                .into_iter()
+                .map(|(k, v)| (k, rotate_json_keys(v)))
+                .collect();
+            if rotated.len() > 1 {
+                let first = rotated.remove(0);
+                rotated.push(first);
+            }
+            Json::Obj(rotated)
+        }
+        Json::Arr(items) => Json::Arr(items.into_iter().map(rotate_json_keys).collect()),
+        other => other,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The content-address contract behind the serve cache: the
+    /// canonical JSON is a serialization fixpoint, and semantically
+    /// equal specs — however their wire form spells key order — hash
+    /// to the same canonical key.
+    #[test]
+    fn canonical_key_is_a_wire_spelling_fixpoint(
+        kind in 0usize..18,
+        a in any::<u64>(),
+        b in any::<u64>(),
+        c in 0usize..1000,
+        widths in prop::collection::vec(2usize..33, 1..4),
+        names_ix in prop::collection::vec(any::<u8>(), 0..5),
+    ) {
+        let spec = spec_from(kind, a, b, c, &widths, &names_ix);
+        let canonical = spec.canonical_json();
+        prop_assert_eq!(&canonical, &spec.to_json());
+        let back = JobSpec::from_json(&canonical).expect("canonical JSON parses");
+        prop_assert_eq!(back.canonical_json(), canonical.clone());
+        prop_assert_eq!(back.canonical_key(), spec.canonical_key());
+        // Same job in a different spelling: every object's key order
+        // rotated. The strict parser normalizes it back.
+        let rotated = rotate_json_keys(Json::parse(&canonical).expect("canonical is JSON"))
+            .to_string();
+        let variant = JobSpec::from_json(&rotated).expect("rotated spelling parses");
+        prop_assert_eq!(variant.canonical_key(), spec.canonical_key(), "wire form: {}", rotated);
     }
 }
 
@@ -556,6 +607,55 @@ fn golden_table2_payload() {
     golden_compare(
         "tests/golden/table2_payload.json",
         &format!("{}\n", artifact.payload_json()),
+    );
+}
+
+/// Golden full envelope including the `meta` object — pins the
+/// `schema` tag and the `cache` field the serve layer relies on
+/// (meta is stamped with fixed values to stay deterministic).
+#[test]
+fn golden_artifact_envelope_with_meta() {
+    let mut artifact = Runtime::new(Workers::Fixed(1))
+        .run(&JobSpec::Table2)
+        .unwrap();
+    artifact.meta = RunMeta {
+        seed: None,
+        workers: 1,
+        engine: None,
+        wall_ms: 0.25,
+        cache: Some(CacheStatus::Hit),
+    };
+    golden_compare(
+        "tests/golden/artifact_envelope.json",
+        &format!("{}\n", artifact.to_json()),
+    );
+}
+
+/// The runtime-level cache contract the serve layer builds on:
+/// misses populate, hits are stamped and byte-identical, clones
+/// share one cache, and cacheless runtimes keep `meta.cache` unset.
+#[test]
+fn runtime_cache_round_trip() {
+    let runtime = Runtime::new(Workers::Fixed(2)).with_cache(8);
+    let spec = JobSpec::Figure2 { samples: 4 };
+    let first = runtime.run(&spec).unwrap();
+    assert_eq!(first.meta.cache, Some(CacheStatus::Miss));
+    let second = runtime.run(&spec).unwrap();
+    assert_eq!(second.meta.cache, Some(CacheStatus::Hit));
+    assert_eq!(first.payload_json(), second.payload_json());
+    assert_eq!(
+        runtime.clone().run(&spec).unwrap().meta.cache,
+        Some(CacheStatus::Hit),
+        "clones share the cache"
+    );
+    assert_eq!(
+        Runtime::new(Workers::Fixed(1))
+            .run(&spec)
+            .unwrap()
+            .meta
+            .cache,
+        None,
+        "cacheless runtimes keep the legacy envelope"
     );
 }
 
