@@ -29,11 +29,20 @@ pub enum PipelineStyle {
 
 /// Generates the basic (unpipelined) RCA array multiplier.
 ///
+/// The netlist is dead-cone pruned (a no-op here — the array's final
+/// ripple chain terminates cleanly), establishing the same no-dead-logic
+/// invariant as every other generator.
+///
 /// # Errors
 ///
 /// Propagates [`NetlistError`] from validation (unreachable for valid
 /// widths — the generator is structurally correct by construction).
 pub fn rca(width: usize) -> Result<Netlist, NetlistError> {
+    rca_builder(width).build_pruned()
+}
+
+/// The raw (pre-prune) builder behind [`rca`].
+pub(crate) fn rca_builder(width: usize) -> NetlistBuilder {
     rca_pipelined_impl(width, 1, PipelineStyle::Horizontal, "rca")
 }
 
@@ -127,6 +136,19 @@ pub fn rca_pipelined(
     stages: u32,
     style: PipelineStyle,
 ) -> Result<Netlist, NetlistError> {
+    rca_pipelined_builder(width, stages, style).build_pruned()
+}
+
+/// The raw (pre-prune) builder behind [`rca_pipelined`].
+///
+/// # Panics
+///
+/// Same contract as [`rca_pipelined`].
+pub(crate) fn rca_pipelined_builder(
+    width: usize,
+    stages: u32,
+    style: PipelineStyle,
+) -> NetlistBuilder {
     assert!(stages >= 2, "pipelined RCA needs >= 2 stages, got {stages}");
     let name = match style {
         PipelineStyle::Horizontal => format!("rca_hpipe{stages}"),
@@ -140,7 +162,7 @@ fn rca_pipelined_impl(
     stages: u32,
     style: PipelineStyle,
     name: &str,
-) -> Result<Netlist, NetlistError> {
+) -> NetlistBuilder {
     assert!(width >= 2, "multiplier width must be >= 2, got {width}");
     let w = width;
     let mut b = NetlistBuilder::new(name);
@@ -227,7 +249,7 @@ fn rca_pipelined_impl(
         b.add_output(format!("p{k}"), net);
     }
 
-    b.build()
+    b
 }
 
 /// Pipeline-stage assignment for every grid position, computed once

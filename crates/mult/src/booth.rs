@@ -134,7 +134,9 @@ pub fn booth_radix4(width: usize) -> Result<Netlist, NetlistError> {
     for (k, &s) in sum.iter().take(2 * w).enumerate() {
         b.add_output(format!("p{k}"), s);
     }
-    b.build()
+    // Same dead-logic invariant as the Table 1 generators: recoding
+    // rows above 2W-1 and the adder's top carries are never consumed.
+    b.build_pruned()
 }
 
 #[cfg(test)]

@@ -43,7 +43,7 @@ pub use pipeline::{Pipeliner, Staged};
 pub use sequential::{sequential, sequential_4_wallace, sequential_parallel};
 pub use wallace::wallace;
 
-use optpower_netlist::{Netlist, NetlistError};
+use optpower_netlist::{Netlist, NetlistBuilder, NetlistError};
 
 /// The thirteen multiplier architectures of Table 1, in table order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -139,6 +139,13 @@ impl Architecture {
 
     /// Generates the `width × width` instance of this architecture.
     ///
+    /// Every generated netlist satisfies the *dead-logic invariant*:
+    /// sink-less cones are pruned at build time
+    /// ([`optpower_netlist::NetlistBuilder::build_pruned`]), so no
+    /// instantiated cell is unreachable from a product bit and the
+    /// power model charges only logic that can toggle an output. Use
+    /// [`Architecture::generate_raw`] to reproduce the unpruned form.
+    ///
     /// # Errors
     ///
     /// Propagates [`NetlistError`] from netlist validation.
@@ -149,21 +156,61 @@ impl Architecture {
     /// sequential family needs a power of two ≥ 4; everything in the
     /// paper uses 16).
     pub fn generate(self, width: usize) -> Result<MultiplierDesign, NetlistError> {
+        self.with_netlist(width, self.builder(width).build_pruned()?)
+    }
+
+    /// Generates the *raw* (as-emitted, pre-prune) instance: the same
+    /// generator output as [`Architecture::generate`] but without the
+    /// dead-cone prune, so Wallace/Seq-family netlists still carry
+    /// their historical unconsumed cells. Exists for before/after
+    /// comparisons (the prune-delta artifact) and build benchmarks —
+    /// analyses should use [`Architecture::generate`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError`] from netlist validation.
+    ///
+    /// # Panics
+    ///
+    /// Same width contract as [`Architecture::generate`].
+    pub fn generate_raw(self, width: usize) -> Result<MultiplierDesign, NetlistError> {
+        self.with_netlist(width, self.builder(width).build()?)
+    }
+
+    /// The raw netlist builder for this architecture.
+    fn builder(self, width: usize) -> NetlistBuilder {
         let w = width;
-        let (netlist, cycles_per_item, ld_scale) = match self {
-            Self::Rca => (rca(w)?, 1, 1.0),
-            Self::RcaParallel2 => (parallelized(w, 2, CoreKind::Rca)?, 1, 0.5),
-            Self::RcaParallel4 => (parallelized(w, 4, CoreKind::Rca)?, 1, 0.25),
-            Self::RcaHorPipe2 => (rca_pipelined(w, 2, PipelineStyle::Horizontal)?, 1, 1.0),
-            Self::RcaHorPipe4 => (rca_pipelined(w, 4, PipelineStyle::Horizontal)?, 1, 1.0),
-            Self::RcaDiagPipe2 => (rca_pipelined(w, 2, PipelineStyle::Diagonal)?, 1, 1.0),
-            Self::RcaDiagPipe4 => (rca_pipelined(w, 4, PipelineStyle::Diagonal)?, 1, 1.0),
-            Self::Wallace => (wallace(w)?, 1, 1.0),
-            Self::WallaceParallel2 => (parallelized(w, 2, CoreKind::Wallace)?, 1, 0.5),
-            Self::WallaceParallel4 => (parallelized(w, 4, CoreKind::Wallace)?, 1, 0.25),
-            Self::Sequential => (sequential(w)?, w as u32, w as f64),
-            Self::Seq4Wallace => (sequential_4_wallace(w)?, (w / 4) as u32, (w / 4) as f64),
-            Self::SeqParallel => (sequential_parallel(w)?, w as u32, (w / 2) as f64),
+        match self {
+            Self::Rca => array::rca_builder(w),
+            Self::RcaParallel2 => parallel::parallelized_builder(w, 2, CoreKind::Rca),
+            Self::RcaParallel4 => parallel::parallelized_builder(w, 4, CoreKind::Rca),
+            Self::RcaHorPipe2 => array::rca_pipelined_builder(w, 2, PipelineStyle::Horizontal),
+            Self::RcaHorPipe4 => array::rca_pipelined_builder(w, 4, PipelineStyle::Horizontal),
+            Self::RcaDiagPipe2 => array::rca_pipelined_builder(w, 2, PipelineStyle::Diagonal),
+            Self::RcaDiagPipe4 => array::rca_pipelined_builder(w, 4, PipelineStyle::Diagonal),
+            Self::Wallace => wallace::wallace_builder(w),
+            Self::WallaceParallel2 => parallel::parallelized_builder(w, 2, CoreKind::Wallace),
+            Self::WallaceParallel4 => parallel::parallelized_builder(w, 4, CoreKind::Wallace),
+            Self::Sequential => sequential::sequential_builder(w),
+            Self::Seq4Wallace => sequential::sequential_4_wallace_builder(w),
+            Self::SeqParallel => sequential::sequential_parallel_builder(w),
+        }
+    }
+
+    /// Attaches the protocol metadata to a built netlist.
+    fn with_netlist(
+        self,
+        width: usize,
+        netlist: Netlist,
+    ) -> Result<MultiplierDesign, NetlistError> {
+        let w = width;
+        let (cycles_per_item, ld_scale) = match self {
+            Self::RcaParallel2 | Self::WallaceParallel2 => (1, 0.5),
+            Self::RcaParallel4 | Self::WallaceParallel4 => (1, 0.25),
+            Self::Sequential => (w as u32, w as f64),
+            Self::Seq4Wallace => ((w / 4) as u32, (w / 4) as f64),
+            Self::SeqParallel => (w as u32, (w / 2) as f64),
+            _ => (1, 1.0),
         };
         Ok(MultiplierDesign {
             arch: self,

@@ -30,6 +30,9 @@ pub enum CoreKind {
 /// them over `k` cycles (multi-cycle paths), so the effective logical
 /// depth per data period is the core depth divided by `k`.
 ///
+/// The netlist is dead-cone pruned: the phase counter's final
+/// increment carry and the core's unconsumed cells are removed.
+///
 /// # Errors
 ///
 /// Propagates [`NetlistError`] from validation.
@@ -38,6 +41,15 @@ pub enum CoreKind {
 ///
 /// Panics unless `k` is 2 or 4 and `width >= 2`.
 pub fn parallelized(width: usize, k: u32, core: CoreKind) -> Result<Netlist, NetlistError> {
+    parallelized_builder(width, k, core).build_pruned()
+}
+
+/// The raw (pre-prune) builder behind [`parallelized`].
+///
+/// # Panics
+///
+/// Same contract as [`parallelized`].
+pub(crate) fn parallelized_builder(width: usize, k: u32, core: CoreKind) -> NetlistBuilder {
     assert!(
         k == 2 || k == 4,
         "parallelisation supports k = 2 or 4, got {k}"
@@ -156,7 +168,7 @@ pub fn parallelized(width: usize, k: u32, core: CoreKind) -> Result<Netlist, Net
         b.add_output(format!("p{j}"), p_reg);
     }
 
-    b.build()
+    b
 }
 
 #[cfg(test)]

@@ -204,10 +204,22 @@ fn seq_core(
 ///
 /// Propagates [`NetlistError`] from validation.
 ///
+/// The netlist is dead-cone pruned: the counter's final increment
+/// carry and the accumulator's never-read LSB flop are removed.
+///
 /// # Panics
 ///
 /// Panics unless `width` is a power of two ≥ 4.
 pub fn sequential(width: usize) -> Result<Netlist, NetlistError> {
+    sequential_builder(width).build_pruned()
+}
+
+/// The raw (pre-prune) builder behind [`sequential`].
+///
+/// # Panics
+///
+/// Same contract as [`sequential`].
+pub(crate) fn sequential_builder(width: usize) -> NetlistBuilder {
     let mut b = NetlistBuilder::new("sequential");
     let a_in: Vec<NetId> = (0..width).map(|j| b.add_input(format!("a{j}"))).collect();
     let b_in: Vec<NetId> = (0..width).map(|i| b.add_input(format!("b{i}"))).collect();
@@ -217,7 +229,7 @@ pub fn sequential(width: usize) -> Result<Netlist, NetlistError> {
     for (k, q) in p.into_iter().enumerate() {
         b.add_output(format!("p{k}"), q);
     }
-    b.build()
+    b
 }
 
 /// The "4_16 Wallace" sequential multiplier: adds **four** partial
@@ -232,6 +244,15 @@ pub fn sequential(width: usize) -> Result<Netlist, NetlistError> {
 ///
 /// Panics unless `width` is a multiple of 4, a power of two, ≥ 8.
 pub fn sequential_4_wallace(width: usize) -> Result<Netlist, NetlistError> {
+    sequential_4_wallace_builder(width).build_pruned()
+}
+
+/// The raw (pre-prune) builder behind [`sequential_4_wallace`].
+///
+/// # Panics
+///
+/// Same contract as [`sequential_4_wallace`].
+pub(crate) fn sequential_4_wallace_builder(width: usize) -> NetlistBuilder {
     const NIB: usize = 4;
     assert!(
         width.is_multiple_of(NIB) && width.is_power_of_two() && width >= 8,
@@ -311,7 +332,7 @@ pub fn sequential_4_wallace(width: usize) -> Result<Netlist, NetlistError> {
         drive_flop(&mut b, p_reg[j], d, None);
         b.add_output(format!("p{j}"), p_reg[j]);
     }
-    b.build()
+    b
 }
 
 /// Two interleaved add-and-shift cores sharing the input buses:
@@ -327,6 +348,15 @@ pub fn sequential_4_wallace(width: usize) -> Result<Netlist, NetlistError> {
 ///
 /// Panics unless `width` is a power of two ≥ 4.
 pub fn sequential_parallel(width: usize) -> Result<Netlist, NetlistError> {
+    sequential_parallel_builder(width).build_pruned()
+}
+
+/// The raw (pre-prune) builder behind [`sequential_parallel`].
+///
+/// # Panics
+///
+/// Same contract as [`sequential_parallel`].
+pub(crate) fn sequential_parallel_builder(width: usize) -> NetlistBuilder {
     let w = width;
     let mut b = NetlistBuilder::new("seq_parallel");
     let a_in: Vec<NetId> = (0..w).map(|j| b.add_input(format!("a{j}"))).collect();
@@ -366,7 +396,7 @@ pub fn sequential_parallel(width: usize) -> Result<Netlist, NetlistError> {
         let o = b.add_cell(CellKind::Mux2, &[p_a[j], p_b[j], sel]);
         b.add_output(format!("p{j}"), o);
     }
-    b.build()
+    b
 }
 
 #[cfg(test)]

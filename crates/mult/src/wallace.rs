@@ -9,6 +9,11 @@ use crate::adders::{kogge_stone_adder, reduce_columns};
 
 /// Generates a `width × width` Wallace-tree multiplier.
 ///
+/// The netlist is dead-cone pruned: the Kogge–Stone final adder's
+/// unconsumed top-level propagate cells (and any other logic that
+/// cannot reach a product bit) are removed, so the design lints clean
+/// and the power model charges only cells that can toggle an output.
+///
 /// # Errors
 ///
 /// Propagates [`NetlistError`] from validation.
@@ -17,6 +22,17 @@ use crate::adders::{kogge_stone_adder, reduce_columns};
 ///
 /// Panics if `width < 2`.
 pub fn wallace(width: usize) -> Result<Netlist, NetlistError> {
+    wallace_builder(width).build_pruned()
+}
+
+/// The raw (pre-prune) builder behind [`wallace`], kept separate so
+/// [`crate::Architecture::generate_raw`] can reproduce the as-emitted
+/// netlist for before/after comparisons.
+///
+/// # Panics
+///
+/// Panics if `width < 2`.
+pub(crate) fn wallace_builder(width: usize) -> NetlistBuilder {
     assert!(width >= 2, "multiplier width must be >= 2, got {width}");
     let w = width;
     let mut b = NetlistBuilder::new("wallace");
@@ -26,7 +42,7 @@ pub fn wallace(width: usize) -> Result<Netlist, NetlistError> {
     for (k, net) in product.into_iter().enumerate() {
         b.add_output(format!("p{k}"), net);
     }
-    b.build()
+    b
 }
 
 /// Embeds a Wallace-tree multiplier over existing operand nets and

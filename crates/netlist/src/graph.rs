@@ -50,6 +50,36 @@ pub struct Net {
     pub driver: CellId,
 }
 
+/// What a dead-cone prune removed, by cell class.
+///
+/// Produced by [`Netlist::prune_dead_cones`]; the *dead-logic
+/// invariant* holds exactly when [`PruneStats::is_identity`] is true.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Cells before the prune (ports and constants included).
+    pub cells_before: usize,
+    /// Cells after the prune.
+    pub cells_after: usize,
+    /// Removed combinational logic cells (gates, the paper's `N` minus
+    /// flip-flops).
+    pub removed_logic: usize,
+    /// Removed flip-flops.
+    pub removed_dffs: usize,
+}
+
+impl PruneStats {
+    /// Total cells removed (logic, flip-flops, ports, constants).
+    pub fn removed(&self) -> usize {
+        self.cells_before - self.cells_after
+    }
+
+    /// Whether the prune changed nothing — the netlist already
+    /// satisfied the dead-logic invariant.
+    pub fn is_identity(&self) -> bool {
+        self.removed() == 0
+    }
+}
+
 /// An immutable, validated gate-level netlist.
 ///
 /// Construct via [`NetlistBuilder`]; validation guarantees:
@@ -155,6 +185,71 @@ impl Netlist {
             .map(|(i, c)| (CellId(i as u32), c))
     }
 
+    /// Removes every *sink-less cone*: cells from which no primary
+    /// output is reachable through input-pin edges, with flip-flops
+    /// traversed transparently (a live DFF keeps its whole `D` cone).
+    /// This is the reverse walk the L001 lint rule performs from
+    /// [`Netlist::endpoints`], so a pruned netlist lints clean of
+    /// unreachable-cell (L001) and floating-net (L002) diagnostics —
+    /// the repo's *dead-logic invariant*. Primary inputs are always
+    /// kept: the module interface is part of the contract even when a
+    /// pin is unused.
+    ///
+    /// The live cone — every cell, net and pin that can influence a
+    /// primary output in any cycle — is untouched (only ids are
+    /// renumbered, names are preserved), so simulated output values
+    /// and endpoint transition counts are bit-identical, and the pass
+    /// is idempotent: pruning a pruned netlist removes nothing.
+    ///
+    /// Returns the pruned netlist and removal statistics. Generators
+    /// should prefer [`NetlistBuilder::build_pruned`], which computes
+    /// the same result without building the dead cells' fanout and
+    /// topological structures first.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::CombinationalLoop`] cannot actually occur
+    /// (pruning a DAG subset stays acyclic) but the rebuild shares
+    /// the validating constructor, so the signature is fallible.
+    pub fn prune_dead_cones(&self) -> Result<(Netlist, PruneStats), NetlistError> {
+        let live = live_mask(&self.cells);
+        let dead = |pred: &dyn Fn(&Cell) -> bool| {
+            self.cells
+                .iter()
+                .enumerate()
+                .filter(|&(i, c)| !live[i] && pred(c))
+                .count()
+        };
+        let stats = PruneStats {
+            cells_before: self.cells.len(),
+            cells_after: live.iter().filter(|&&l| l).count(),
+            removed_logic: dead(&|c| c.kind.is_logic() && !c.kind.is_sequential()),
+            removed_dffs: dead(&|c| c.kind.is_sequential()),
+        };
+        if stats.is_identity() {
+            return Ok((self.clone(), stats));
+        }
+        let (cells, nets, primary_inputs, primary_outputs) = compact(
+            self.cells.clone(),
+            self.nets.clone(),
+            self.primary_inputs.clone(),
+            self.primary_outputs.clone(),
+            &live,
+            // A frozen netlist no longer carries the builder's
+            // forward-edge flag; assume the worst. This path is not
+            // build-time critical.
+            true,
+        );
+        let pruned = finalize(
+            self.name.clone(),
+            cells,
+            nets,
+            primary_inputs,
+            primary_outputs,
+        )?;
+        Ok((pruned, stats))
+    }
+
     /// Histogram of cell kinds (for reports and structural tests).
     pub fn kind_histogram(&self) -> Vec<(CellKind, usize)> {
         let mut counts: Vec<(CellKind, usize)> = Vec::new();
@@ -177,6 +272,10 @@ pub struct NetlistBuilder {
     primary_inputs: Vec<CellId>,
     primary_outputs: Vec<CellId>,
     pending_error: Option<NetlistError>,
+    /// Whether any pin references a net at or past its own cell — set
+    /// by feedback `rewire`s (and fabricated forward ids); lets the
+    /// prune compaction skip work in the common feed-forward case.
+    has_forward_edges: bool,
 }
 
 impl NetlistBuilder {
@@ -189,6 +288,7 @@ impl NetlistBuilder {
             primary_inputs: Vec::new(),
             primary_outputs: Vec::new(),
             pending_error: None,
+            has_forward_edges: false,
         }
     }
 
@@ -204,6 +304,9 @@ impl NetlistBuilder {
         }
         let cell_id = CellId(self.cells.len() as u32);
         let net_id = NetId(self.nets.len() as u32);
+        if inputs.iter().any(|n| n.0 >= net_id.0) {
+            self.has_forward_edges = true;
+        }
         self.nets.push(Net {
             name: format!("{name}__o"),
             driver: cell_id,
@@ -286,6 +389,9 @@ impl NetlistBuilder {
             cell.name,
             cell.inputs.len()
         );
+        if net.0 >= cell_output.0 {
+            self.has_forward_edges = true;
+        }
         cell.inputs[pin] = net;
     }
 
@@ -298,8 +404,58 @@ impl NetlistBuilder {
     /// * [`NetlistError::Empty`] for a netlist with no cells,
     /// * [`NetlistError::CombinationalLoop`] if the DFF-broken graph
     ///   has no topological order.
-    pub fn build(self) -> Result<Netlist, NetlistError> {
-        if let Some(e) = self.pending_error {
+    pub fn build(mut self) -> Result<Netlist, NetlistError> {
+        self.validate()?;
+        finalize(
+            self.name,
+            self.cells,
+            self.nets,
+            self.primary_inputs,
+            self.primary_outputs,
+        )
+    }
+
+    /// Validates, prunes every sink-less cone, and freezes the netlist.
+    ///
+    /// Identical to [`NetlistBuilder::build`] except that cells from
+    /// which no primary output is reachable (flip-flops traversed
+    /// transparently through their `D` pins) are dropped *before* the
+    /// fanout lists and topological order are constructed, so pruning
+    /// costs one extra reverse walk rather than a second build. Ports
+    /// are always kept. The result satisfies the dead-logic invariant
+    /// described on [`Netlist::prune_dead_cones`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NetlistBuilder::build`]; validation runs on the
+    /// unpruned netlist, so a dead cone does not hide its own errors.
+    pub fn build_pruned(mut self) -> Result<Netlist, NetlistError> {
+        self.validate()?;
+        let live = live_mask(&self.cells);
+        let (cells, nets, primary_inputs, primary_outputs) = if live.iter().all(|&l| l) {
+            (
+                self.cells,
+                self.nets,
+                self.primary_inputs,
+                self.primary_outputs,
+            )
+        } else {
+            compact(
+                self.cells,
+                self.nets,
+                self.primary_inputs,
+                self.primary_outputs,
+                &live,
+                self.has_forward_edges,
+            )
+        };
+        finalize(self.name, cells, nets, primary_inputs, primary_outputs)
+    }
+
+    /// The deferred-error / emptiness / dangling-net checks shared by
+    /// [`NetlistBuilder::build`] and [`NetlistBuilder::build_pruned`].
+    fn validate(&mut self) -> Result<(), NetlistError> {
+        if let Some(e) = self.pending_error.take() {
             return Err(e);
         }
         if self.cells.is_empty() {
@@ -311,69 +467,212 @@ impl NetlistBuilder {
                 return Err(NetlistError::UnknownNet { net: bad });
             }
         }
+        Ok(())
+    }
+}
 
-        // Fanout lists.
-        let mut fanouts: Vec<Vec<CellId>> = vec![Vec::new(); self.nets.len()];
-        for (i, cell) in self.cells.iter().enumerate() {
-            for &input in &cell.inputs {
-                fanouts[input.index()].push(CellId(i as u32));
+/// Builds the derived structures (fanout lists, topological order) and
+/// freezes validated cell/net vectors into a [`Netlist`].
+fn finalize(
+    name: String,
+    cells: Vec<Cell>,
+    nets: Vec<Net>,
+    primary_inputs: Vec<CellId>,
+    primary_outputs: Vec<CellId>,
+) -> Result<Netlist, NetlistError> {
+    // Fanout lists.
+    let mut fanouts: Vec<Vec<CellId>> = vec![Vec::new(); nets.len()];
+    for (i, cell) in cells.iter().enumerate() {
+        for &input in &cell.inputs {
+            fanouts[input.index()].push(CellId(i as u32));
+        }
+    }
+
+    // Kahn's algorithm on the combinational graph: edges run from a
+    // cell to the sinks of its output net, except that DFFs do not
+    // propagate combinationally (their output is captured state, so
+    // a DFF's D pin is not a dependency of its Q output).
+    let n = cells.len();
+    let mut indegree = vec![0usize; n];
+    for (i, cell) in cells.iter().enumerate() {
+        indegree[i] = cell
+            .inputs
+            .iter()
+            .filter(|&&net| !cells[nets[net.index()].driver.index()].kind.is_sequential())
+            .count();
+    }
+
+    let mut queue: VecDeque<CellId> = (0..n)
+        .filter(|&i| indegree[i] == 0)
+        .map(|i| CellId(i as u32))
+        .collect();
+    let mut topo = Vec::with_capacity(n);
+    while let Some(id) = queue.pop_front() {
+        topo.push(id);
+        let cell = &cells[id.index()];
+        if cell.kind.is_sequential() {
+            continue; // edges out of a DFF are not combinational
+        }
+        for &sink in &fanouts[cell.output.index()] {
+            indegree[sink.index()] -= 1;
+            if indegree[sink.index()] == 0 {
+                queue.push_back(sink);
             }
         }
-
-        // Kahn's algorithm on the combinational graph: edges run from a
-        // cell to the sinks of its output net, except that DFFs do not
-        // propagate combinationally (their output is captured state, so
-        // a DFF's D pin is not a dependency of its Q output).
-        let n = self.cells.len();
-        let mut indegree = vec![0usize; n];
-        for (i, cell) in self.cells.iter().enumerate() {
-            indegree[i] = cell
-                .inputs
-                .iter()
-                .filter(|&&net| {
-                    !self.cells[self.nets[net.index()].driver.index()]
-                        .kind
-                        .is_sequential()
-                })
-                .count();
-        }
-
-        let mut queue: VecDeque<CellId> = (0..n)
-            .filter(|&i| indegree[i] == 0)
+    }
+    if topo.len() != n {
+        let witness = (0..n)
+            .find(|&i| indegree[i] > 0)
             .map(|i| CellId(i as u32))
-            .collect();
-        let mut topo = Vec::with_capacity(n);
-        while let Some(id) = queue.pop_front() {
-            topo.push(id);
-            let cell = &self.cells[id.index()];
-            if cell.kind.is_sequential() {
-                continue; // edges out of a DFF are not combinational
+            .expect("some cell must remain when topo is incomplete");
+        return Err(NetlistError::CombinationalLoop { witness });
+    }
+
+    Ok(Netlist {
+        name,
+        cells,
+        nets,
+        fanouts,
+        topo,
+        primary_inputs,
+        primary_outputs,
+    })
+}
+
+/// `live[i]` is true when cell `i` reaches a primary output through
+/// input pins (flip-flops traversed transparently — a live DFF keeps
+/// its whole D-cone), or is a port cell. This is the same reverse walk
+/// the L001 lint rule performs from [`Netlist::endpoints`]: a cell the
+/// walk never reaches can influence no primary output in any cycle, so
+/// removing it cannot change any observable value.
+///
+/// Output cells seed the walk; Input cells are kept unconditionally
+/// (the module interface is part of the contract) but seed nothing, so
+/// logic hanging off an otherwise-unused input is still pruned.
+fn live_mask(cells: &[Cell]) -> Vec<bool> {
+    // Cells and their output nets are index-aligned pairs (`push_cell`),
+    // so the driver of net `pin` is cell `pin` — the walk never has to
+    // load the net table at all.
+    debug_assert!(
+        cells.iter().enumerate().all(|(i, c)| c.output.index() == i),
+        "cell/net pairing violated before liveness walk"
+    );
+    let mut live = vec![false; cells.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    // One reverse sweep seeds the ports and resolves every backward
+    // edge (generators build mostly feed-forward, pins referencing
+    // earlier cells); a pin at or past the sweep position — a `rewire`
+    // feedback patch — was already visited, so it spills onto a DFS
+    // stack instead.
+    for i in (0..cells.len()).rev() {
+        let cell = &cells[i];
+        match cell.kind {
+            CellKind::Input => {
+                live[i] = true;
+                continue;
             }
-            for &sink in &fanouts[cell.output.index()] {
-                indegree[sink.index()] -= 1;
-                if indegree[sink.index()] == 0 {
-                    queue.push_back(sink);
+            CellKind::Output => live[i] = true,
+            _ if !live[i] => continue,
+            _ => {}
+        }
+        for &pin in &cell.inputs {
+            let driver = pin.index();
+            if !live[driver] {
+                live[driver] = true;
+                if driver >= i {
+                    stack.push(driver);
                 }
             }
         }
-        if topo.len() != n {
-            let witness = (0..n)
-                .find(|&i| indegree[i] > 0)
-                .map(|i| CellId(i as u32))
-                .expect("some cell must remain when topo is incomplete");
-            return Err(NetlistError::CombinationalLoop { witness });
-        }
-
-        Ok(Netlist {
-            name: self.name,
-            cells: self.cells,
-            nets: self.nets,
-            fanouts,
-            topo,
-            primary_inputs: self.primary_inputs,
-            primary_outputs: self.primary_outputs,
-        })
     }
+    while let Some(i) = stack.pop() {
+        for &pin in &cells[i].inputs {
+            let driver = pin.index();
+            if !live[driver] {
+                live[driver] = true;
+                stack.push(driver);
+            }
+        }
+    }
+    live
+}
+
+/// Drops every dead cell/net pair and renumbers the survivors.
+///
+/// Cells and their output nets are created as index-aligned pairs
+/// (`push_cell`), so one rank map renumbers both id spaces; the
+/// pairing (`driver_of` identity) is preserved in the output. Every
+/// net referenced by a live cell has a live driver (the walk marked
+/// it), and every port is live, so all remaps are defined.
+fn compact(
+    mut cells: Vec<Cell>,
+    mut nets: Vec<Net>,
+    mut primary_inputs: Vec<CellId>,
+    mut primary_outputs: Vec<CellId>,
+    live: &[bool],
+    has_forward_edges: bool,
+) -> (Vec<Cell>, Vec<Net>, Vec<CellId>, Vec<CellId>) {
+    debug_assert!(
+        cells.iter().enumerate().all(|(i, c)| c.output.index() == i),
+        "cell/net pairing violated before compaction"
+    );
+    // Ids before the first dead cell are unchanged, so only the tail
+    // needs a rank map and shifting — in the generators the dead cells
+    // sit in the late reduction/adder stages, which keeps this pass
+    // inside the build-time budget (the `prune_build_wallace16` bench
+    // row, `speedup_min >= 0.95`).
+    let first_dead = live.iter().position(|&l| !l).unwrap_or(cells.len());
+    let mut new_id = vec![u32::MAX; cells.len() - first_dead];
+    let mut next = first_dead as u32;
+    for (i, &keep) in live[first_dead..].iter().enumerate() {
+        if keep {
+            new_id[i] = next;
+            next += 1;
+        }
+    }
+    let remap = |ix: u32| -> u32 {
+        if (ix as usize) < first_dead {
+            ix
+        } else {
+            new_id[ix as usize - first_dead]
+        }
+    };
+    // Prefix cells keep their ids and (by pairing) their output nets;
+    // only input pins that forward-reference the renumbered tail (a
+    // feedback `rewire`) can need rewriting, so the whole scan is
+    // skipped when the builder never created a forward edge.
+    if has_forward_edges {
+        for cell in &mut cells[..first_dead] {
+            for pin in &mut cell.inputs {
+                *pin = NetId(remap(pin.0));
+            }
+        }
+    }
+    // Tail survivors shift down in place; a cell landing at position
+    // `p` drives net `p` (the pairing is preserved), so outputs and
+    // drivers come straight from the position counter and only input
+    // pins go through the rank map.
+    let tail_cells = cells.split_off(first_dead);
+    for (j, mut cell) in tail_cells.into_iter().enumerate() {
+        if live[first_dead + j] {
+            for pin in &mut cell.inputs {
+                *pin = NetId(remap(pin.0));
+            }
+            cell.output = NetId(cells.len() as u32);
+            cells.push(cell);
+        }
+    }
+    let tail_nets = nets.split_off(first_dead);
+    for (j, mut net) in tail_nets.into_iter().enumerate() {
+        if live[first_dead + j] {
+            net.driver = CellId(nets.len() as u32);
+            nets.push(net);
+        }
+    }
+    for id in primary_inputs.iter_mut().chain(primary_outputs.iter_mut()) {
+        *id = CellId(remap(id.0));
+    }
+    (cells, nets, primary_inputs, primary_outputs)
 }
 
 #[cfg(test)]
@@ -531,5 +830,100 @@ mod tests {
         b.add_output("y", y);
         let nl = b.build().unwrap();
         assert!(nl.cells().iter().any(|c| c.name == "my_inv"));
+    }
+
+    /// Half adder plus a dead XOR/INV cone hanging off the inputs.
+    fn half_adder_with_dead_cone() -> NetlistBuilder {
+        let mut b = NetlistBuilder::new("ha_dead");
+        let x = b.add_input("x");
+        let y = b.add_input("y");
+        let s = b.add_cell(CellKind::Xor2, &[x, y]);
+        let c = b.add_cell(CellKind::And2, &[x, y]);
+        let dead = b.add_named_cell(CellKind::Xor2, "dead_root", &[x, y]);
+        let _ = b.add_named_cell(CellKind::Inv, "dead_leaf", &[dead]);
+        b.add_output("s", s);
+        b.add_output("c", c);
+        b
+    }
+
+    #[test]
+    fn build_pruned_removes_dead_cone() {
+        let nl = half_adder_with_dead_cone().build_pruned().unwrap();
+        assert_eq!(nl.logic_cell_count(), 2);
+        assert!(nl.cells().iter().all(|c| !c.name.starts_with("dead_")));
+        // Survivors keep their names; ids are compact and consistent.
+        assert!(nl.cells().iter().any(|c| c.kind == CellKind::Xor2));
+        for (i, cell) in nl.cells().iter().enumerate() {
+            assert_eq!(cell.output.index(), i, "cell/net pairing preserved");
+            assert_eq!(nl.net(cell.output).driver, CellId(i as u32));
+        }
+        // Both ports survive even though the walk starts at outputs only.
+        assert_eq!(nl.primary_inputs().len(), 2);
+        assert_eq!(nl.primary_outputs().len(), 2);
+    }
+
+    #[test]
+    fn prune_dead_cones_matches_build_pruned() {
+        let builder = half_adder_with_dead_cone();
+        let raw = builder.clone().build().unwrap();
+        let (pruned, stats) = raw.prune_dead_cones().unwrap();
+        let direct = builder.build_pruned().unwrap();
+        assert_eq!(pruned.cells(), direct.cells());
+        assert_eq!(pruned.nets(), direct.nets());
+        assert_eq!(stats.cells_before, raw.cells().len());
+        assert_eq!(stats.cells_after, pruned.cells().len());
+        assert_eq!(stats.removed(), 2);
+        assert_eq!(stats.removed_logic, 2);
+        assert_eq!(stats.removed_dffs, 0);
+    }
+
+    #[test]
+    fn prune_is_idempotent_and_identity_on_clean_netlists() {
+        let clean = half_adder();
+        let (same, stats) = clean.prune_dead_cones().unwrap();
+        assert!(stats.is_identity());
+        assert_eq!(same.cells(), clean.cells());
+
+        let (pruned, _) = half_adder_with_dead_cone()
+            .build()
+            .unwrap()
+            .prune_dead_cones()
+            .unwrap();
+        let (again, stats2) = pruned.prune_dead_cones().unwrap();
+        assert!(stats2.is_identity());
+        assert_eq!(again.cells(), pruned.cells());
+    }
+
+    #[test]
+    fn prune_removes_dangling_dff_but_keeps_live_dff_cone() {
+        let mut b = NetlistBuilder::new("flops");
+        let x = b.add_input("x");
+        // Live flop: its Q reaches an output, so its D-cone (the INV)
+        // must survive the transparent traversal.
+        let inv = b.add_cell(CellKind::Inv, &[x]);
+        let q = b.add_named_cell(CellKind::Dff, "live_ff", &[inv]);
+        b.add_output("q", q);
+        // Dead flop: Q never read, so the DFF and its private AND die.
+        let g = b.add_named_cell(CellKind::And2, "dead_and", &[x, q]);
+        let _ = b.add_named_cell(CellKind::Dff, "dead_ff", &[g]);
+        let raw = b.clone().build().unwrap();
+        let (pruned, stats) = raw.prune_dead_cones().unwrap();
+        assert_eq!(stats.removed_dffs, 1);
+        assert_eq!(stats.removed_logic, 1);
+        assert_eq!(pruned.dff_count(), 1);
+        assert!(pruned.cells().iter().any(|c| c.name == "live_ff"));
+        assert!(pruned.cells().iter().any(|c| c.kind == CellKind::Inv));
+        assert!(pruned.cells().iter().all(|c| !c.name.starts_with("dead_")));
+        let direct = b.build_pruned().unwrap();
+        assert_eq!(direct.cells(), pruned.cells());
+    }
+
+    #[test]
+    fn build_pruned_still_reports_construction_errors() {
+        let mut b = NetlistBuilder::new("bad");
+        let x = b.add_input("x");
+        let _ = b.add_cell(CellKind::And2, &[x]); // dead AND, but bad arity
+        let err = b.build_pruned().unwrap_err();
+        assert!(matches!(err, NetlistError::ArityMismatch { .. }));
     }
 }

@@ -29,7 +29,7 @@ use optpower_explore::{
     explore, measure_timed_activity_pooled, par_map, ExploreConfig, Grid, ResultSet,
     TimedPoolConfig, Workers,
 };
-use optpower_mult::Architecture;
+use optpower_mult::{Architecture, MultiplierDesign};
 use optpower_netlist::{Library, NetlistStats};
 use optpower_sim::{measure_activity, Engine, SimError};
 use optpower_sta::TimingAnalysis;
@@ -272,6 +272,30 @@ pub fn characterize_architecture_with(
     let design = arch
         .generate(config.width)
         .expect("supported widths generate structurally valid netlists");
+    characterize_design_with(&design, lib, tech, freq, config)
+}
+
+/// Measures and optimises an already-generated [`MultiplierDesign`]:
+/// the [`characterize_architecture_with`] flow minus the generation
+/// step. This lets callers characterize netlist variants that the
+/// [`Architecture`] entry points would not produce — e.g. the raw
+/// (pre-prune) form from [`Architecture::generate_raw`] for the
+/// dead-cone before/after power delta. `config.width` is ignored in
+/// favour of `design.width`; lanes, baseline engine, items, seed and
+/// workers apply as in [`characterize_architecture_with`].
+///
+/// # Errors
+///
+/// As [`characterize_architecture`]: simulation failures carry the
+/// design's architecture, model/optimiser failures are propagated.
+pub fn characterize_design_with(
+    design: &MultiplierDesign,
+    lib: &Library,
+    tech: Technology,
+    freq: Hertz,
+    config: &CharacterizeConfig,
+) -> Result<AbInitioRow, AbInitioError> {
+    let arch = design.arch;
     let stats = NetlistStats::measure(&design.netlist, lib);
     let sta = TimingAnalysis::analyze(&design.netlist, lib);
     let sim_err = |source: SimError| AbInitioError::Sim { arch, source };
@@ -310,7 +334,7 @@ pub fn characterize_architecture_with(
         .unwrap_or(f64::NAN);
     Ok(AbInitioRow {
         arch,
-        width: config.width,
+        width: design.width,
         cells: stats.logic_cells,
         area_um2: stats.area_um2,
         activity: timed.activity,

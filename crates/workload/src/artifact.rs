@@ -103,6 +103,51 @@ pub struct StaRow {
     pub measured_activity: Option<f64>,
 }
 
+/// One (architecture, width) before/after row of the dead-cone prune
+/// delta study: the same design generated raw (no pruning) and through
+/// the production [`optpower_mult::Architecture::generate`] path, each
+/// characterized through the identical timed-simulation flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneDeltaRow {
+    /// Paper name of the architecture.
+    pub arch: String,
+    /// Operand width in bits.
+    pub width: usize,
+    /// Logic cell count before pruning (the paper's `N`, raw).
+    pub cells_before: usize,
+    /// Logic cell count after pruning.
+    pub cells_after: usize,
+    /// DFF count before pruning.
+    pub dffs_before: usize,
+    /// DFF count after pruning.
+    pub dffs_after: usize,
+    /// Measured timed activity per logic cell per item, raw netlist.
+    pub activity_before: f64,
+    /// Measured timed activity per logic cell per item, pruned netlist.
+    pub activity_after: f64,
+    /// Optimised total power in µW, raw netlist.
+    pub ptot_uw_before: f64,
+    /// Optimised total power in µW, pruned netlist.
+    pub ptot_uw_after: f64,
+}
+
+impl PruneDeltaRow {
+    /// Cells the prune removed (logic + DFFs).
+    pub fn cells_removed(&self) -> usize {
+        (self.cells_before - self.cells_after) + (self.dffs_before - self.dffs_after)
+    }
+
+    /// Relative total-power change in percent (negative = pruning
+    /// lowered power).
+    pub fn ptot_delta_pct(&self) -> f64 {
+        if self.ptot_uw_before == 0.0 {
+            0.0
+        } else {
+            100.0 * (self.ptot_uw_after - self.ptot_uw_before) / self.ptot_uw_before
+        }
+    }
+}
+
 /// What the export job wrote.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExportListing {
@@ -212,6 +257,8 @@ pub enum Payload {
     Lint(Vec<LintSummary>),
     /// One static-analysis row per architecture.
     Sta(Vec<StaRow>),
+    /// One raw-vs-pruned characterization row per (arch, width).
+    PruneDelta(Vec<PruneDeltaRow>),
     /// One artifact per batch member, in batch order.
     Batch(Vec<Artifact>),
 }
@@ -401,6 +448,40 @@ impl Artifact {
                     None => out.push_str("static-vs-measured glitch correlation: n/a\n"),
                 }
                 out
+            }
+            Payload::PruneDelta(rows) => {
+                let mut t = optpower_report::Table::new(&[
+                    "arch",
+                    "width",
+                    "N raw",
+                    "N pruned",
+                    "removed",
+                    "a raw",
+                    "a pruned",
+                    "Ptot raw [uW]",
+                    "Ptot pruned [uW]",
+                    "dPtot [%]",
+                ]);
+                for r in rows {
+                    t.row(&[
+                        r.arch.clone(),
+                        r.width.to_string(),
+                        (r.cells_before + r.dffs_before).to_string(),
+                        (r.cells_after + r.dffs_after).to_string(),
+                        r.cells_removed().to_string(),
+                        format!("{:.4}", r.activity_before),
+                        format!("{:.4}", r.activity_after),
+                        format!("{:.3}", r.ptot_uw_before),
+                        format!("{:.3}", r.ptot_uw_after),
+                        format!("{:+.2}", r.ptot_delta_pct()),
+                    ]);
+                }
+                let removed: usize = rows.iter().map(PruneDeltaRow::cells_removed).sum();
+                format!(
+                    "Dead-cone prune delta - {} row(s), {} cell(s) removed\n{t}",
+                    rows.len(),
+                    removed
+                )
             }
             Payload::Batch(artifacts) => artifacts
                 .iter()
@@ -685,6 +766,30 @@ impl Artifact {
                 }
                 out
             }
+            Payload::PruneDelta(rows) => {
+                let mut out = String::from(
+                    "arch,width,cells_before,cells_after,cells_removed,dffs_before,dffs_after,\
+                     activity_before,activity_after,ptot_uw_before,ptot_uw_after,ptot_delta_pct\n",
+                );
+                for r in rows {
+                    out.push_str(&format!(
+                        "{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                        csv_field(&r.arch),
+                        r.width,
+                        r.cells_before,
+                        r.cells_after,
+                        r.cells_removed(),
+                        r.dffs_before,
+                        r.dffs_after,
+                        r.activity_before,
+                        r.activity_after,
+                        r.ptot_uw_before,
+                        r.ptot_uw_after,
+                        r.ptot_delta_pct(),
+                    ));
+                }
+                out
+            }
             Payload::Batch(artifacts) => {
                 let mut out = String::new();
                 for a in artifacts {
@@ -947,53 +1052,84 @@ fn payload_data(payload: &Payload) -> Json {
                 Json::Arr(listing.files.iter().map(Json::str).collect()),
             ),
         ]),
-        Payload::Lint(summaries) => Json::obj([(
-            "netlists",
-            Json::Arr(
-                summaries
+        Payload::Lint(summaries) => {
+            // Aggregated per-rule totals over the whole sweep, with
+            // every rule ID present even at zero — CI greps for
+            // `"L001":0` / `"L002":0` as the dead-logic tripwire.
+            const RULE_IDS: [&str; 7] = ["L001", "L002", "L003", "L004", "L005", "L006", "L007"];
+            let mut counts = [0u64; RULE_IDS.len()];
+            for s in summaries {
+                for d in s.report.diagnostics() {
+                    if let Some(i) = RULE_IDS.iter().position(|&id| id == d.rule.id()) {
+                        counts[i] += 1;
+                    }
+                }
+            }
+            let rule_counts = Json::Obj(
+                RULE_IDS
                     .iter()
-                    .map(|s| {
-                        Json::obj([
-                            ("arch", Json::str(s.arch.clone())),
-                            ("width", Json::UInt(s.width as u64)),
-                            ("cells", Json::UInt(s.report.cell_count() as u64)),
-                            ("nets", Json::UInt(s.report.net_count() as u64)),
-                            ("errors", Json::UInt(s.report.error_count() as u64)),
-                            ("warnings", Json::UInt(s.report.warning_count() as u64)),
-                            (
-                                "diagnostics",
-                                Json::Arr(
-                                    s.report
-                                        .diagnostics()
-                                        .iter()
-                                        .map(|d| {
-                                            Json::obj([
-                                                ("id", Json::str(d.rule.id())),
-                                                ("rule", Json::str(d.rule.name())),
-                                                ("severity", Json::str(d.rule.severity().label())),
-                                                (
-                                                    "cell",
-                                                    d.cell
-                                                        .map(|c| Json::UInt(c.index() as u64))
-                                                        .unwrap_or(Json::Null),
-                                                ),
-                                                (
-                                                    "net",
-                                                    d.net
-                                                        .map(|n| Json::UInt(n.index() as u64))
-                                                        .unwrap_or(Json::Null),
-                                                ),
-                                                ("message", Json::str(d.message.clone())),
-                                            ])
-                                        })
-                                        .collect(),
-                                ),
-                            ),
-                        ])
-                    })
+                    .zip(counts)
+                    .map(|(&id, n)| (id.to_string(), Json::UInt(n)))
                     .collect(),
-            ),
-        )]),
+            );
+            Json::obj([
+                ("rule_counts", rule_counts),
+                (
+                    "netlists",
+                    Json::Arr(
+                        summaries
+                            .iter()
+                            .map(|s| {
+                                Json::obj([
+                                    ("arch", Json::str(s.arch.clone())),
+                                    ("width", Json::UInt(s.width as u64)),
+                                    ("cells", Json::UInt(s.report.cell_count() as u64)),
+                                    ("nets", Json::UInt(s.report.net_count() as u64)),
+                                    ("errors", Json::UInt(s.report.error_count() as u64)),
+                                    ("warnings", Json::UInt(s.report.warning_count() as u64)),
+                                    (
+                                        "diagnostics",
+                                        Json::Arr(
+                                            s.report
+                                                .diagnostics()
+                                                .iter()
+                                                .map(|d| {
+                                                    Json::obj([
+                                                        ("id", Json::str(d.rule.id())),
+                                                        ("rule", Json::str(d.rule.name())),
+                                                        (
+                                                            "severity",
+                                                            Json::str(d.rule.severity().label()),
+                                                        ),
+                                                        (
+                                                            "cell",
+                                                            d.cell
+                                                                .map(|c| {
+                                                                    Json::UInt(c.index() as u64)
+                                                                })
+                                                                .unwrap_or(Json::Null),
+                                                        ),
+                                                        (
+                                                            "net",
+                                                            d.net
+                                                                .map(|n| {
+                                                                    Json::UInt(n.index() as u64)
+                                                                })
+                                                                .unwrap_or(Json::Null),
+                                                        ),
+                                                        ("message", Json::str(d.message.clone())),
+                                                    ])
+                                                })
+                                                .collect(),
+                                        ),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        }
         Payload::Sta(rows) => {
             let pairs: Vec<(f64, f64)> = rows
                 .iter()
@@ -1046,6 +1182,29 @@ fn payload_data(payload: &Payload) -> Json {
                 ),
             ])
         }
+        Payload::PruneDelta(rows) => Json::obj([(
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("arch", Json::str(r.arch.clone())),
+                            ("width", Json::UInt(r.width as u64)),
+                            ("cells_before", Json::UInt(r.cells_before as u64)),
+                            ("cells_after", Json::UInt(r.cells_after as u64)),
+                            ("cells_removed", Json::UInt(r.cells_removed() as u64)),
+                            ("dffs_before", Json::UInt(r.dffs_before as u64)),
+                            ("dffs_after", Json::UInt(r.dffs_after as u64)),
+                            ("activity_before", Json::num(r.activity_before)),
+                            ("activity_after", Json::num(r.activity_after)),
+                            ("ptot_uw_before", Json::num(r.ptot_uw_before)),
+                            ("ptot_uw_after", Json::num(r.ptot_uw_after)),
+                            ("ptot_delta_pct", Json::num(r.ptot_delta_pct())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )]),
         Payload::Batch(artifacts) => Json::Arr(
             artifacts
                 .iter()

@@ -88,6 +88,7 @@ fn dispatch(args: &[String]) -> Result<(), WorkloadError> {
         "run" => run_command(&args[1..]),
         "lint" => run_lint(&args[1..]),
         "sta" => run_sta(&args[1..]),
+        "prune-delta" => run_prune_delta(&args[1..]),
         // Every legacy binary name (and its kebab-case spelling) is an
         // `optpower` subcommand with the legacy flag set.
         other => {
@@ -117,6 +118,9 @@ fn usage() -> String {
      \x20 optpower sta  [--arch NAME]* [--width N] [--items N] [--seed N]\n\
      \x20               [--workers N] [--out DIR]\n\
      \x20               [--json] [--csv]                  integer-tick STA + glitch bound\n\
+     \x20 optpower prune-delta [--arch NAME]* [--width N]* [--items N] [--seed N]\n\
+     \x20               [--workers N] [--out DIR]\n\
+     \x20               [--json] [--csv]                  raw-vs-pruned power delta\n\
      \x20 optpower <kind> [flags]                         run one kind with its legacy flags\n\
      \n\
      kinds double as legacy binary names: table1..table4, scaling, sensitivity,\n\
@@ -251,6 +255,46 @@ fn run_sta(args: &[String]) -> Result<(), WorkloadError> {
         }
     }
     let artifact = Runtime::new(Workers::Auto).run(&JobSpec::Sta(spec))?;
+    emit(&artifact, format, out_dir.as_deref())
+}
+
+/// `optpower prune-delta [--arch NAME]* [--width N]* [--items N]
+/// [--seed N] [--workers N] [--json|--csv] [--out DIR]`. Explicit
+/// `--width` flags replace the default {4, 8, 16, 24, 32} axis.
+fn run_prune_delta(args: &[String]) -> Result<(), WorkloadError> {
+    let mut spec = crate::spec::PruneDeltaSpec::default();
+    let mut widths: Vec<usize> = Vec::new();
+    let mut format = WireFormat::Text;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--arch" => {
+                let name = it
+                    .next()
+                    .ok_or_else(|| SpecError::new("--arch needs a name"))?;
+                spec.archs.get_or_insert_with(Vec::new).push(name.clone());
+            }
+            "--width" => widths.push(parse_count(it.next(), "--width")?),
+            "--items" => spec.items = parse_count(it.next(), "--items")? as u64,
+            "--seed" => spec.seed = parse_count(it.next(), "--seed")? as u64,
+            "--workers" => spec.workers = Some(parse_count(it.next(), "--workers")?),
+            "--json" => format = WireFormat::Json,
+            "--csv" => format = WireFormat::Csv,
+            "--out" => out_dir = Some(parse_path(it.next(), "--out")?),
+            other => {
+                return Err(SpecError::new(format!(
+                    "unknown argument {other:?} (try --arch NAME / --width N / --items N \
+                     / --seed N / --workers N / --json / --csv / --out DIR)"
+                ))
+                .into())
+            }
+        }
+    }
+    if !widths.is_empty() {
+        spec.widths = widths;
+    }
+    let artifact = Runtime::new(Workers::Auto).run(&JobSpec::PruneDelta(spec))?;
     emit(&artifact, format, out_dir.as_deref())
 }
 

@@ -11,15 +11,15 @@ pub mod spec;
 pub mod wire;
 
 pub use artifact::{
-    Artifact, CacheStatus, ExportListing, FlavorRow, LintSummary, Payload, RunMeta, StaRow,
-    ARTIFACT_SCHEMA,
+    Artifact, CacheStatus, ExportListing, FlavorRow, LintSummary, Payload, PruneDeltaRow, RunMeta,
+    StaRow, ARTIFACT_SCHEMA,
 };
 pub use error::{SpecError, WorkloadError};
 pub use json::{Json, JsonError};
 pub use runtime::{ArtifactCache, Runtime};
 pub use spec::{
     engine_from_name, engine_name, fnv1a_64, AbInitioSpec, ActivitySpec, GlitchSweepSpec, JobSpec,
-    LintSpec, StaSpec, JOB_KINDS, JOB_SCHEMA,
+    LintSpec, PruneDeltaSpec, StaSpec, JOB_KINDS, JOB_SCHEMA,
 };
 pub use wire::{
     reason_phrase, status_json, ErrorBody, JobRequest, JobResponse, SubmitMode, WireFormat,

@@ -20,18 +20,23 @@ use optpower_netlist::{Library, Netlist};
 use optpower_report::ablation;
 use optpower_report::extended::{scaling_study_parallel, sensitivity_report_parallel};
 use optpower_report::{
-    characterize_parallel_with, figure1, figure2, figure34, figure_pareto, glitch_sweep_from_rows,
-    table1_parallel, table3, table4, AbInitioRow, CharacterizeConfig, GlitchSweep,
+    characterize_design_with, characterize_parallel_with, figure1, figure2, figure34,
+    figure_pareto, glitch_sweep_from_rows, table1_parallel, table3, table4, AbInitioRow,
+    CharacterizeConfig, GlitchSweep, TIMED_LANES,
 };
 use optpower_sim::{measure_activity, Engine, VcdRecorder, ZeroDelaySim};
 use optpower_sta::{GlitchProfile, LintReport, TimingAnalysis};
 use optpower_tech::{Flavor, Technology};
+use optpower_units::Hertz;
 
 use crate::artifact::{
-    Artifact, CacheStatus, ExportListing, FlavorRow, LintSummary, Payload, RunMeta, StaRow,
+    Artifact, CacheStatus, ExportListing, FlavorRow, LintSummary, Payload, PruneDeltaRow, RunMeta,
+    StaRow,
 };
 use crate::error::{SpecError, WorkloadError};
-use crate::spec::{engine_name, AbInitioSpec, GlitchSweepSpec, JobSpec, LintSpec, StaSpec};
+use crate::spec::{
+    engine_name, AbInitioSpec, GlitchSweepSpec, JobSpec, LintSpec, PruneDeltaSpec, StaSpec,
+};
 
 /// Console title of the Table 1 artifact (the legacy binary's).
 pub const TABLE1_TITLE: &str = "Table 1 - 16-bit multipliers at the optimal working point \
@@ -387,6 +392,15 @@ impl Runtime {
                     resolved(job_workers),
                 )
             }
+            JobSpec::PruneDelta(s) => {
+                let job_workers = job_workers(workers, s.workers);
+                (
+                    Payload::PruneDelta(prune_delta_job(s, job_workers)?),
+                    Some(s.seed),
+                    Some("timed"),
+                    resolved(job_workers),
+                )
+            }
             JobSpec::Batch(jobs) => {
                 let artifacts = jobs
                     .iter()
@@ -666,6 +680,83 @@ fn sta_job(s: &StaSpec, workers: Workers) -> Result<Vec<StaRow>, WorkloadError> 
                 .find(|(a, _, _)| *a == arch)
                 .map(|&(_, _, a)| a),
         });
+    }
+    Ok(rows)
+}
+
+/// The dead-cone prune delta job: per (architecture, width), generate
+/// the raw (pre-prune) and production (pruned) netlists and push both
+/// through the identical timed characterization + power optimisation
+/// flow at the paper's working point (ST LL, 31.25 MHz). The raw leg
+/// deliberately skips the lint preflight — surfacing what the dead
+/// cones cost is the point — while the pruned leg keeps it as the
+/// invariant check.
+fn prune_delta_job(
+    s: &PruneDeltaSpec,
+    workers: Workers,
+) -> Result<Vec<PruneDeltaRow>, WorkloadError> {
+    if s.widths.is_empty() {
+        return Err(SpecError::new("\"widths\" must not be empty").into());
+    }
+    if let Some(dup) = first_duplicate(&s.widths) {
+        return Err(SpecError::new(format!("\"widths\" lists {dup} more than once")).into());
+    }
+    let archs = resolve_archs(&s.archs)?;
+    let lib = Library::cmos13();
+    let tech = Technology::stm_cmos09(Flavor::LowLeakage);
+    let freq = Hertz::new(31.25e6);
+    let mut rows = Vec::new();
+    for &width in &s.widths {
+        // Same width semantics as the glitch sweep: explicit arch list
+        // + unsupported width is an error; the default (all thirteen)
+        // narrows to the architectures that exist at that width.
+        let subset: Vec<Architecture> = if s.archs.is_some() {
+            for &arch in &archs {
+                if !arch.supports_width(width) {
+                    return Err(width_error(arch, width));
+                }
+            }
+            archs.clone()
+        } else {
+            archs
+                .iter()
+                .copied()
+                .filter(|a| a.supports_width(width))
+                .collect()
+        };
+        if subset.is_empty() {
+            return Err(SpecError::new(format!(
+                "no requested architecture supports width {width}"
+            ))
+            .into());
+        }
+        let config = CharacterizeConfig {
+            width,
+            lanes: TIMED_LANES,
+            baseline: Engine::BitParallel,
+            items: s.items,
+            seed: s.seed,
+            workers,
+        };
+        for &arch in &subset {
+            let raw = arch.generate_raw(width)?;
+            let pruned = arch.generate(width)?;
+            lint_preflight(&pruned.netlist)?;
+            let before = characterize_design_with(&raw, &lib, tech, freq, &config)?;
+            let after = characterize_design_with(&pruned, &lib, tech, freq, &config)?;
+            rows.push(PruneDeltaRow {
+                arch: arch.paper_name().to_string(),
+                width,
+                cells_before: raw.netlist.logic_cell_count(),
+                cells_after: pruned.netlist.logic_cell_count(),
+                dffs_before: raw.netlist.dff_count(),
+                dffs_after: pruned.netlist.dff_count(),
+                activity_before: before.activity,
+                activity_after: after.activity,
+                ptot_uw_before: before.ptot_uw,
+                ptot_uw_after: after.ptot_uw,
+            });
+        }
     }
     Ok(rows)
 }

@@ -212,6 +212,37 @@ impl Default for StaSpec {
     }
 }
 
+/// Dead-cone prune before/after comparison spec: characterize the raw
+/// (as-emitted) and pruned form of each (architecture, width) so the
+/// power correction of the prune is quantified — cell counts, measured
+/// activity and Table-1 power, old vs new.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneDeltaSpec {
+    /// Paper names of the architectures to compare; `None` = all
+    /// (widths an architecture cannot generate at are skipped).
+    pub archs: Option<Vec<String>>,
+    /// Operand widths to compare at.
+    pub widths: Vec<usize>,
+    /// Random-stimulus volume per characterization leg.
+    pub items: u64,
+    /// Base stimulus seed.
+    pub seed: u64,
+    /// Worker override for this job; `None` = the runtime's pool.
+    pub workers: Option<usize>,
+}
+
+impl Default for PruneDeltaSpec {
+    fn default() -> Self {
+        Self {
+            archs: None,
+            widths: vec![4, 8, 16, 24, 32],
+            items: 60,
+            seed: 42,
+            workers: None,
+        }
+    }
+}
+
 /// A declarative workload: everything previously reachable only
 /// through one of the twelve bespoke report binaries, plus the
 /// composed [`JobSpec::Batch`].
@@ -278,6 +309,8 @@ pub enum JobSpec {
     /// Integer-tick STA + static glitch bound, optionally correlated
     /// against the measured glitch factor.
     Sta(StaSpec),
+    /// Dead-cone prune before/after power delta per (arch, width).
+    PruneDelta(PruneDeltaSpec),
     /// A batch of jobs executed in order, yielding one artifact each.
     Batch(Vec<JobSpec>),
 }
@@ -304,6 +337,7 @@ pub const JOB_KINDS: &[(&str, &str)] = &[
     ("export", "Verilog/DOT/VCD structural exports"),
     ("lint", "structural netlist lint over archs x widths"),
     ("sta", "integer-tick STA + static glitch bound"),
+    ("prune_delta", "dead-cone prune before/after power delta"),
     ("batch", "a list of jobs run in order"),
 ];
 
@@ -328,6 +362,7 @@ impl JobSpec {
             Self::Export => "export",
             Self::Lint(_) => "lint",
             Self::Sta(_) => "sta",
+            Self::PruneDelta(_) => "prune_delta",
             Self::Batch(_) => "batch",
         }
     }
@@ -361,6 +396,7 @@ impl JobSpec {
             "export" => Self::Export,
             "lint" => Self::Lint(LintSpec::default()),
             "sta" => Self::Sta(StaSpec::default()),
+            "prune_delta" => Self::PruneDelta(PruneDeltaSpec::default()),
             "batch" => Self::Batch(Vec::new()),
             _ => return None,
         })
@@ -442,6 +478,16 @@ impl JobSpec {
                 push("archs", opt_names(&s.archs));
                 push("width", Json::UInt(s.width as u64));
                 push("lanes", Json::UInt(u64::from(s.lanes)));
+                push("items", Json::UInt(s.items));
+                push("seed", Json::UInt(s.seed));
+                push("workers", opt_uint(s.workers));
+            }
+            Self::PruneDelta(s) => {
+                push("archs", opt_names(&s.archs));
+                push(
+                    "widths",
+                    Json::Arr(s.widths.iter().map(|&w| Json::UInt(w as u64)).collect()),
+                );
                 push("items", Json::UInt(s.items));
                 push("seed", Json::UInt(s.seed));
                 push("workers", opt_uint(s.workers));
@@ -599,6 +645,16 @@ impl JobSpec {
                 seed: uint_field(doc, "seed", d.seed)?,
                 workers: opt_usize_field(doc, "workers")?,
             }),
+            Self::PruneDelta(d) => Self::PruneDelta(PruneDeltaSpec {
+                archs: names_field(doc, "archs", d.archs)?,
+                widths: match doc.get("widths") {
+                    Some(v) => usize_array(v, "widths")?,
+                    None => d.widths,
+                },
+                items: uint_field(doc, "items", d.items)?,
+                seed: uint_field(doc, "seed", d.seed)?,
+                workers: opt_usize_field(doc, "workers")?,
+            }),
             Self::Batch(_) => {
                 let jobs = doc
                     .get("jobs")
@@ -654,6 +710,7 @@ fn allowed_fields(kind: &str) -> &'static [&'static str] {
         "pareto" => &["freq_points"],
         "lint" => &["archs", "widths"],
         "sta" => &["archs", "width", "lanes", "items", "seed", "workers"],
+        "prune_delta" => &["archs", "widths", "items", "seed", "workers"],
         "batch" => &["jobs"],
         _ => &[],
     }
@@ -842,6 +899,13 @@ mod tests {
             items: 0,
             workers: Some(3),
             ..StaSpec::default()
+        }));
+        assert_roundtrip(&JobSpec::PruneDelta(PruneDeltaSpec {
+            archs: Some(vec!["Wallace".into(), "Seq4_16".into()]),
+            widths: vec![8, 32],
+            items: 12,
+            workers: Some(2),
+            ..PruneDeltaSpec::default()
         }));
         assert_roundtrip(&JobSpec::Batch(vec![
             JobSpec::Table1Sweep,

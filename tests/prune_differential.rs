@@ -1,0 +1,193 @@
+//! Differential acceptance of the dead-cone prune pass: on random
+//! mixed combinational/sequential DAGs, pruning never changes what an
+//! observer at the endpoints can see.
+//!
+//! * **zero-delay equivalence** — the pruned netlist's output bus
+//!   matches the unpruned one cycle for cycle (X-ness included);
+//! * **timed equivalence** — under the event-wheel engine with
+//!   inertial delays, output traces match *and* every surviving
+//!   output's driver cell counts exactly the same number of
+//!   transitions (delays are per-cell-kind, so removing a dead sink
+//!   cannot re-time a live cone — this pins that invariant);
+//! * **idempotence** — pruning a pruned netlist is the identity
+//!   ([`PruneStats::is_identity`]), which is the *dead-logic
+//!   invariant* the production generators rely on.
+
+use optpower_mult::Architecture;
+use optpower_netlist::{CellKind, Library, Netlist, NetlistBuilder};
+use optpower_sim::{TimedSim, ZeroDelaySim};
+use optpower_sta::LintReport;
+use proptest::prelude::*;
+
+/// Builds a random mixed DAG with two-bit `a`/`b` input buses, gate
+/// kinds and fan-ins drawn from `picks`, and the last four nets
+/// exposed as the `p` output bus — the same generator shape
+/// `tests/sta_differential.rs` uses. Because only the last four nets
+/// become outputs, most draws leave genuinely dead cones behind,
+/// which is exactly what the prune pass must remove without trace.
+fn random_builder(picks: &[(u8, u32, u32, u32)]) -> NetlistBuilder {
+    let mut b = NetlistBuilder::new("random");
+    let mut nets = Vec::new();
+    for i in 0..2 {
+        nets.push(b.add_input(format!("a{i}")));
+    }
+    for i in 0..2 {
+        nets.push(b.add_input(format!("b{i}")));
+    }
+    for &(kind_ix, x, y, z) in picks {
+        let kinds = [
+            CellKind::Buf,
+            CellKind::Inv,
+            CellKind::And2,
+            CellKind::Nand2,
+            CellKind::Or2,
+            CellKind::Nor2,
+            CellKind::Xor2,
+            CellKind::Xnor2,
+            CellKind::Mux2,
+            CellKind::Xor3,
+            CellKind::Maj3,
+            CellKind::Dff,
+        ];
+        let kind = kinds[kind_ix as usize % kinds.len()];
+        let pick = |v: u32| nets[v as usize % nets.len()];
+        let ins: Vec<_> = match kind.arity() {
+            1 => vec![pick(x)],
+            2 => vec![pick(x), pick(y)],
+            _ => vec![pick(x), pick(y), pick(z)],
+        };
+        nets.push(b.add_cell(kind, &ins));
+    }
+    for (i, net) in nets.iter().rev().take(4).enumerate() {
+        b.add_output(format!("p{i}"), *net);
+    }
+    b
+}
+
+/// Drives the zero-delay engine over `stimulus`, returning the output
+/// bus value after each cycle (`None` = some bit still X).
+fn zero_delay_trace(nl: &Netlist, stimulus: &[u64]) -> Vec<Option<u64>> {
+    let mut sim = ZeroDelaySim::new(nl);
+    stimulus
+        .iter()
+        .map(|s| {
+            sim.set_input_bits("a", s & 3);
+            sim.set_input_bits("b", (s >> 2) & 3);
+            sim.step();
+            sim.output_bits("p")
+        })
+        .collect()
+}
+
+/// Drives the timed engine over `stimulus`, returning the per-cycle
+/// output bus trace plus the transition counter of each primary
+/// output's driver cell, in port order.
+fn timed_trace(nl: &Netlist, lib: &Library, stimulus: &[u64]) -> (Vec<Option<u64>>, Vec<u64>) {
+    let mut sim = TimedSim::new(nl, lib).expect("cmos13 delays are valid");
+    let trace = stimulus
+        .iter()
+        .map(|s| {
+            sim.set_input_bits("a", s & 3);
+            sim.set_input_bits("b", (s >> 2) & 3);
+            sim.step().expect("acyclic netlists settle");
+            sim.output_bits("p")
+        })
+        .collect();
+    let transitions = sim.transitions();
+    let endpoint_counts = nl
+        .primary_outputs()
+        .iter()
+        .map(|&out| {
+            let sampled = nl.cell(out).inputs[0];
+            transitions[nl.net(sampled).driver.index()]
+        })
+        .collect();
+    (trace, endpoint_counts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline differential: the same random recipe built raw and
+    /// pruned is observationally identical at the endpoints under both
+    /// engines, and the prune pass is idempotent.
+    #[test]
+    fn prune_is_observationally_invisible(
+        picks in prop::collection::vec((any::<u8>(), any::<u32>(), any::<u32>(), any::<u32>()), 5..40),
+        stimulus in prop::collection::vec(any::<u64>(), 3..12),
+    ) {
+        let raw = random_builder(&picks).build().expect("random DAG is valid");
+        let pruned = random_builder(&picks)
+            .build_pruned()
+            .expect("pruning a valid DAG stays valid");
+        prop_assert!(pruned.logic_cell_count() <= raw.logic_cell_count());
+
+        // Zero-delay engine: identical output traces.
+        prop_assert_eq!(
+            zero_delay_trace(&raw, &stimulus),
+            zero_delay_trace(&pruned, &stimulus),
+            "zero-delay output trace changed under pruning"
+        );
+
+        // Timed engine: identical output traces AND identical endpoint
+        // transition counts (glitches at the outputs included).
+        let lib = Library::cmos13();
+        let (raw_trace, raw_endpoints) = timed_trace(&raw, &lib, &stimulus);
+        let (pruned_trace, pruned_endpoints) = timed_trace(&pruned, &lib, &stimulus);
+        prop_assert_eq!(raw_trace, pruned_trace, "timed output trace changed under pruning");
+        prop_assert_eq!(
+            raw_endpoints,
+            pruned_endpoints,
+            "endpoint transition counts changed under pruning"
+        );
+
+        // Idempotence: a pruned netlist re-pruned is the identity —
+        // the dead-logic invariant the generators ship under.
+        let (again, stats) = pruned.prune_dead_cones().expect("pruned netlists re-prune");
+        prop_assert!(stats.is_identity(), "prune is not idempotent: {stats:?}");
+        prop_assert_eq!(again.logic_cell_count(), pruned.logic_cell_count());
+        prop_assert_eq!(again.cells().len(), pruned.cells().len());
+
+        // And pruning the raw build through the netlist-level pass
+        // agrees with the builder-level path on what survives.
+        let (via_pass, pass_stats) = raw.prune_dead_cones().expect("raw netlists prune");
+        prop_assert_eq!(via_pass.cells().len(), pruned.cells().len());
+        prop_assert_eq!(
+            pass_stats.cells_after,
+            pruned.cells().len(),
+            "pass stats disagree with the surviving cell count"
+        );
+    }
+}
+
+/// The debug-speed half of the CI tripwire: every production generator
+/// at a representative width subset ships with zero L001
+/// (unreachable-cell) and zero L002 (floating-net) diagnostics, and
+/// re-pruning its netlist is the identity. The full every-width sweep
+/// runs in CI through `optpower lint` over `specs/ci_smoke.json`.
+#[test]
+fn generators_ship_dead_logic_free() {
+    for arch in Architecture::ALL {
+        for width in [4usize, 8, 16, 32] {
+            if !arch.supports_width(width) {
+                continue;
+            }
+            let design = arch.generate(width).unwrap();
+            let report = LintReport::lint(&design.netlist);
+            let dead: Vec<_> = report
+                .diagnostics()
+                .iter()
+                .filter(|d| matches!(d.rule.id(), "L001" | "L002"))
+                .collect();
+            assert!(
+                dead.is_empty(),
+                "{arch} at width {width} ships dead logic: {dead:?}"
+            );
+            let (_, stats) = design.netlist.prune_dead_cones().unwrap();
+            assert!(
+                stats.is_identity(),
+                "{arch} at width {width} is not prune-idempotent: {stats:?}"
+            );
+        }
+    }
+}

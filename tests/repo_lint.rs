@@ -46,3 +46,31 @@ fn shims_forbid_unsafe() {
         );
     }
 }
+
+/// The dead-logic invariant, enforced on the checked-in goldens: no
+/// golden may record an L001 (unreachable-cell) or L002 (floating-net)
+/// diagnostic against a Wallace-family netlist. The only goldens
+/// allowed to mention those rules at all are the deliberately dirty
+/// lint fixtures (`dirty_lint.*`, whose design is named `dirty`).
+/// If this fires after a golden refresh, a generator regressed into
+/// emitting dead partial-product logic.
+#[test]
+fn goldens_carry_no_wallace_dead_logic() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    for entry in std::fs::read_dir(&dir).unwrap_or_else(|e| panic!("{}: {e}", dir.display())) {
+        let path = entry.unwrap().path();
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        if !(text.contains("L001") || text.contains("L002")) {
+            continue;
+        }
+        let lower = text.to_lowercase();
+        assert!(
+            !lower.contains("wallace"),
+            "{} records an L001/L002 diagnostic in a Wallace-family context; \
+             the generators must prune dead cones at source",
+            path.display()
+        );
+    }
+}

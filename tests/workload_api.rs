@@ -15,8 +15,8 @@ use optpower_explore::Workers;
 use optpower_mult::Architecture;
 use optpower_sim::Engine;
 use optpower_workload::{
-    AbInitioSpec, ActivitySpec, CacheStatus, GlitchSweepSpec, JobSpec, Json, LintSpec, RunMeta,
-    Runtime, StaSpec, WorkloadError, JOB_KINDS,
+    AbInitioSpec, ActivitySpec, CacheStatus, GlitchSweepSpec, JobSpec, Json, LintSpec,
+    PruneDeltaSpec, RunMeta, Runtime, StaSpec, WorkloadError, JOB_KINDS,
 };
 use proptest::prelude::*;
 
@@ -45,7 +45,7 @@ fn spec_from(kind: usize, a: u64, b: u64, c: usize, widths: &[usize], names_ix: 
         )
     };
     let freqs = vec![(a % 997) as f64 * 0.25 + 0.5, 31.25, (b % 211) as f64 + 1.0];
-    match kind % 18 {
+    match kind % 19 {
         0 => JobSpec::Table1Sweep,
         1 => JobSpec::Table2,
         2 => JobSpec::Table3,
@@ -120,6 +120,17 @@ fn spec_from(kind: usize, a: u64, b: u64, c: usize, widths: &[usize], names_ix: 
                 Some(c % 17)
             },
         }),
+        17 => JobSpec::PruneDelta(PruneDeltaSpec {
+            archs: names,
+            widths: widths.to_vec(),
+            items: a,
+            seed: b,
+            workers: if c.is_multiple_of(3) {
+                None
+            } else {
+                Some(c % 17)
+            },
+        }),
         _ => JobSpec::Batch(vec![
             JobSpec::Table2,
             JobSpec::Ablation { items: a, seed: b },
@@ -136,7 +147,7 @@ proptest! {
     /// 2^53) included.
     #[test]
     fn jobspec_round_trips_losslessly(
-        kind in 0usize..18,
+        kind in 0usize..19,
         a in any::<u64>(),
         b in any::<u64>(),
         c in 0usize..1000,
@@ -181,7 +192,7 @@ proptest! {
     /// to the same canonical key.
     #[test]
     fn canonical_key_is_a_wire_spelling_fixpoint(
-        kind in 0usize..18,
+        kind in 0usize..19,
         a in any::<u64>(),
         b in any::<u64>(),
         c in 0usize..1000,
@@ -248,6 +259,13 @@ fn representative_specs() -> Vec<JobSpec> {
             items: 12,
             seed: 11,
             ..StaSpec::default()
+        }),
+        JobSpec::PruneDelta(PruneDeltaSpec {
+            archs: Some(vec!["Wallace".into()]),
+            widths: vec![4],
+            items: 8,
+            seed: 13,
+            ..PruneDeltaSpec::default()
         }),
     ]
 }
