@@ -68,6 +68,52 @@ fn bench_activity_measurement(c: &mut Criterion) {
             )
         })
     });
+    // Wide-plane acceptance pairs: the 64-lane engine vs the 256- and
+    // 512-lane planes at equal total stimulus volume (10240 vectors).
+    // The ratio is pure plane-width amortisation — same zero-delay
+    // semantics, 4-8x fewer topological passes — and the CI guard in
+    // scripts/parse_bench.py requires speedup_min >= 2.0 on both rows.
+    // The volume is high enough that the fixed per-measurement costs
+    // (simulator setup, the 2 warm-up items) stay a small fraction of
+    // the 512-lane run too (20 counted items at W=8).
+    let plane_vectors = 10_240u64;
+    for (label, wide_engine, wide_lanes) in [
+        ("bitparallel_256_wallace16", Engine::BitParallel256, 256u64),
+        ("bitparallel_512_wallace16", Engine::BitParallel512, 512u64),
+    ] {
+        c.bench_function(&format!("sim/serial_core/{label}"), |b| {
+            b.iter(|| {
+                black_box(
+                    measure_activity(
+                        &design.netlist,
+                        &lib,
+                        Engine::BitParallel,
+                        plane_vectors / LANES as u64,
+                        1,
+                        2,
+                        42,
+                    )
+                    .expect("measures"),
+                )
+            })
+        });
+        c.bench_function(&format!("sim/parallel/{label}"), |b| {
+            b.iter(|| {
+                black_box(
+                    measure_activity(
+                        &design.netlist,
+                        &lib,
+                        wide_engine,
+                        plane_vectors / wide_lanes,
+                        1,
+                        2,
+                        42,
+                    )
+                    .expect("measures"),
+                )
+            })
+        });
+    }
     // Engine-only comparison: the frozen heap reference vs the event
     // wheel on identical single-stream workloads.
     c.bench_function("sim/timed_scalar/wallace16_64v", |b| {

@@ -89,14 +89,106 @@ impl From<ModelError> for AbInitioError {
     }
 }
 
+/// How the glitch-free baseline's stimulus volume is tiled across
+/// bit-parallel plane lanes.
+///
+/// The *total* baseline volume is fixed by the config — `items`
+/// per-lane items at the `baseline` engine's native lane count (64 for
+/// the default [`Engine::BitParallel`]) — and the tiling only decides
+/// how many lanes carry it: at a resolved width of `L` lanes each lane
+/// runs `items × native_lanes / L` items. Note that retiling *is* a
+/// different measurement (different per-lane stream lengths under
+/// different [`optpower_sim::lane_seed`] seeds), so the tiling is part
+/// of the measurement definition, not pure scheduling — which is why
+/// the default stays `Fixed(64)` and legacy results are byte-stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaneTiling {
+    /// Exactly this many plane lanes: 64, 256 or 512. Errors if the
+    /// total volume is not divisible by the lane count.
+    Fixed(u32),
+    /// The widest supported plane (512, then 256, then 64) that
+    /// divides the total stimulus volume evenly — equal-volume runs
+    /// automatically pick the widest plane that fits the work.
+    Auto,
+}
+
+/// Native lane count of a plane engine (`None` for scalar engines).
+fn engine_lanes(engine: Engine) -> Option<u64> {
+    match engine {
+        Engine::BitParallel => Some(64),
+        Engine::BitParallel256 => Some(256),
+        Engine::BitParallel512 => Some(512),
+        Engine::ZeroDelay | Engine::Timed | Engine::TimedScalar => None,
+    }
+}
+
+/// The plane engine with `lanes` lanes.
+fn engine_for_lanes(lanes: u64) -> Option<Engine> {
+    match lanes {
+        64 => Some(Engine::BitParallel),
+        256 => Some(Engine::BitParallel256),
+        512 => Some(Engine::BitParallel512),
+        _ => None,
+    }
+}
+
+impl PlaneTiling {
+    /// Resolves the tiling against a baseline engine and per-lane item
+    /// count: the effective `(engine, per_lane_items)` pair the
+    /// baseline leg runs with.
+    ///
+    /// Scalar baselines (e.g. [`Engine::ZeroDelay`]) have no plane to
+    /// tile: `Auto` and `Fixed(64)` leave them untouched, any other
+    /// fixed width is an error.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidArchParameter`] with field `"plane_lanes"`
+    /// when the width is not 64/256/512, does not divide the total
+    /// stimulus volume, or is wider than 64 on a scalar baseline.
+    pub fn resolve(self, baseline: Engine, items: u64) -> Result<(Engine, u64), ModelError> {
+        let invalid = |value: f64| ModelError::InvalidArchParameter {
+            field: "plane_lanes",
+            value,
+        };
+        let Some(native) = engine_lanes(baseline) else {
+            return match self {
+                PlaneTiling::Auto | PlaneTiling::Fixed(64) => Ok((baseline, items)),
+                PlaneTiling::Fixed(l) => Err(invalid(f64::from(l))),
+            };
+        };
+        let total = items * native;
+        match self {
+            PlaneTiling::Fixed(l) => {
+                let l = u64::from(l);
+                let engine = engine_for_lanes(l).ok_or_else(|| invalid(l as f64))?;
+                if !total.is_multiple_of(l) {
+                    return Err(invalid(l as f64));
+                }
+                Ok((engine, total / l))
+            }
+            PlaneTiling::Auto => {
+                let l = [512u64, 256, 64]
+                    .into_iter()
+                    .find(|l| total.is_multiple_of(*l))
+                    .unwrap_or(64);
+                Ok((
+                    engine_for_lanes(l).expect("auto widths are supported"),
+                    total / l,
+                ))
+            }
+        }
+    }
+}
+
 /// Full configuration of one ab-initio characterization run — the
 /// measurement definition as one value, so declarative job specs can
 /// express everything the old binary flags could and more.
 ///
-/// `width`, `lanes`, `baseline`, `items` and `seed` are part of the
-/// *measurement definition* (they decide which operands are applied
-/// and how results are normalised); `workers` is pure scheduling and
-/// never changes the result.
+/// `width`, `lanes`, `baseline`, `plane`, `items` and `seed` are part
+/// of the *measurement definition* (they decide which operands are
+/// applied and how results are normalised); `workers` is pure
+/// scheduling and never changes the result.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CharacterizeConfig {
     /// Operand width in bits (the paper uses 16).
@@ -107,6 +199,10 @@ pub struct CharacterizeConfig {
     /// (64 stimulus lanes per item, the default) or
     /// [`Engine::ZeroDelay`] (the single-stream equivalent).
     pub baseline: Engine,
+    /// Plane tiling of the glitch-free baseline leg: how many lanes
+    /// the `items × 64` stimulus volume is spread over (default
+    /// `Fixed(64)`, the legacy-identical shape).
+    pub plane: PlaneTiling,
     /// Random-stimulus volume per architecture.
     pub items: u64,
     /// Base stimulus seed.
@@ -117,16 +213,31 @@ pub struct CharacterizeConfig {
 
 impl CharacterizeConfig {
     /// The paper's measurement shape: 16-bit operands,
-    /// [`TIMED_LANES`] timed lanes, bit-parallel glitch-free baseline.
+    /// [`TIMED_LANES`] timed lanes, bit-parallel glitch-free baseline
+    /// on the legacy 64-lane plane.
     pub fn new(items: u64, seed: u64) -> Self {
         Self {
             width: 16,
             lanes: TIMED_LANES,
             baseline: Engine::BitParallel,
+            plane: PlaneTiling::Fixed(64),
             items,
             seed,
             workers: Workers::Auto,
         }
+    }
+
+    /// The effective `(engine, per_lane_items)` of the glitch-free
+    /// baseline leg after plane tiling.
+    ///
+    /// # Errors
+    ///
+    /// As [`PlaneTiling::resolve`], wrapped in
+    /// [`AbInitioError::Model`].
+    pub fn resolved_baseline(&self) -> Result<(Engine, u64), AbInitioError> {
+        self.plane
+            .resolve(self.baseline, self.items)
+            .map_err(AbInitioError::Model)
     }
 }
 
@@ -296,12 +407,24 @@ pub fn characterize_design_with(
     config: &CharacterizeConfig,
 ) -> Result<AbInitioRow, AbInitioError> {
     let arch = design.arch;
+    let (baseline_engine, baseline_items) = config.resolved_baseline()?;
     let stats = NetlistStats::measure(&design.netlist, lib);
     let sta = TimingAnalysis::analyze(&design.netlist, lib);
     let sim_err = |source: SimError| AbInitioError::Sim { arch, source };
+    // The timed budget follows the *total* stimulus volume, expressed
+    // in per-64-lane units: `items` counts per-lane items of the
+    // baseline plane, so a native wide baseline (256/512 lanes) carries
+    // `native/64`× more volume per item and the glitch leg must scale
+    // with it — otherwise equal-volume configs (native wide vs retiled
+    // 64-lane) would disagree on the timed leg. Scalar baselines keep
+    // the legacy single-stream budget.
+    let timed_items = match engine_lanes(config.baseline) {
+        Some(native) => config.items * native / 64,
+        None => config.items,
+    };
     let timed_config = TimedPoolConfig {
         lanes: config.lanes,
-        items_per_lane: config.items.div_ceil(u64::from(config.lanes)).max(1),
+        items_per_lane: timed_items.div_ceil(u64::from(config.lanes)).max(1),
         cycles_per_item: design.cycles_per_item,
         warmup: 4,
         seed: config.seed,
@@ -312,8 +435,8 @@ pub fn characterize_design_with(
     let zd = measure_activity(
         &design.netlist,
         lib,
-        config.baseline,
-        config.items,
+        baseline_engine,
+        baseline_items,
         design.cycles_per_item,
         4,
         config.seed,
@@ -958,6 +1081,103 @@ mod tests {
         // generally not bit-equal (different stimulus volume).
         assert_eq!(zd[0].activity.to_bits(), bp[0].activity.to_bits());
         assert!((zd[0].activity_zero_delay - bp[0].activity_zero_delay).abs() < 0.1);
+    }
+
+    #[test]
+    fn plane_tiling_resolves_widths_and_volumes() {
+        // Fixed retiling preserves total volume: 60 per-lane items on
+        // the 64-lane baseline = 3840 vectors = 15 per lane at 256.
+        assert_eq!(
+            PlaneTiling::Fixed(256).resolve(Engine::BitParallel, 60),
+            Ok((Engine::BitParallel256, 15))
+        );
+        assert_eq!(
+            PlaneTiling::Fixed(64).resolve(Engine::BitParallel, 60),
+            Ok((Engine::BitParallel, 60))
+        );
+        // 3840 is not divisible by 512: Fixed errors, Auto falls back
+        // to the widest divisor (256).
+        assert!(matches!(
+            PlaneTiling::Fixed(512).resolve(Engine::BitParallel, 60),
+            Err(ModelError::InvalidArchParameter {
+                field: "plane_lanes",
+                ..
+            })
+        ));
+        assert_eq!(
+            PlaneTiling::Auto.resolve(Engine::BitParallel, 60),
+            Ok((Engine::BitParallel256, 15))
+        );
+        // 8 × 64 = 512 vectors: Auto picks the full 512-lane plane.
+        assert_eq!(
+            PlaneTiling::Auto.resolve(Engine::BitParallel, 8),
+            Ok((Engine::BitParallel512, 1))
+        );
+        // Unsupported widths are typed errors.
+        assert!(PlaneTiling::Fixed(13)
+            .resolve(Engine::BitParallel, 60)
+            .is_err());
+        // Scalar baselines have no plane: Auto/Fixed(64) are no-ops,
+        // wider fixed planes are errors.
+        assert_eq!(
+            PlaneTiling::Auto.resolve(Engine::ZeroDelay, 60),
+            Ok((Engine::ZeroDelay, 60))
+        );
+        assert_eq!(
+            PlaneTiling::Fixed(64).resolve(Engine::ZeroDelay, 60),
+            Ok((Engine::ZeroDelay, 60))
+        );
+        assert!(PlaneTiling::Fixed(256)
+            .resolve(Engine::ZeroDelay, 60)
+            .is_err());
+    }
+
+    #[test]
+    fn retiled_baseline_is_bit_identical_to_the_native_wide_engine() {
+        // Fixed(256) over the 64-lane baseline is exactly the 256-lane
+        // engine at the retiled per-lane volume: both configs must
+        // produce bit-identical rows.
+        let retiled = CharacterizeConfig {
+            plane: PlaneTiling::Fixed(256),
+            ..CharacterizeConfig::new(20, 7)
+        };
+        let native = CharacterizeConfig {
+            baseline: Engine::BitParallel256,
+            plane: PlaneTiling::Fixed(256),
+            items: 5,
+            ..CharacterizeConfig::new(20, 7)
+        };
+        let a = characterize_parallel_with(&[Architecture::Wallace], Flavor::LowLeakage, &retiled)
+            .unwrap();
+        let b = characterize_parallel_with(&[Architecture::Wallace], Flavor::LowLeakage, &native)
+            .unwrap();
+        assert_eq!(
+            a[0].activity_zero_delay.to_bits(),
+            b[0].activity_zero_delay.to_bits()
+        );
+        // The timed leg is untouched by the plane knob.
+        assert_eq!(a[0].activity.to_bits(), b[0].activity.to_bits());
+        // And an invalid tiling surfaces as the typed error.
+        let bad = CharacterizeConfig {
+            plane: PlaneTiling::Fixed(512),
+            items: 30,
+            ..CharacterizeConfig::new(30, 7)
+        };
+        let err = characterize_architecture_with(
+            Architecture::Wallace,
+            &Library::cmos13(),
+            Technology::stm_cmos09(Flavor::LowLeakage),
+            Hertz::new(31.25e6),
+            &bad,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            AbInitioError::Model(ModelError::InvalidArchParameter {
+                field: "plane_lanes",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -32,7 +32,8 @@ pub use abinitio::{
     characterize_architecture_with, characterize_design_with, characterize_parallel,
     characterize_parallel_with, glitch_aware_sweep, glitch_rows_to_csv, glitch_rows_to_json,
     glitch_sweep_from_rows, measured_arch_params, render_ab_initio, render_glitch_factors,
-    AbInitioError, AbInitioRow, ActivitySource, CharacterizeConfig, GlitchSweep, TIMED_LANES,
+    AbInitioError, AbInitioRow, ActivitySource, CharacterizeConfig, GlitchSweep, PlaneTiling,
+    TIMED_LANES,
 };
 pub use calibrated::{render_rows, table1, table1_parallel, table2, table3, table4, RowComparison};
 pub use figures::{

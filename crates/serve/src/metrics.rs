@@ -59,6 +59,11 @@ pub struct Metrics {
     pub cache_hits: AtomicU64,
     /// Admissions that had to execute.
     pub cache_misses: AtomicU64,
+    /// Per-architecture characterization rows served from the
+    /// incremental row cache across all executed jobs.
+    pub row_cache_hits: AtomicU64,
+    /// Characterization rows simulated fresh (and inserted).
+    pub row_cache_misses: AtomicU64,
     /// Synchronous waits that gave up with `504 timeout`.
     pub timeouts: AtomicU64,
     hist: Mutex<BTreeMap<String, Hist>>,
@@ -118,6 +123,8 @@ impl Metrics {
             ("cache_hits", get(&self.cache_hits)),
             ("cache_misses", get(&self.cache_misses)),
             ("cache_hit_rate", hit_rate),
+            ("row_cache_hits", get(&self.row_cache_hits)),
+            ("row_cache_misses", get(&self.row_cache_misses)),
             ("timeouts", get(&self.timeouts)),
             ("queue_depth", Json::UInt(queue_depth as u64)),
             ("wall_ms_by_kind", Json::Obj(kinds)),
@@ -137,12 +144,15 @@ mod tests {
         Metrics::bump(&m.served);
         Metrics::bump(&m.cache_hits);
         Metrics::bump(&m.cache_misses);
+        m.row_cache_hits.fetch_add(2, Ordering::Relaxed);
         m.record_wall("table2", 0.5);
         m.record_wall("table2", 50.0);
         m.record_wall("table2", 99_999.0);
         let doc = m.render(3, "running");
         assert!(doc.contains(r#""schema":"optpower-metrics/v1""#));
         assert!(doc.contains(r#""cache_hit_rate":0.5"#));
+        assert!(doc.contains(r#""row_cache_hits":2"#));
+        assert!(doc.contains(r#""row_cache_misses":0"#));
         assert!(doc.contains(r#""queue_depth":3"#));
         assert!(doc.contains(r#""bucket_counts":[1,0,1,0,0,1]"#));
     }

@@ -260,6 +260,16 @@ fn execute_one(shared: &Shared, key: &str) {
             shared
                 .metrics
                 .record_wall(artifact.kind(), artifact.meta.wall_ms);
+            if let Some(rc) = artifact.meta.row_cache {
+                shared
+                    .metrics
+                    .row_cache_hits
+                    .fetch_add(rc.hits, std::sync::atomic::Ordering::Relaxed);
+                shared
+                    .metrics
+                    .row_cache_misses
+                    .fetch_add(rc.misses, std::sync::atomic::Ordering::Relaxed);
+            }
             shared.store.finish(key, JobState::Done(Arc::new(artifact)));
         }
         Err(e) => {

@@ -5,16 +5,20 @@
 //! The stimulus sequence is defined *once*, by [`StimulusGen`], as a
 //! pure function of `(seed, a_width, b_width)`. The scalar engines
 //! ([`Engine::ZeroDelay`], [`Engine::Timed`], [`Engine::TimedScalar`])
-//! consume that single stream; [`Engine::BitParallel`] runs 64 streams
-//! whose seeds come from [`lane_seed`], with lane 0 being the base
-//! seed. Consequences, locked down by the tests below,
-//! `tests/sim_differential.rs` and `tests/timed_differential.rs`:
+//! consume that single stream; the plane engines
+//! ([`Engine::BitParallel`], [`Engine::BitParallel256`],
+//! [`Engine::BitParallel512`]) run one stream per lane whose seeds come
+//! from [`lane_seed`], with lane 0 being the base seed. Consequences,
+//! locked down by the tests below, `tests/sim_differential.rs` and
+//! `tests/timed_differential.rs`:
 //!
 //! * the same `seed` applies the same operands to `ZeroDelay` and
 //!   `Timed`, so their activities differ only by glitches;
-//! * a `BitParallel` measurement is *bit-identical* — transition counts
-//!   included — to the sum of 64 scalar `ZeroDelay` measurements
-//!   seeded with `lane_seed(seed, 0..64)`;
+//! * a plane measurement of `L` lanes is *bit-identical* — transition
+//!   counts included — to the sum of `L` scalar `ZeroDelay`
+//!   measurements seeded with `lane_seed(seed, 0..L)` at the same
+//!   per-lane item count; widths nest, so a 256/512-lane run also
+//!   equals the sum of its chunked 64-lane runs;
 //! * a `Timed` (event-wheel) measurement is bit-identical to a
 //!   `TimedScalar` (frozen heap reference) measurement, and a pooled
 //!   timed measurement (`optpower_explore::measure_timed_activity_pooled`)
@@ -24,8 +28,8 @@
 use optpower_netlist::{CellId, Library, Logic, Netlist};
 
 use crate::bit_parallel::LANES;
-use crate::bus::{lane_seed, StimulusGen};
-use crate::{bus_inputs, BitParallelSim, ScalarTimedSim, SimError, TimedSim, ZeroDelaySim};
+use crate::bus::{lane_seed, transpose64, StimulusGen};
+use crate::{bus_inputs, ScalarTimedSim, SimError, TimedSim, WidePlaneSim, ZeroDelaySim};
 
 /// Which engine to measure with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,10 +44,17 @@ pub enum Engine {
     /// [`Engine::Timed`]; exists as the differential baseline and the
     /// `timed_scalar` bench row.
     TimedScalar,
-    /// 64 zero-delay lanes at once ([`BitParallelSim`]): ~64× the
-    /// stimulus volume of [`Engine::ZeroDelay`] per unit time, with
-    /// identical per-lane semantics.
+    /// 64 zero-delay lanes at once ([`crate::BitParallelSim`]): ~64×
+    /// the stimulus volume of [`Engine::ZeroDelay`] per unit time,
+    /// with identical per-lane semantics.
     BitParallel,
+    /// 256 zero-delay lanes at once ([`crate::BitParallelSim256`]):
+    /// the same per-lane semantics on a four-chunk plane, amortising
+    /// per-cell bookkeeping over 4× more streams.
+    BitParallel256,
+    /// 512 zero-delay lanes at once ([`crate::BitParallelSim512`]):
+    /// the widest plane, eight chunks per word.
+    BitParallel512,
 }
 
 /// Result of an activity measurement.
@@ -140,6 +151,41 @@ impl Drive for ZeroDelaySim<'_> {
     }
 }
 
+/// Width-erased driving interface over [`WidePlaneSim`], so
+/// [`Driver::Lanes`] holds one trait object instead of one enum arm
+/// per plane width. Private on purpose: the public surface is the
+/// concrete engine types plus [`Engine`].
+trait LaneDrive {
+    /// Number of stimulus lanes (`64 * W`).
+    fn lane_count(&self) -> usize;
+    /// Sets one primary input from a plane of chunk words.
+    fn set_plane(&mut self, pin: CellId, ones: &[u64]);
+    /// Sets one primary input to the same level in every lane.
+    fn set_splat(&mut self, pin: CellId, value: bool);
+    /// Advances one clock cycle in every lane.
+    fn step_once(&mut self);
+    /// Total logic transitions so far, summed over all lanes.
+    fn transitions(&self) -> u64;
+}
+
+impl<const W: usize> LaneDrive for WidePlaneSim<'_, W> {
+    fn lane_count(&self) -> usize {
+        self.lanes()
+    }
+    fn set_plane(&mut self, pin: CellId, ones: &[u64]) {
+        self.set_input_plane(pin, ones);
+    }
+    fn set_splat(&mut self, pin: CellId, value: bool) {
+        self.set_input_all_lanes(pin, value);
+    }
+    fn step_once(&mut self) {
+        self.step();
+    }
+    fn transitions(&self) -> u64 {
+        self.logic_transitions()
+    }
+}
+
 /// An engine bound to its stimulus source(s): what [`run`] needs to
 /// apply one data item. Keeping this as one enum means the measurement
 /// protocol itself (warm-up windowing, reset pulse, hold cycles) exists
@@ -151,11 +197,18 @@ enum Driver<'s, 'n> {
         stim: StimulusGen,
         buses: Buses,
     },
-    /// The bit-parallel engine consuming 64 lane-seeded streams.
+    /// A plane engine consuming one lane-seeded stream per lane.
     Lanes {
-        sim: Box<BitParallelSim<'n>>,
+        sim: Box<dyn LaneDrive + 'n>,
         stims: Vec<StimulusGen>,
         buses: Buses,
+        /// Per-lane operand scratch (reused every item so the
+        /// transpose allocates nothing on the hot path).
+        ops_a: Vec<u64>,
+        ops_b: Vec<u64>,
+        /// Transposed plane-word scratch, `max(bus width) * W` words:
+        /// row `bit` holds pin `bit`'s chunk words for one item.
+        plane: Vec<u64>,
     },
 }
 
@@ -182,7 +235,7 @@ impl Driver<'_, '_> {
     fn lanes(&self) -> u64 {
         match self {
             Driver::Scalar { .. } => 1,
-            Driver::Lanes { .. } => LANES as u64,
+            Driver::Lanes { sim, .. } => sim.lane_count() as u64,
         }
     }
 
@@ -195,12 +248,7 @@ impl Driver<'_, '_> {
             }
             Driver::Lanes { sim, buses, .. } => {
                 for (i, &pin) in buses.rst.iter().enumerate() {
-                    let ones = if (u64::from(high) >> i) & 1 == 1 {
-                        u64::MAX
-                    } else {
-                        0
-                    };
-                    sim.set_input_lanes(pin, ones);
+                    sim.set_splat(pin, (u64::from(high) >> i) & 1 == 1);
                 }
             }
         }
@@ -218,29 +266,38 @@ impl Driver<'_, '_> {
                     sim.set_pin(pin, Logic::from_bool((b >> i) & 1 == 1));
                 }
             }
-            Driver::Lanes { sim, stims, buses } => {
-                let mut a_lanes = [0u64; LANES];
-                let mut b_lanes = [0u64; LANES];
+            Driver::Lanes {
+                sim,
+                stims,
+                buses,
+                ops_a,
+                ops_b,
+                plane,
+            } => {
                 for (lane, stim) in stims.iter_mut().enumerate() {
                     let (a, b) = stim.next_item();
-                    a_lanes[lane] = a;
-                    b_lanes[lane] = b;
+                    ops_a[lane] = a;
+                    ops_b[lane] = b;
                 }
-                // Transpose: bit `i` of every lane's operand becomes
-                // lane bits of pin `i`.
-                for (i, &pin) in buses.a.iter().enumerate() {
-                    let mut ones = 0u64;
-                    for (lane, &v) in a_lanes.iter().enumerate() {
-                        ones |= ((v >> i) & 1) << lane;
+                // Pivot: bit `i` of every lane's operand becomes lane
+                // bits of pin `i`'s plane. One 64×64 bit-matrix
+                // transpose per chunk ([`transpose64`]) instead of a
+                // per-bit gather — the pivot volume is the same at
+                // every plane width, so it must stay cheap or it caps
+                // the wide engines' speedup.
+                let chunks = ops_a.len() / LANES;
+                for (bus, ops) in [(&buses.a, &*ops_a), (&buses.b, &*ops_b)] {
+                    let mut block = [0u64; LANES];
+                    for (c, src) in ops.chunks_exact(LANES).enumerate() {
+                        block.copy_from_slice(src);
+                        transpose64(&mut block);
+                        for (bit, &word) in block.iter().take(bus.len()).enumerate() {
+                            plane[bit * chunks + c] = word;
+                        }
                     }
-                    sim.set_input_lanes(pin, ones);
-                }
-                for (i, &pin) in buses.b.iter().enumerate() {
-                    let mut ones = 0u64;
-                    for (lane, &v) in b_lanes.iter().enumerate() {
-                        ones |= ((v >> i) & 1) << lane;
+                    for (i, &pin) in bus.iter().enumerate() {
+                        sim.set_plane(pin, &plane[i * chunks..(i + 1) * chunks]);
                     }
-                    sim.set_input_lanes(pin, ones);
                 }
             }
         }
@@ -250,7 +307,7 @@ impl Driver<'_, '_> {
         match self {
             Driver::Scalar { sim, .. } => sim.advance(),
             Driver::Lanes { sim, .. } => {
-                sim.step();
+                sim.step_once();
                 Ok(())
             }
         }
@@ -259,8 +316,31 @@ impl Driver<'_, '_> {
     fn transitions(&self) -> u64 {
         match self {
             Driver::Scalar { sim, .. } => sim.logic_transitions_so_far(),
-            Driver::Lanes { sim, .. } => sim.logic_transitions(),
+            Driver::Lanes { sim, .. } => sim.transitions(),
         }
+    }
+}
+
+/// Builds the lane-seeded plane driver for one width: one
+/// [`StimulusGen`] per lane, seeded `lane_seed(seed, 0..64*W)`.
+fn lanes_driver<'n, const W: usize>(
+    netlist: &'n Netlist,
+    buses: Buses,
+    seed: u64,
+    a_w: u32,
+    b_w: u32,
+) -> Driver<'n, 'n> {
+    let lanes = LANES * W;
+    let plane_words = buses.a.len().max(buses.b.len()) * W;
+    Driver::Lanes {
+        sim: Box::new(WidePlaneSim::<W>::new(netlist)),
+        stims: (0..lanes as u32)
+            .map(|lane| StimulusGen::new(lane_seed(seed, lane), a_w, b_w))
+            .collect(),
+        buses,
+        ops_a: vec![0; lanes],
+        ops_b: vec![0; lanes],
+        plane: vec![0; plane_words],
     }
 }
 
@@ -273,9 +353,10 @@ impl Driver<'_, '_> {
 /// held stable for that many cycles.
 ///
 /// The first `warmup` items are simulated but not counted (they flush
-/// `X` state and pipeline bubbles). For [`Engine::BitParallel`],
-/// `items` and `warmup` count *per-lane* items: the report covers
-/// `64 × items` measured items for the cost of one zero-delay pass.
+/// `X` state and pipeline bubbles). For the plane engines
+/// ([`Engine::BitParallel`] and its 256/512-lane variants), `items`
+/// and `warmup` count *per-lane* items: the report covers
+/// `lanes × items` measured items for the cost of one zero-delay pass.
 ///
 /// # Errors
 ///
@@ -356,13 +437,23 @@ pub fn measure_activity(
             )
         }
         Engine::BitParallel => run(
-            Driver::Lanes {
-                sim: Box::new(BitParallelSim::new(netlist)),
-                stims: (0..LANES as u32)
-                    .map(|lane| StimulusGen::new(lane_seed(seed, lane), a_w, b_w))
-                    .collect(),
-                buses,
-            },
+            lanes_driver::<1>(netlist, buses, seed, a_w, b_w),
+            cells,
+            items,
+            cycles_per_item,
+            warmup,
+            has_rst,
+        ),
+        Engine::BitParallel256 => run(
+            lanes_driver::<4>(netlist, buses, seed, a_w, b_w),
+            cells,
+            items,
+            cycles_per_item,
+            warmup,
+            has_rst,
+        ),
+        Engine::BitParallel512 => run(
+            lanes_driver::<8>(netlist, buses, seed, a_w, b_w),
             cells,
             items,
             cycles_per_item,
@@ -480,6 +571,8 @@ mod tests {
             Engine::TimedScalar,
             Engine::ZeroDelay,
             Engine::BitParallel,
+            Engine::BitParallel256,
+            Engine::BitParallel512,
         ] {
             let r1 = measure(&nl, engine, 100, 1, 2, 123);
             let r2 = measure(&nl, engine, 100, 1, 2, 123);
@@ -514,8 +607,14 @@ mod tests {
             assert!(matches!(err, SimError::InvalidDelay { .. }), "{engine:?}");
         }
         // The delay-free engines ignore the library's delay profile.
-        assert!(measure_activity(&nl, &lib, Engine::ZeroDelay, 10, 1, 2, 1).is_ok());
-        assert!(measure_activity(&nl, &lib, Engine::BitParallel, 10, 1, 2, 1).is_ok());
+        for engine in [
+            Engine::ZeroDelay,
+            Engine::BitParallel,
+            Engine::BitParallel256,
+            Engine::BitParallel512,
+        ] {
+            assert!(measure_activity(&nl, &lib, engine, 10, 1, 2, 1).is_ok());
+        }
     }
 
     #[test]
@@ -554,6 +653,26 @@ mod tests {
             .sum();
         assert_eq!(bp.transitions, scalar_sum);
         assert_eq!(bp.items, 50 * LANES as u64);
+    }
+
+    #[test]
+    fn wide_measurements_sum_the_lane_seeded_scalar_runs() {
+        // The same headline contract at 256 and 512 lanes, at equal
+        // per-lane item counts.
+        let nl = small_design();
+        for (engine, lanes) in [
+            (Engine::BitParallel256, 256u32),
+            (Engine::BitParallel512, 512),
+        ] {
+            let wide = measure(&nl, engine, 10, 1, 2, 99);
+            let scalar_sum: u64 = (0..lanes)
+                .map(|lane| {
+                    measure(&nl, Engine::ZeroDelay, 10, 1, 2, lane_seed(99, lane)).transitions
+                })
+                .sum();
+            assert_eq!(wide.transitions, scalar_sum, "{engine:?}");
+            assert_eq!(wide.items, 10 * u64::from(lanes));
+        }
     }
 
     #[test]

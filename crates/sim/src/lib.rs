@@ -23,21 +23,27 @@
 //!   to [`TimedSim`] by the differential suite
 //!   (`tests/timed_differential.rs`); kept as the reference baseline
 //!   and the `timed_scalar` row of `benches/sim.rs`.
-//! * [`BitParallelSim`] — 64 zero-delay simulations at once, one
-//!   stimulus lane per bit of a `u64` word per net, evaluated with
-//!   plain bitwise ops. Authoritative for nothing by fiat: each lane is
-//!   *bit-identical* to a [`ZeroDelaySim`] run (values and transition
-//!   counts — `tests/sim_differential.rs` enforces this), it is simply
-//!   ~64× faster per stimulus vector. Use it wherever glitch-free
-//!   statistics are wanted at scale, e.g. the ab-initio glitch-free
-//!   activity baseline.
+//! * [`WidePlaneSim`] — 64, 256 or 512 zero-delay simulations at once
+//!   (the [`BitParallelSim`], [`BitParallelSim256`] and
+//!   [`BitParallelSim512`] aliases at `W` = 1/4/8 chunks), one
+//!   stimulus lane per bit of a `[u64; W]` plane per net, evaluated
+//!   with plain bitwise ops. Authoritative for nothing by fiat: each
+//!   lane is *bit-identical* to a [`ZeroDelaySim`] run (values and
+//!   transition counts — `tests/sim_differential.rs` enforces this,
+//!   and that the wide planes equal their chunked 64-lane runs), it is
+//!   simply 1–2 orders of magnitude faster per stimulus vector. Use it
+//!   wherever glitch-free statistics are wanted at scale, e.g. the
+//!   ab-initio glitch-free activity baseline; the wider planes amortise
+//!   the per-cell bookkeeping of the topological pass over 4–8× more
+//!   streams per step.
 //!
 //! [`measure_activity`] runs random stimulus through any engine and
 //! returns the paper's activity factor
 //! `a = transitions per data period / N`. The stimulus stream is
 //! defined once by [`StimulusGen`] — the same seed drives the same
-//! operands into every engine ([`lane_seed`] defines the 64 per-lane
-//! streams of the bit-parallel engine, with lane 0 = the base seed).
+//! operands into every engine ([`lane_seed`] defines the per-lane
+//! streams of the plane engines, one per lane up to 512, with lane 0 =
+//! the base seed).
 //! The timed engines return typed [`SimError`]s (invalid library
 //! delays at construction, oscillation at runtime) instead of
 //! panicking, so sweeps can report which netlist failed;
@@ -80,9 +86,10 @@ mod verify;
 mod zero_delay;
 
 pub use activity::{measure_activity, ActivityReport, Engine};
-pub use bit_parallel::{BitParallelSim, LANES};
+pub use bit_parallel::{BitParallelSim, BitParallelSim256, BitParallelSim512, WidePlaneSim, LANES};
 pub use bus::{
-    bus_inputs, bus_outputs, decode_bus, encode_bus, lane_seed, width_mask, StimulusGen,
+    bus_inputs, bus_outputs, decode_bus, encode_bus, lane_seed, transpose64, width_mask,
+    StimulusGen,
 };
 pub use error::SimError;
 pub use event_wheel::{EventWheel, TimedEvent};

@@ -44,28 +44,26 @@ impl NetProbe for crate::ScalarTimedSim<'_> {
     }
 }
 
-/// One lane of a [`crate::BitParallelSim`], viewed as a scalar probe.
-pub struct LaneProbe<'a, 'n> {
-    sim: &'a crate::BitParallelSim<'n>,
+/// One lane of a [`crate::WidePlaneSim`] (any width, default the
+/// 64-lane [`crate::BitParallelSim`]), viewed as a scalar probe.
+pub struct LaneProbe<'a, 'n, const W: usize = 1> {
+    sim: &'a crate::WidePlaneSim<'n, W>,
     lane: usize,
 }
 
-impl<'a, 'n> LaneProbe<'a, 'n> {
+impl<'a, 'n, const W: usize> LaneProbe<'a, 'n, W> {
     /// Probes lane `lane` of `sim`.
     ///
     /// # Panics
     ///
-    /// Panics if `lane >= 64`.
-    pub fn new(sim: &'a crate::BitParallelSim<'n>, lane: usize) -> Self {
-        assert!(
-            lane < crate::bit_parallel::LANES,
-            "lane {lane} out of range"
-        );
+    /// Panics if `lane >= sim.lanes()`.
+    pub fn new(sim: &'a crate::WidePlaneSim<'n, W>, lane: usize) -> Self {
+        assert!(lane < sim.lanes(), "lane {lane} out of range");
         Self { sim, lane }
     }
 }
 
-impl NetProbe for LaneProbe<'_, '_> {
+impl<const W: usize> NetProbe for LaneProbe<'_, '_, W> {
     fn net_value(&self, net: NetId) -> Logic {
         self.sim.value(net, self.lane)
     }
@@ -424,7 +422,7 @@ mod tests {
         let nl = glitch_free_chain();
         let mut sim = crate::BitParallelSim::new(&nl);
         let mut vcd = VcdRecorder::all_nets(&nl);
-        let mut lanes = [0u64; 64];
+        let mut lanes = vec![0u64; sim.lanes()];
         lanes[3] = 1;
         sim.set_input_bits_lanes("a", &lanes);
         sim.step();
@@ -432,6 +430,19 @@ mod tests {
         let text = vcd.finish();
         // Lane 3 drove a 1 through the buffer: its net is high.
         assert!(text.contains('1'));
+    }
+
+    #[test]
+    fn lane_probe_reaches_wide_plane_lanes() {
+        let nl = glitch_free_chain();
+        let mut sim = crate::BitParallelSim512::new(&nl);
+        let mut lanes = vec![0u64; sim.lanes()];
+        lanes[300] = 1;
+        sim.set_input_bits_lanes("a", &lanes);
+        sim.step();
+        let mut vcd = VcdRecorder::all_nets(&nl);
+        vcd.sample(&LaneProbe::new(&sim, 300));
+        assert!(vcd.finish().contains('1'));
     }
 
     #[test]

@@ -180,6 +180,19 @@ impl CacheStatus {
     }
 }
 
+/// Hit/miss counters of the runtime's incremental row cache for one
+/// run: how many per-architecture [`AbInitioRow`]s were served from
+/// the cache versus characterized fresh. Lives in [`RunMeta`] because
+/// cache residency never changes the payload — a served row is
+/// bit-identical to the recomputation it replaced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RowCacheStats {
+    /// Rows served from the cache without re-simulating.
+    pub hits: u64,
+    /// Rows characterized fresh (and inserted).
+    pub misses: u64,
+}
+
 /// Run metadata: how an artifact was produced. Everything here is
 /// either scheduling or wall-clock — never part of the deterministic
 /// payload.
@@ -197,6 +210,10 @@ pub struct RunMeta {
     /// (`None` for cacheless runtimes, which keeps the legacy CLI
     /// envelope unchanged).
     pub cache: Option<CacheStatus>,
+    /// Row-cache counters, when the runtime ran with a cache attached
+    /// *and* the job characterizes architectures (`None` otherwise,
+    /// which keeps every other envelope unchanged).
+    pub row_cache: Option<RowCacheStats>,
 }
 
 /// The typed payload of one executed job.
@@ -506,25 +523,38 @@ impl Artifact {
             Json::Obj(pairs) => pairs,
             _ => unreachable!("payload_value is always an object"),
         };
-        doc.push((
-            "meta".to_string(),
-            Json::obj([
-                ("seed", self.meta.seed.map(Json::UInt).unwrap_or(Json::Null)),
-                ("workers", Json::UInt(self.meta.workers as u64)),
-                (
-                    "engine",
-                    self.meta.engine.map(Json::str).unwrap_or(Json::Null),
-                ),
-                ("wall_ms", Json::num(self.meta.wall_ms)),
-                (
-                    "cache",
-                    self.meta
-                        .cache
-                        .map(|c| Json::str(c.label()))
-                        .unwrap_or(Json::Null),
-                ),
-            ]),
-        ));
+        let mut meta = vec![
+            (
+                "seed".to_string(),
+                self.meta.seed.map(Json::UInt).unwrap_or(Json::Null),
+            ),
+            ("workers".to_string(), Json::UInt(self.meta.workers as u64)),
+            (
+                "engine".to_string(),
+                self.meta.engine.map(Json::str).unwrap_or(Json::Null),
+            ),
+            ("wall_ms".to_string(), Json::num(self.meta.wall_ms)),
+            (
+                "cache".to_string(),
+                self.meta
+                    .cache
+                    .map(|c| Json::str(c.label()))
+                    .unwrap_or(Json::Null),
+            ),
+        ];
+        // Emitted only when the run actually consulted the row cache,
+        // so cacheless envelopes stay byte-identical to the legacy
+        // shape.
+        if let Some(rc) = self.meta.row_cache {
+            meta.push((
+                "row_cache".to_string(),
+                Json::obj([
+                    ("hits", Json::UInt(rc.hits)),
+                    ("misses", Json::UInt(rc.misses)),
+                ]),
+            ));
+        }
+        doc.push(("meta".to_string(), Json::Obj(meta)));
         Json::Obj(doc).to_string()
     }
 

@@ -111,7 +111,7 @@ fn usage() -> String {
      usage:\n\
      \x20 optpower list                                   the job catalogue\n\
      \x20 optpower spec <kind>                            print a kind's default JobSpec JSON\n\
-     \x20 optpower run <spec.json|-> [--workers N]\n\
+     \x20 optpower run <spec.json|-> [--workers N] [--cache N]\n\
      \x20               [--out DIR] [--json] [--csv]      execute a JSON JobSpec\n\
      \x20 optpower lint [--arch NAME]* [--width N]*\n\
      \x20               [--out DIR] [--json] [--csv]      structural netlist lint gate\n\
@@ -133,12 +133,14 @@ fn usage() -> String {
 fn run_command(args: &[String]) -> Result<(), WorkloadError> {
     let mut source: Option<String> = None;
     let mut workers = Workers::Auto;
+    let mut cache: Option<usize> = None;
     let mut out_dir: Option<PathBuf> = None;
     let mut format = WireFormat::Text;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--workers" => workers = Workers::Fixed(parse_count(it.next(), "--workers")?),
+            "--cache" => cache = Some(parse_count(it.next(), "--cache")?),
             "--out" => {
                 out_dir =
                     Some(PathBuf::from(it.next().ok_or_else(|| {
@@ -169,7 +171,14 @@ fn run_command(args: &[String]) -> Result<(), WorkloadError> {
         std::fs::read_to_string(&source).map_err(|e| WorkloadError::io(&source, e))?
     };
     let spec = JobSpec::from_json(&text)?;
-    let artifact = Runtime::new(workers).run(&spec)?;
+    let mut runtime = Runtime::new(workers);
+    if let Some(capacity) = cache {
+        // Batch members recurse through the runtime, so one `--cache`
+        // flag gives repeated members artifact-cache hits and
+        // overlapping characterizations row-cache hits.
+        runtime = runtime.with_cache(capacity);
+    }
+    let artifact = runtime.run(&spec)?;
     emit(&artifact, format, out_dir.as_deref())
 }
 
@@ -435,7 +444,8 @@ pub fn run_legacy(kind: &str, args: &[String]) -> Result<(), WorkloadError> {
                         spec.engine = crate::spec::engine_from_name(name).ok_or_else(|| {
                             SpecError::new(format!(
                                 "unknown engine {name:?} \
-                                 (zero_delay | timed | timed_scalar | bit_parallel)"
+                                 (zero_delay | timed | timed_scalar | bit_parallel \
+                                 | bit_parallel_256 | bit_parallel_512)"
                             ))
                         })?;
                     }
@@ -494,6 +504,7 @@ fn run_legacy_ab_initio(args: &[String]) -> Result<(), WorkloadError> {
         widths: vec![16],
         lanes: base.lanes,
         engine: base.engine,
+        plane: base.plane,
         items: base.items,
         seed: base.seed,
         freq_points: freq_points.unwrap_or(if smoke { 3 } else { 9 }),

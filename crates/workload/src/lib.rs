@@ -11,12 +11,12 @@ pub mod spec;
 pub mod wire;
 
 pub use artifact::{
-    Artifact, CacheStatus, ExportListing, FlavorRow, LintSummary, Payload, PruneDeltaRow, RunMeta,
-    StaRow, ARTIFACT_SCHEMA,
+    Artifact, CacheStatus, ExportListing, FlavorRow, LintSummary, Payload, PruneDeltaRow,
+    RowCacheStats, RunMeta, StaRow, ARTIFACT_SCHEMA,
 };
 pub use error::{SpecError, WorkloadError};
 pub use json::{Json, JsonError};
-pub use runtime::{ArtifactCache, Runtime};
+pub use runtime::{ArtifactCache, RowCache, Runtime};
 pub use spec::{
     engine_from_name, engine_name, fnv1a_64, AbInitioSpec, ActivitySpec, GlitchSweepSpec, JobSpec,
     LintSpec, PruneDeltaSpec, StaSpec, JOB_KINDS, JOB_SCHEMA,

@@ -22,7 +22,7 @@ use optpower_report::extended::{scaling_study_parallel, sensitivity_report_paral
 use optpower_report::{
     characterize_design_with, characterize_parallel_with, figure1, figure2, figure34,
     figure_pareto, glitch_sweep_from_rows, table1_parallel, table3, table4, AbInitioRow,
-    CharacterizeConfig, GlitchSweep, TIMED_LANES,
+    CharacterizeConfig, GlitchSweep, PlaneTiling, TIMED_LANES,
 };
 use optpower_sim::{measure_activity, Engine, VcdRecorder, ZeroDelaySim};
 use optpower_sta::{GlitchProfile, LintReport, TimingAnalysis};
@@ -30,12 +30,13 @@ use optpower_tech::{Flavor, Technology};
 use optpower_units::Hertz;
 
 use crate::artifact::{
-    Artifact, CacheStatus, ExportListing, FlavorRow, LintSummary, Payload, PruneDeltaRow, RunMeta,
-    StaRow,
+    Artifact, CacheStatus, ExportListing, FlavorRow, LintSummary, Payload, PruneDeltaRow,
+    RowCacheStats, RunMeta, StaRow,
 };
 use crate::error::{SpecError, WorkloadError};
 use crate::spec::{
-    engine_name, AbInitioSpec, GlitchSweepSpec, JobSpec, LintSpec, PruneDeltaSpec, StaSpec,
+    engine_name, fnv1a_64, AbInitioSpec, GlitchSweepSpec, JobSpec, LintSpec, PruneDeltaSpec,
+    StaSpec,
 };
 
 /// Console title of the Table 1 artifact (the legacy binary's).
@@ -139,12 +140,128 @@ impl ArtifactCache {
     }
 }
 
+/// The incremental re-simulation cache: individual [`AbInitioRow`]s
+/// content-addressed by everything that decides one architecture's
+/// characterization result — architecture, operand width, timed
+/// lanes, baseline engine, resolved plane tiling, stimulus volume,
+/// seed and technology flavour (see [`row_key`]). Where the
+/// [`ArtifactCache`] only short-circuits byte-identical *specs*, this
+/// cache lets *different* jobs that overlap on per-architecture
+/// measurements (an ab-initio sweep, then an STA job with a measured
+/// leg over a subset of the same architectures) skip the shared
+/// simulations row by row.
+///
+/// Same sharing, eviction and collision story as [`ArtifactCache`]:
+/// shared by handle, FIFO eviction, and the full key string stored
+/// alongside each entry so a 64-bit FNV collision degrades to a miss.
+#[derive(Debug, Clone)]
+pub struct RowCache {
+    inner: Arc<Mutex<RowCacheInner>>,
+}
+
+#[derive(Debug)]
+struct RowCacheInner {
+    entries: HashMap<u64, RowEntry>,
+    order: VecDeque<u64>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct RowEntry {
+    key: String,
+    row: AbInitioRow,
+}
+
+impl RowCache {
+    /// A cache holding at most `capacity` rows (at least one).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(RowCacheInner {
+                entries: HashMap::new(),
+                order: VecDeque::new(),
+                capacity: capacity.max(1),
+            })),
+        }
+    }
+
+    /// Rows currently resident.
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lookup(&self, key: &str) -> Option<AbInitioRow> {
+        let inner = self.lock();
+        let entry = inner.entries.get(&fnv1a_64(key.as_bytes()))?;
+        (entry.key == key).then(|| entry.row.clone())
+    }
+
+    fn insert(&self, key: String, row: &AbInitioRow) {
+        let mut inner = self.lock();
+        let hash = fnv1a_64(key.as_bytes());
+        if inner.entries.contains_key(&hash) {
+            return;
+        }
+        while inner.entries.len() >= inner.capacity {
+            match inner.order.pop_front() {
+                Some(oldest) => {
+                    inner.entries.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+        inner.order.push_back(hash);
+        inner.entries.insert(
+            hash,
+            RowEntry {
+                key,
+                row: row.clone(),
+            },
+        );
+    }
+
+    fn lock(&self) -> MutexGuard<'_, RowCacheInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The content address of one architecture's characterization under a
+/// given config: every field that decides the measured row, nothing
+/// that doesn't (`workers` is pure scheduling). The baseline leg is
+/// keyed by its *resolved* `(engine, per-lane items)` pair on top of
+/// the raw `(baseline, items)` — the raw pair still matters because
+/// the timed leg derives its per-lane volume from raw `items`.
+fn row_key(
+    arch: Architecture,
+    flavor: Flavor,
+    config: &CharacterizeConfig,
+) -> Result<String, WorkloadError> {
+    let (resolved_engine, resolved_items) = config.resolved_baseline()?;
+    Ok(format!(
+        "arch={};flavor={};width={};lanes={};baseline={};items={};plane={}x{};seed={}",
+        arch.paper_name(),
+        flavor.abbreviation(),
+        config.width,
+        config.lanes,
+        engine_name(config.baseline),
+        config.items,
+        engine_name(resolved_engine),
+        resolved_items,
+        config.seed,
+    ))
+}
+
 /// Executes [`JobSpec`]s on one shared worker pool.
 #[derive(Debug, Clone)]
 pub struct Runtime {
     pool: Pool,
     artifact_dir: PathBuf,
     cache: Option<ArtifactCache>,
+    row_cache: Option<RowCache>,
 }
 
 impl Default for Runtime {
@@ -166,6 +283,7 @@ impl Runtime {
             pool,
             artifact_dir: PathBuf::from("target/optpower-artifacts"),
             cache: None,
+            row_cache: None,
         }
     }
 
@@ -176,18 +294,31 @@ impl Runtime {
     }
 
     /// Attaches a fresh content-addressed artifact cache holding at
-    /// most `capacity` artifacts. Once attached, every [`Runtime::run`]
-    /// stamps `meta.cache` and identical specs (by canonical JSON —
-    /// key order and float spelling don't matter) are served from the
-    /// cache. Cloned runtimes share the same cache store.
+    /// most `capacity` artifacts, plus the incremental [`RowCache`]
+    /// behind it (sized at one full 13-architecture sweep per
+    /// artifact slot). Once attached, every [`Runtime::run`] stamps
+    /// `meta.cache` and identical specs (by canonical JSON — key
+    /// order and float spelling don't matter) are served from the
+    /// artifact cache, while characterizing jobs additionally reuse
+    /// any per-architecture rows a *different* spec already computed
+    /// (stamped in `meta.row_cache`). Cloned runtimes share both
+    /// stores.
     pub fn with_cache(mut self, capacity: usize) -> Self {
         self.cache = Some(ArtifactCache::new(capacity));
+        self.row_cache = Some(RowCache::new(
+            capacity.saturating_mul(Architecture::ALL.len()),
+        ));
         self
     }
 
     /// The attached artifact cache, if any.
     pub fn cache(&self) -> Option<&ArtifactCache> {
         self.cache.as_ref()
+    }
+
+    /// The attached incremental row cache, if any.
+    pub fn row_cache(&self) -> Option<&RowCache> {
+        self.row_cache.as_ref()
     }
 
     /// The worker pool jobs draw parallelism from.
@@ -248,6 +379,9 @@ impl Runtime {
     ) -> Result<Artifact, WorkloadError> {
         let started = Instant::now();
         let workers = self.pool.policy();
+        // Filled in by the characterizing arms when a row cache is
+        // attached; `None` keeps every other job's envelope unchanged.
+        let mut row_stats: Option<RowCacheStats> = None;
         let (payload, meta_seed, meta_engine, meta_workers) = match spec {
             JobSpec::Table1Sweep => (
                 Payload::Rows {
@@ -327,7 +461,7 @@ impl Runtime {
             JobSpec::AbInitio(s) => {
                 let job_workers = job_workers(workers, s.workers);
                 (
-                    Payload::AbInitio(self.characterize(s, job_workers)?),
+                    Payload::AbInitio(self.characterize(s, job_workers, &mut row_stats)?),
                     Some(s.seed),
                     Some(engine_name(s.engine)),
                     resolved(job_workers),
@@ -336,7 +470,7 @@ impl Runtime {
             JobSpec::GlitchSweep(s) => {
                 let job_workers = job_workers(workers, s.workers);
                 (
-                    Payload::Glitch(self.glitch_sweep(s, job_workers)?),
+                    Payload::Glitch(self.glitch_sweep(s, job_workers, &mut row_stats)?),
                     Some(s.seed),
                     Some(engine_name(s.engine)),
                     resolved(job_workers),
@@ -386,7 +520,7 @@ impl Runtime {
             JobSpec::Sta(s) => {
                 let job_workers = job_workers(workers, s.workers);
                 (
-                    Payload::Sta(sta_job(s, job_workers)?),
+                    Payload::Sta(self.sta_job(s, job_workers, &mut row_stats)?),
                     Some(s.seed),
                     (s.items > 0).then_some("timed"),
                     resolved(job_workers),
@@ -418,16 +552,68 @@ impl Runtime {
                 engine: meta_engine,
                 wall_ms: started.elapsed().as_secs_f64() * 1e3,
                 cache: cache_status,
+                row_cache: row_stats,
             },
         })
     }
 
+    /// [`characterize_parallel_with`] behind the incremental row
+    /// cache: resident architectures are served as-is (bit-identical
+    /// by determinism), the rest are characterized in one pooled call
+    /// and inserted. Without an attached cache this is a plain
+    /// pass-through and `stats` stays `None`; with one, `stats`
+    /// accumulates hits and misses across every call of the job.
+    fn cached_characterize(
+        &self,
+        archs: &[Architecture],
+        flavor: Flavor,
+        config: &CharacterizeConfig,
+        stats: &mut Option<RowCacheStats>,
+    ) -> Result<Vec<AbInitioRow>, WorkloadError> {
+        let Some(cache) = &self.row_cache else {
+            return Ok(characterize_parallel_with(archs, flavor, config)?);
+        };
+        let stats = stats.get_or_insert_with(RowCacheStats::default);
+        let keys = archs
+            .iter()
+            .map(|&arch| row_key(arch, flavor, config))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut slots: Vec<Option<AbInitioRow>> = keys.iter().map(|k| cache.lookup(k)).collect();
+        let missing: Vec<Architecture> = archs
+            .iter()
+            .zip(&slots)
+            .filter(|(_, slot)| slot.is_none())
+            .map(|(&arch, _)| arch)
+            .collect();
+        stats.hits += (archs.len() - missing.len()) as u64;
+        stats.misses += missing.len() as u64;
+        if !missing.is_empty() {
+            // Results come back in `missing` order; `archs` has no
+            // duplicates (the spec layer rejects them), so matching by
+            // architecture restores input order.
+            for row in characterize_parallel_with(&missing, flavor, config)? {
+                let i = archs
+                    .iter()
+                    .position(|&a| a == row.arch)
+                    .expect("characterization returns only requested architectures");
+                cache.insert(keys[i].clone(), &row);
+                slots[i] = Some(row);
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.expect("every architecture is either cached or recomputed"))
+            .collect())
+    }
+
     /// Ab-initio characterization for a spec: resolve the architecture
-    /// subset, then run [`characterize_parallel_with`] on the pool.
+    /// subset, then run [`characterize_parallel_with`] on the pool
+    /// (through the row cache when one is attached).
     fn characterize(
         &self,
         s: &AbInitioSpec,
         workers: Workers,
+        stats: &mut Option<RowCacheStats>,
     ) -> Result<Vec<AbInitioRow>, WorkloadError> {
         let archs = resolve_archs(&s.archs)?;
         for &arch in &archs {
@@ -440,15 +626,12 @@ impl Runtime {
             width: s.width,
             lanes: s.lanes,
             baseline: s.engine,
+            plane: s.plane,
             items: s.items,
             seed: s.seed,
             workers,
         };
-        Ok(characterize_parallel_with(
-            &archs,
-            Flavor::LowLeakage,
-            &config,
-        )?)
+        self.cached_characterize(&archs, Flavor::LowLeakage, &config, stats)
     }
 
     /// The glitch-aware sweep over the spec's operand-width axis:
@@ -458,6 +641,7 @@ impl Runtime {
         &self,
         s: &GlitchSweepSpec,
         workers: Workers,
+        stats: &mut Option<RowCacheStats>,
     ) -> Result<GlitchSweep, WorkloadError> {
         if s.widths.is_empty() {
             return Err(SpecError::new("\"widths\" must not be empty").into());
@@ -500,15 +684,12 @@ impl Runtime {
                 width,
                 lanes: s.lanes,
                 baseline: s.engine,
+                plane: s.plane,
                 items: s.items,
                 seed: s.seed,
                 workers,
             };
-            rows.extend(characterize_parallel_with(
-                &subset,
-                Flavor::LowLeakage,
-                &config,
-            )?);
+            rows.extend(self.cached_characterize(&subset, Flavor::LowLeakage, &config, stats)?);
         }
         Ok(glitch_sweep_from_rows(rows, s.freq_points, workers)?)
     }
@@ -619,69 +800,80 @@ fn lint_job(s: &LintSpec) -> Result<Vec<LintSummary>, WorkloadError> {
     Ok(out)
 }
 
-/// The STA job: integer-tick windows, path statistics and the static
-/// glitch bound per architecture; when `items > 0` a measured timed
-/// leg runs on the pool and each row carries the simulated glitch
-/// factor for the static-vs-measured correlation.
-fn sta_job(s: &StaSpec, workers: Workers) -> Result<Vec<StaRow>, WorkloadError> {
-    let archs = resolve_archs(&s.archs)?;
-    for &arch in &archs {
-        if !arch.supports_width(s.width) {
-            return Err(width_error(arch, s.width));
+impl Runtime {
+    /// The STA job: integer-tick windows, path statistics and the
+    /// static glitch bound per architecture; when `items > 0` a
+    /// measured timed leg runs on the pool (through the row cache
+    /// when one is attached — an earlier characterization sweep over
+    /// the same measurement shape hands its rows over for free) and
+    /// each row carries the simulated glitch factor for the
+    /// static-vs-measured correlation.
+    fn sta_job(
+        &self,
+        s: &StaSpec,
+        workers: Workers,
+        stats: &mut Option<RowCacheStats>,
+    ) -> Result<Vec<StaRow>, WorkloadError> {
+        let archs = resolve_archs(&s.archs)?;
+        for &arch in &archs {
+            if !arch.supports_width(s.width) {
+                return Err(width_error(arch, s.width));
+            }
         }
-    }
-    let measured: Vec<(Architecture, f64, f64)> = if s.items > 0 {
-        let config = CharacterizeConfig {
-            width: s.width,
-            lanes: s.lanes,
-            baseline: Engine::BitParallel,
-            items: s.items,
-            seed: s.seed,
-            workers,
+        let measured: Vec<(Architecture, f64, f64)> = if s.items > 0 {
+            let config = CharacterizeConfig {
+                width: s.width,
+                lanes: s.lanes,
+                baseline: Engine::BitParallel,
+                plane: PlaneTiling::Fixed(64),
+                items: s.items,
+                seed: s.seed,
+                workers,
+            };
+            self.cached_characterize(&archs, Flavor::LowLeakage, &config, stats)?
+                .iter()
+                .map(|r| (r.arch, r.glitch_factor(), r.activity))
+                .collect()
+        } else {
+            Vec::new()
         };
-        characterize_parallel_with(&archs, Flavor::LowLeakage, &config)?
-            .iter()
-            .map(|r| (r.arch, r.glitch_factor(), r.activity))
-            .collect()
-    } else {
-        Vec::new()
-    };
-    let lib = Library::cmos13();
-    let mut rows = Vec::new();
-    for &arch in &archs {
-        let design = arch.generate(s.width)?;
-        lint_preflight(&design.netlist)?;
-        let sta = TimingAnalysis::try_analyze(&design.netlist, &lib)?;
-        let glitch = GlitchProfile::compute(&design.netlist, &sta);
-        let critical_path_cells = sta
-            .critical_path(&design.netlist, &lib)
-            .map(|p| p.cells.len())
-            .unwrap_or(0);
-        rows.push(StaRow {
-            arch: arch.paper_name().to_string(),
-            width: s.width,
-            cells: design.netlist.logic_cell_count(),
-            stride_ticks: sta.stride(),
-            logical_depth: sta.logical_depth(),
-            shortest_path: sta.shortest_endpoint_path(),
-            path_spread: sta.path_spread(),
-            mean_input_skew: sta.mean_input_skew(),
-            critical_path_cells,
-            static_glitch_factor: glitch.static_glitch_factor(),
-            measured_glitch_factor: measured
-                .iter()
-                .find(|(a, _, _)| *a == arch)
-                .map(|&(_, g, _)| g),
-            // Activity is per data item; the per-cycle cell bound
-            // scales by the item's cycle count.
-            static_activity_bound: glitch.mean_cell_bound() * f64::from(design.cycles_per_item),
-            measured_activity: measured
-                .iter()
-                .find(|(a, _, _)| *a == arch)
-                .map(|&(_, _, a)| a),
-        });
+        let lib = Library::cmos13();
+        let mut rows = Vec::new();
+        for &arch in &archs {
+            let design = arch.generate(s.width)?;
+            lint_preflight(&design.netlist)?;
+            let sta = TimingAnalysis::try_analyze(&design.netlist, &lib)?;
+            let glitch = GlitchProfile::compute(&design.netlist, &sta);
+            let critical_path_cells = sta
+                .critical_path(&design.netlist, &lib)
+                .map(|p| p.cells.len())
+                .unwrap_or(0);
+            rows.push(StaRow {
+                arch: arch.paper_name().to_string(),
+                width: s.width,
+                cells: design.netlist.logic_cell_count(),
+                stride_ticks: sta.stride(),
+                logical_depth: sta.logical_depth(),
+                shortest_path: sta.shortest_endpoint_path(),
+                path_spread: sta.path_spread(),
+                mean_input_skew: sta.mean_input_skew(),
+                critical_path_cells,
+                static_glitch_factor: glitch.static_glitch_factor(),
+                measured_glitch_factor: measured
+                    .iter()
+                    .find(|(a, _, _)| *a == arch)
+                    .map(|&(_, g, _)| g),
+                // Activity is per data item; the per-cycle cell bound
+                // scales by the item's cycle count.
+                static_activity_bound: glitch.mean_cell_bound() * f64::from(design.cycles_per_item),
+                measured_activity: measured
+                    .iter()
+                    .find(|(a, _, _)| *a == arch)
+                    .map(|&(_, _, a)| a),
+            });
+        }
+        Ok(rows)
     }
-    Ok(rows)
 }
 
 /// The dead-cone prune delta job: per (architecture, width), generate
@@ -734,10 +926,14 @@ fn prune_delta_job(
             width,
             lanes: TIMED_LANES,
             baseline: Engine::BitParallel,
+            plane: PlaneTiling::Fixed(64),
             items: s.items,
             seed: s.seed,
             workers,
         };
+        // Deliberately bypasses the row cache: the raw and pruned legs
+        // of one architecture share every key field, so caching would
+        // serve one leg's row for the other.
         for &arch in &subset {
             let raw = arch.generate_raw(width)?;
             let pruned = arch.generate(width)?;

@@ -16,6 +16,7 @@
 //!  "engine":"bit_parallel","items":200,"seed":42,"workers":null,"archs":null}
 //! ```
 
+use optpower_report::PlaneTiling;
 use optpower_sim::Engine;
 
 use crate::error::{SpecError, WorkloadError};
@@ -25,13 +26,16 @@ use crate::json::Json;
 pub const JOB_SCHEMA: &str = "optpower-job/v1";
 
 /// Simulation-engine choice on the wire (`zero_delay`, `timed`,
-/// `timed_scalar`, `bit_parallel`).
+/// `timed_scalar`, `bit_parallel`, `bit_parallel_256`,
+/// `bit_parallel_512`).
 pub fn engine_name(engine: Engine) -> &'static str {
     match engine {
         Engine::ZeroDelay => "zero_delay",
         Engine::Timed => "timed",
         Engine::TimedScalar => "timed_scalar",
         Engine::BitParallel => "bit_parallel",
+        Engine::BitParallel256 => "bit_parallel_256",
+        Engine::BitParallel512 => "bit_parallel_512",
     }
 }
 
@@ -42,6 +46,8 @@ pub fn engine_from_name(name: &str) -> Option<Engine> {
         "timed" => Some(Engine::Timed),
         "timed_scalar" => Some(Engine::TimedScalar),
         "bit_parallel" => Some(Engine::BitParallel),
+        "bit_parallel_256" => Some(Engine::BitParallel256),
+        "bit_parallel_512" => Some(Engine::BitParallel512),
         _ => None,
     }
 }
@@ -59,6 +65,10 @@ pub struct AbInitioSpec {
     pub lanes: u32,
     /// Glitch-free baseline engine (`bit_parallel` or `zero_delay`).
     pub engine: Engine,
+    /// Plane tiling of the glitch-free baseline leg: `plane_lanes` on
+    /// the wire, 64/256/512 or `"auto"` (default `Fixed(64)`, the
+    /// legacy-identical measurement).
+    pub plane: PlaneTiling,
     /// Random-stimulus volume per architecture.
     pub items: u64,
     /// Base stimulus seed.
@@ -74,6 +84,7 @@ impl Default for AbInitioSpec {
             width: 16,
             lanes: optpower_report::TIMED_LANES,
             engine: Engine::BitParallel,
+            plane: PlaneTiling::Fixed(64),
             items: 200,
             seed: 42,
             workers: None,
@@ -110,6 +121,9 @@ pub struct GlitchSweepSpec {
     pub lanes: u32,
     /// Glitch-free baseline engine.
     pub engine: Engine,
+    /// Plane tiling of the glitch-free baseline leg (`plane_lanes` on
+    /// the wire, as in [`AbInitioSpec`]).
+    pub plane: PlaneTiling,
     /// Random-stimulus volume per architecture and width.
     pub items: u64,
     /// Base stimulus seed.
@@ -127,6 +141,7 @@ impl Default for GlitchSweepSpec {
             widths: vec![16],
             lanes: optpower_report::TIMED_LANES,
             engine: Engine::BitParallel,
+            plane: PlaneTiling::Fixed(64),
             items: 200,
             seed: 42,
             freq_points: 9,
@@ -429,6 +444,7 @@ impl JobSpec {
                 push("width", Json::UInt(s.width as u64));
                 push("lanes", Json::UInt(u64::from(s.lanes)));
                 push("engine", Json::str(engine_name(s.engine)));
+                push("plane_lanes", plane_json(s.plane));
                 push("items", Json::UInt(s.items));
                 push("seed", Json::UInt(s.seed));
                 push("workers", opt_uint(s.workers));
@@ -441,6 +457,7 @@ impl JobSpec {
                 );
                 push("lanes", Json::UInt(u64::from(s.lanes)));
                 push("engine", Json::str(engine_name(s.engine)));
+                push("plane_lanes", plane_json(s.plane));
                 push("items", Json::UInt(s.items));
                 push("seed", Json::UInt(s.seed));
                 push("freq_points", Json::UInt(s.freq_points as u64));
@@ -585,6 +602,7 @@ impl JobSpec {
                 width: usize_field(doc, "width", d.width)?,
                 lanes: u32_field(doc, "lanes", d.lanes)?,
                 engine: engine_field(doc, d.engine)?,
+                plane: plane_field(doc, d.plane)?,
                 items: uint_field(doc, "items", d.items)?,
                 seed: uint_field(doc, "seed", d.seed)?,
                 workers: opt_usize_field(doc, "workers")?,
@@ -597,6 +615,7 @@ impl JobSpec {
                 },
                 lanes: u32_field(doc, "lanes", d.lanes)?,
                 engine: engine_field(doc, d.engine)?,
+                plane: plane_field(doc, d.plane)?,
                 items: uint_field(doc, "items", d.items)?,
                 seed: uint_field(doc, "seed", d.seed)?,
                 freq_points: usize_field(doc, "freq_points", d.freq_points)?,
@@ -692,13 +711,21 @@ fn allowed_fields(kind: &str) -> &'static [&'static str] {
         "scaling_study" => &["frequencies_mhz"],
         "ablation" => &["items", "seed"],
         "ab_initio" => &[
-            "archs", "width", "lanes", "engine", "items", "seed", "workers",
+            "archs",
+            "width",
+            "lanes",
+            "engine",
+            "plane_lanes",
+            "items",
+            "seed",
+            "workers",
         ],
         "glitch_sweep" => &[
             "archs",
             "widths",
             "lanes",
             "engine",
+            "plane_lanes",
             "items",
             "seed",
             "freq_points",
@@ -794,10 +821,33 @@ fn engine_field(doc: &Json, default: Engine) -> Result<Engine, WorkloadError> {
                 .ok_or_else(|| SpecError::new("\"engine\" must be a string"))?;
             engine_from_name(name).ok_or_else(|| {
                 SpecError::new(format!(
-                    "unknown engine {name:?} (zero_delay | timed | timed_scalar | bit_parallel)"
+                    "unknown engine {name:?} (zero_delay | timed | timed_scalar | bit_parallel \
+                     | bit_parallel_256 | bit_parallel_512)"
                 ))
                 .into()
             })
+        }
+    }
+}
+
+fn plane_json(plane: PlaneTiling) -> Json {
+    match plane {
+        PlaneTiling::Fixed(lanes) => Json::UInt(u64::from(lanes)),
+        PlaneTiling::Auto => Json::str("auto"),
+    }
+}
+
+fn plane_field(doc: &Json, default: PlaneTiling) -> Result<PlaneTiling, WorkloadError> {
+    match doc.get("plane_lanes") {
+        None => Ok(default),
+        Some(v) => {
+            if v.as_str() == Some("auto") {
+                return Ok(PlaneTiling::Auto);
+            }
+            match v.as_u64() {
+                Some(lanes @ (64 | 256 | 512)) => Ok(PlaneTiling::Fixed(lanes as u32)),
+                _ => Err(SpecError::new("\"plane_lanes\" must be 64, 256, 512 or \"auto\"").into()),
+            }
         }
     }
 }
@@ -878,13 +928,25 @@ mod tests {
             width: 8,
             lanes: 3,
             engine: Engine::ZeroDelay,
+            plane: PlaneTiling::Fixed(64),
             items: u64::MAX,
             seed: (1 << 53) + 1,
             workers: Some(7),
         }));
+        assert_roundtrip(&JobSpec::AbInitio(AbInitioSpec {
+            engine: Engine::BitParallel512,
+            plane: PlaneTiling::Auto,
+            ..AbInitioSpec::default()
+        }));
+        assert_roundtrip(&JobSpec::AbInitio(AbInitioSpec {
+            engine: Engine::BitParallel256,
+            plane: PlaneTiling::Fixed(256),
+            ..AbInitioSpec::default()
+        }));
         assert_roundtrip(&JobSpec::GlitchSweep(GlitchSweepSpec {
             widths: vec![8, 16, 24, 32],
             freq_points: 3,
+            plane: PlaneTiling::Fixed(512),
             ..GlitchSweepSpec::default()
         }));
         assert_roundtrip(&JobSpec::ScalingStudy {
@@ -922,6 +984,7 @@ mod tests {
                 assert_eq!(s.width, 16);
                 assert_eq!(s.lanes, optpower_report::TIMED_LANES);
                 assert_eq!(s.engine, Engine::BitParallel);
+                assert_eq!(s.plane, PlaneTiling::Fixed(64));
             }
             other => panic!("{other:?}"),
         }
@@ -935,6 +998,10 @@ mod tests {
             r#"{"schema":"optpower-job/v2","job":"table2"}"#,
             r#"{"job":"ab_initio","engine":"warp"}"#,
             r#"{"job":"ab_initio","items":-4}"#,
+            // The plane width is a closed set: 64/256/512 or "auto".
+            r#"{"job":"ab_initio","plane_lanes":128}"#,
+            r#"{"job":"ab_initio","plane_lanes":"wide"}"#,
+            r#"{"job":"glitch_sweep","plane_lanes":0}"#,
             r#"{"job":"batch"}"#,
             r#"{"job":"glitch_sweep","widths":[8.5]}"#,
             "not json",
@@ -957,6 +1024,8 @@ mod tests {
             Engine::Timed,
             Engine::TimedScalar,
             Engine::BitParallel,
+            Engine::BitParallel256,
+            Engine::BitParallel512,
         ] {
             assert_eq!(engine_from_name(engine_name(engine)), Some(engine));
         }

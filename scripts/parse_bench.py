@@ -43,6 +43,12 @@ production pruned one; its ratio is raw/pruned build time and the
 acceptance is "speedup_min" >= 0.95 (pruning must not slow netlist
 build by more than 5%; the margin is far below run-to-run mean noise
 on a 1-core container, so this guard reads the min-based ratio).
+
+Rows listed in ACCEPTANCE are hard gates: when such a row is present
+in the parsed output, its "speedup_min" must meet the listed floor or
+the script exits non-zero (rows absent from the output are skipped, so
+partial bench runs still parse). The wide-plane rows gate the 256/512
+lane engines against the 64-lane engine at equal stimulus volume.
 """
 
 import json
@@ -56,6 +62,12 @@ LINE = re.compile(
 )
 
 NS_PER = {"ns": 1.0, "us": 1e3, "µs": 1e3, "ms": 1e6, "s": 1e9}
+
+# Hard speedup_min floors, enforced whenever the row is present.
+ACCEPTANCE = {
+    "bitparallel_256_wallace16": 2.0,
+    "bitparallel_512_wallace16": 2.0,
+}
 
 
 def to_ns(value: str, unit: str) -> float:
@@ -97,6 +109,19 @@ def derive_speedups(entries):
             "speedup_min": serial_min / parallel_min if parallel_min > 0 else None,
         }
     return speedups
+
+
+def check_acceptance(speedups):
+    """Failed hard gates: [(label, floor, speedup_min), ...]."""
+    failures = []
+    for label, floor in ACCEPTANCE.items():
+        row = speedups.get(label)
+        if row is None:
+            continue
+        ratio = row.get("speedup_min")
+        if ratio is None or ratio < floor:
+            failures.append((label, floor, ratio))
+    return failures
 
 
 def read_notes(path):
@@ -146,7 +171,14 @@ def main(argv):
         json.dump(doc, f, indent=2, sort_keys=False)
         f.write("\n")
     print(f"wrote {dst}: {len(entries)} entries, {len(doc['speedups'])} speedup pairs")
-    return 0
+    failures = check_acceptance(doc["speedups"])
+    for label, floor, ratio in failures:
+        shown = "missing" if ratio is None else f"{ratio:.2f}"
+        print(
+            f"error: acceptance gate {label}: speedup_min {shown} < {floor}",
+            file=sys.stderr,
+        )
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

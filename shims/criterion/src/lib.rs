@@ -58,7 +58,12 @@ impl Bencher {
         let mut min_ns = f64::INFINITY;
         let mut samples = 0usize;
         let budget_start = Instant::now();
-        while samples < self.sample_size {
+        // At least `sample_size` samples, then keep sampling until the
+        // measurement budget is spent: the min over the whole budget is
+        // what makes the speedup rows robust against scheduler noise on
+        // shared runners (a short burst of contention cannot poison
+        // every sample of a multi-second window).
+        while samples < self.sample_size || budget_start.elapsed() < self.measurement_time {
             let t = Instant::now();
             black_box(routine());
             let ns = t.elapsed().as_nanos() as f64;
@@ -69,9 +74,6 @@ impl Bencher {
                 mean_ns + (ns - mean_ns) / (samples as f64 + 1.0)
             };
             samples += 1;
-            if budget_start.elapsed() >= self.measurement_time {
-                break;
-            }
         }
         self.result = Some((mean_ns, min_ns));
     }
@@ -94,7 +96,10 @@ impl Bencher {
         let mut min_ns = f64::INFINITY;
         let mut samples = 0usize;
         let budget_start = Instant::now();
-        while samples < self.sample_size {
+        // Same sampling policy as `iter`: at least `sample_size`
+        // samples, then fill the measurement budget (setup time counts
+        // against the budget but not against the timed sections).
+        while samples < self.sample_size || budget_start.elapsed() < self.measurement_time {
             let input = setup();
             let t = Instant::now();
             black_box(routine(input));
@@ -106,9 +111,6 @@ impl Bencher {
                 mean_ns + (ns - mean_ns) / (samples as f64 + 1.0)
             };
             samples += 1;
-            if budget_start.elapsed() >= self.measurement_time {
-                break;
-            }
         }
         self.result = Some((mean_ns, min_ns));
     }

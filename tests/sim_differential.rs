@@ -1,14 +1,17 @@
-//! Differential harness locking the bit-parallel engine to the scalar
-//! reference: `BitParallelSim` must be *bit-identical* — output values
-//! and transition counts, per lane — to 64 scalar `ZeroDelaySim` runs
-//! with the same per-lane seeds, on random netlists and on the full
-//! 13-architecture multiplier suite; and the zero-delay activity must
-//! lower-bound the timed activity on the same netlist and seed.
+//! Differential harness locking the plane engines to the scalar
+//! reference: every lane of a `WidePlaneSim` run (64, 256 or 512
+//! lanes) must be *bit-identical* — output values and transition
+//! counts, per lane — to a scalar `ZeroDelaySim` run with that lane's
+//! seed, and each wide plane must equal its independent chunked
+//! 64-lane runs, on random netlists and on the full 13-architecture
+//! multiplier suite; and the zero-delay activity must lower-bound the
+//! timed activity on the same netlist and seed.
 
 use optpower_mult::Architecture;
 use optpower_netlist::{CellKind, Library, Netlist, NetlistBuilder};
 use optpower_sim::{
-    lane_seed, measure_activity, BitParallelSim, Engine, StimulusGen, ZeroDelaySim, LANES,
+    lane_seed, measure_activity, BitParallelSim, Engine, StimulusGen, WidePlaneSim, ZeroDelaySim,
+    LANES,
 };
 use proptest::prelude::*;
 
@@ -54,6 +57,89 @@ fn random_netlist(picks: &[(u8, u32, u32, u32)]) -> Netlist {
     b.build().expect("random DAG is valid by construction")
 }
 
+/// Runs a `W`-chunk wide plane over `items` lane-seeded stimulus items
+/// and checks, lane by lane, that output values and transition counts
+/// are bit-identical to (a) a dedicated scalar [`ZeroDelaySim`] run on
+/// that lane's stream and (b) `W` independent chunked 64-lane
+/// [`BitParallelSim`] runs over the same streams. Plain `assert!`s on
+/// purpose: the proptest harness reports the failing inputs either way,
+/// and the helper stays monomorphic per width.
+fn check_wide_plane<const W: usize>(nl: &Netlist, seed: u64, items: u64) {
+    let lanes = LANES * W;
+    let mut wide = WidePlaneSim::<W>::new(nl);
+    wide.track_lane_transitions();
+    let mut narrow: Vec<BitParallelSim> = (0..W)
+        .map(|_| {
+            let mut sim = BitParallelSim::new(nl);
+            sim.track_lane_transitions();
+            sim
+        })
+        .collect();
+    let mut stims: Vec<StimulusGen> = (0..lanes as u32)
+        .map(|l| StimulusGen::new(lane_seed(seed, l), 2, 2))
+        .collect();
+    let mut wide_outputs: Vec<Vec<Option<u64>>> = vec![Vec::new(); lanes];
+    for _ in 0..items {
+        let mut a = vec![0u64; lanes];
+        let mut b = vec![0u64; lanes];
+        for (lane, stim) in stims.iter_mut().enumerate() {
+            let (av, bv) = stim.next_item();
+            a[lane] = av;
+            b[lane] = bv;
+        }
+        wide.set_input_bits_lanes("a", &a);
+        wide.set_input_bits_lanes("b", &b);
+        for (c, sim) in narrow.iter_mut().enumerate() {
+            sim.set_input_bits_lanes("a", &a[c * LANES..(c + 1) * LANES]);
+            sim.set_input_bits_lanes("b", &b[c * LANES..(c + 1) * LANES]);
+        }
+        wide.step();
+        narrow.iter_mut().for_each(BitParallelSim::step);
+        for (lane, outs) in wide_outputs.iter_mut().enumerate() {
+            outs.push(wide.output_bits_lane("p", lane));
+        }
+    }
+    // (a) Scalar: every lane replays as a dedicated zero-delay run.
+    let mut scalar_total = 0u64;
+    for (lane, lane_outs) in wide_outputs.iter().enumerate() {
+        let mut zd = ZeroDelaySim::new(nl);
+        let mut stim = StimulusGen::new(lane_seed(seed, lane as u32), 2, 2);
+        for (t, wide_out) in lane_outs.iter().enumerate() {
+            let (av, bv) = stim.next_item();
+            zd.set_input_bits("a", av);
+            zd.set_input_bits("b", bv);
+            zd.step();
+            assert_eq!(*wide_out, zd.output_bits("p"), "W={W} lane {lane} item {t}");
+        }
+        assert_eq!(
+            wide.lane_logic_transitions()[lane],
+            zd.logic_transitions(),
+            "W={W} lane {lane} transition count"
+        );
+        scalar_total += zd.logic_transitions();
+    }
+    assert_eq!(wide.logic_transitions(), scalar_total, "W={W} total");
+    // (b) Chunked: chunk `c` equals an independent 64-lane run over
+    // lanes `64c..64c+64`.
+    let mut chunk_total = 0u64;
+    for (c, sim) in narrow.iter_mut().enumerate() {
+        for lane in 0..LANES {
+            assert_eq!(
+                wide.output_bits_lane("p", c * LANES + lane),
+                sim.output_bits_lane("p", lane),
+                "W={W} chunk {c} lane {lane}"
+            );
+            assert_eq!(
+                wide.lane_logic_transitions()[c * LANES + lane],
+                sim.lane_logic_transitions()[lane],
+                "W={W} chunk {c} lane {lane} transitions"
+            );
+        }
+        chunk_total += sim.logic_transitions();
+    }
+    assert_eq!(wide.logic_transitions(), chunk_total, "W={W} chunk total");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -70,6 +156,7 @@ proptest! {
         let nl = random_netlist(&picks);
         // Bit-parallel run: all 64 lanes at once.
         let mut bp = BitParallelSim::new(&nl);
+        bp.track_lane_transitions();
         let mut stims: Vec<StimulusGen> =
             (0..LANES as u32).map(|l| StimulusGen::new(lane_seed(seed, l), 2, 2)).collect();
         let mut bp_outputs: Vec<Vec<Option<u64>>> = vec![Vec::new(); LANES];
@@ -114,6 +201,21 @@ proptest! {
         prop_assert_eq!(bp.logic_transitions(), total);
     }
 
+    /// The wide planes inherit the per-lane contract: at 256 and 512
+    /// lanes, every lane's output values and transition counts equal a
+    /// dedicated scalar zero-delay run, and every 64-lane chunk equals
+    /// an independent chunked `BitParallelSim` run on the same streams.
+    #[test]
+    fn wide_planes_are_bit_identical_to_scalar_and_chunked_runs(
+        picks in prop::collection::vec((any::<u8>(), any::<u32>(), any::<u32>(), any::<u32>()), 5..30),
+        seed in any::<u64>(),
+        items in 2u64..6,
+    ) {
+        let nl = random_netlist(&picks);
+        check_wide_plane::<4>(&nl, seed, items);
+        check_wide_plane::<8>(&nl, seed, items);
+    }
+
     /// The same contract through the public measurement API: one
     /// bit-parallel activity measurement equals the sum of 64 scalar
     /// zero-delay measurements over the lane seeds.
@@ -133,6 +235,33 @@ proptest! {
             })
             .sum();
         prop_assert_eq!(bp.transitions, scalar_sum);
+    }
+
+    /// The measurement API at 256/512 lanes: a wide measurement equals
+    /// the sum of lane-seeded scalar zero-delay measurements at the
+    /// same per-lane item count.
+    #[test]
+    fn wide_measured_activity_sums_lane_measurements(
+        picks in prop::collection::vec((any::<u8>(), any::<u32>(), any::<u32>(), any::<u32>()), 5..20),
+        seed in any::<u64>(),
+    ) {
+        let nl = random_netlist(&picks);
+        let lib = Library::cmos13();
+        // One scalar pass over the full 512-lane seed range; the
+        // 256-lane total is its prefix (widths nest by construction).
+        let per_lane: Vec<u64> = (0..8 * LANES as u32)
+            .map(|l| {
+                measure_activity(&nl, &lib, Engine::ZeroDelay, 4, 1, 2, lane_seed(seed, l))
+                    .unwrap()
+                    .transitions
+            })
+            .collect();
+        let wide256 = measure_activity(&nl, &lib, Engine::BitParallel256, 4, 1, 2, seed).unwrap();
+        let wide512 = measure_activity(&nl, &lib, Engine::BitParallel512, 4, 1, 2, seed).unwrap();
+        prop_assert_eq!(wide256.items, 4 * 256);
+        prop_assert_eq!(wide512.items, 4 * 512);
+        prop_assert_eq!(wide256.transitions, per_lane[..256].iter().sum::<u64>());
+        prop_assert_eq!(wide512.transitions, per_lane.iter().sum::<u64>());
     }
 
     /// Glitches only add transitions: on any netlist and seed, the
@@ -188,5 +317,59 @@ fn full_architecture_suite_is_bit_identical() {
             .sum();
         assert_eq!(bp.transitions, scalar_sum, "{arch}");
         assert_eq!(bp.items, 3 * LANES as u64, "{arch}");
+    }
+}
+
+/// The same acceptance criterion for the wide planes: on every
+/// architecture, the 256- and 512-lane transition counts equal the
+/// sums of the lane-seeded scalar zero-delay runs. One scalar pass
+/// over all 512 lane seeds serves both widths (the seed sets nest);
+/// 8-bit operands keep the 13 × 512 scalar replays fast.
+#[test]
+fn full_architecture_suite_wide_planes_are_bit_identical() {
+    let lib = Library::cmos13();
+    for arch in Architecture::ALL {
+        let design = arch.generate(8).unwrap();
+        let measure_wide = |engine| {
+            measure_activity(
+                &design.netlist,
+                &lib,
+                engine,
+                1,
+                design.cycles_per_item,
+                2,
+                9,
+            )
+            .unwrap()
+        };
+        let wide256 = measure_wide(Engine::BitParallel256);
+        let wide512 = measure_wide(Engine::BitParallel512);
+        let per_lane: Vec<u64> = (0..8 * LANES as u32)
+            .map(|l| {
+                measure_activity(
+                    &design.netlist,
+                    &lib,
+                    Engine::ZeroDelay,
+                    1,
+                    design.cycles_per_item,
+                    2,
+                    lane_seed(9, l),
+                )
+                .unwrap()
+                .transitions
+            })
+            .collect();
+        assert_eq!(
+            wide256.transitions,
+            per_lane[..256].iter().sum::<u64>(),
+            "{arch} 256"
+        );
+        assert_eq!(
+            wide512.transitions,
+            per_lane.iter().sum::<u64>(),
+            "{arch} 512"
+        );
+        assert_eq!(wide256.items, 256, "{arch}");
+        assert_eq!(wide512.items, 512, "{arch}");
     }
 }

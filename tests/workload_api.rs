@@ -13,18 +13,28 @@
 
 use optpower_explore::Workers;
 use optpower_mult::Architecture;
+use optpower_report::PlaneTiling;
 use optpower_sim::Engine;
 use optpower_workload::{
     AbInitioSpec, ActivitySpec, CacheStatus, GlitchSweepSpec, JobSpec, Json, LintSpec,
-    PruneDeltaSpec, RunMeta, Runtime, StaSpec, WorkloadError, JOB_KINDS,
+    PruneDeltaSpec, RowCacheStats, RunMeta, Runtime, StaSpec, WorkloadError, JOB_KINDS,
 };
 use proptest::prelude::*;
 
-const ENGINES: [Engine; 4] = [
+const ENGINES: [Engine; 6] = [
     Engine::ZeroDelay,
     Engine::Timed,
     Engine::TimedScalar,
     Engine::BitParallel,
+    Engine::BitParallel256,
+    Engine::BitParallel512,
+];
+
+const PLANES: [PlaneTiling; 4] = [
+    PlaneTiling::Fixed(64),
+    PlaneTiling::Fixed(256),
+    PlaneTiling::Fixed(512),
+    PlaneTiling::Auto,
 ];
 
 /// Deterministically builds a spec from random draws — every variant
@@ -59,7 +69,8 @@ fn spec_from(kind: usize, a: u64, b: u64, c: usize, widths: &[usize], names_ix: 
             archs: names,
             width: 2 + c % 31,
             lanes: 1 + (c as u32 % 16),
-            engine: ENGINES[c % 4],
+            engine: ENGINES[c % ENGINES.len()],
+            plane: PLANES[c % PLANES.len()],
             items: a,
             seed: b,
             workers: if c.is_multiple_of(3) {
@@ -72,7 +83,8 @@ fn spec_from(kind: usize, a: u64, b: u64, c: usize, widths: &[usize], names_ix: 
             archs: names,
             widths: widths.to_vec(),
             lanes: 1 + (c as u32 % 16),
-            engine: ENGINES[c % 4],
+            engine: ENGINES[c % ENGINES.len()],
+            plane: PLANES[(c / 2) % PLANES.len()],
             items: a,
             seed: b,
             freq_points: 2 + c % 20,
@@ -642,6 +654,7 @@ fn golden_artifact_envelope_with_meta() {
         engine: None,
         wall_ms: 0.25,
         cache: Some(CacheStatus::Hit),
+        row_cache: None,
     };
     golden_compare(
         "tests/golden/artifact_envelope.json",
@@ -675,6 +688,76 @@ fn runtime_cache_round_trip() {
         None,
         "cacheless runtimes keep the legacy envelope"
     );
+}
+
+/// The incremental row-cache contract: per-architecture
+/// characterization rows computed by one spec are reused —
+/// bit-identically — by *different* specs that overlap on the
+/// measurement shape, and the hit/miss counters land in `meta`.
+#[test]
+fn row_cache_serves_overlapping_characterizations_bit_identically() {
+    let cold = Runtime::new(Workers::Fixed(2));
+    let cached = Runtime::new(Workers::Fixed(2)).with_cache(8);
+    let ab = JobSpec::AbInitio(AbInitioSpec {
+        archs: Some(vec!["RCA".into(), "Sequential".into()]),
+        items: 12,
+        seed: 9,
+        ..AbInitioSpec::default()
+    });
+
+    // Cold sweep through the cached runtime: both rows computed.
+    let first = cached.run(&ab).unwrap();
+    assert_eq!(
+        first.meta.row_cache,
+        Some(RowCacheStats { hits: 0, misses: 2 })
+    );
+    assert!(first
+        .to_json()
+        .contains(r#""row_cache":{"hits":0,"misses":2}"#));
+
+    // A *different* spec (worker override changes the canonical key,
+    // never the measurement) re-runs the sweep: the artifact cache
+    // misses, every row is served, and the payload is bit-identical
+    // to the cacheless runtime's.
+    let repeat = JobSpec::AbInitio(AbInitioSpec {
+        archs: Some(vec!["RCA".into(), "Sequential".into()]),
+        items: 12,
+        seed: 9,
+        workers: Some(1),
+        ..AbInitioSpec::default()
+    });
+    let served = cached.run(&repeat).unwrap();
+    assert_eq!(served.meta.cache, Some(CacheStatus::Miss));
+    assert_eq!(
+        served.meta.row_cache,
+        Some(RowCacheStats { hits: 2, misses: 0 })
+    );
+    assert_eq!(
+        served.payload_json(),
+        cold.run(&repeat).unwrap().payload_json()
+    );
+
+    // An STA job with a measured leg over one shared and one new
+    // architecture: the shared row is a hit, the new one a miss, and
+    // the rows are bit-identical to a cold STA run.
+    let sta = JobSpec::Sta(StaSpec {
+        archs: Some(vec!["RCA".into(), "Wallace".into()]),
+        items: 12,
+        seed: 9,
+        ..StaSpec::default()
+    });
+    let warm_sta = cached.run(&sta).unwrap();
+    assert_eq!(
+        warm_sta.meta.row_cache,
+        Some(RowCacheStats { hits: 1, misses: 1 })
+    );
+    assert_eq!(
+        warm_sta.payload_json(),
+        cold.run(&sta).unwrap().payload_json()
+    );
+
+    // Cacheless runtimes never stamp counters.
+    assert_eq!(cold.run(&ab).unwrap().meta.row_cache, None);
 }
 
 fn golden_compare(path: &str, actual: &str) {
