@@ -11,18 +11,23 @@
 //!   per-job envelope cost;
 //! * `workload/serial_core/...` / `workload/parallel/...` — the
 //!   pooled Pareto sweep JobSpec at 1 worker vs all cores (tracked in
-//!   `BENCH_sweep.json` like every serial/parallel pair).
+//!   `BENCH_sweep.json` like every serial/parallel pair);
+//! * `workload/.../dist_overhead_wallace16` — the same single-shard
+//!   Wallace16 characterization run locally vs through a loopback
+//!   coordinator/worker cluster, gating the wire protocol's overhead
+//!   (connect + frame codec + payload re-parse + merge) at <= 10%.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use optpower_dist::{spawn, Cluster};
 use optpower_explore::Workers;
 use optpower_report::table1_parallel;
-use optpower_workload::{JobSpec, Runtime};
+use optpower_workload::{AbInitioSpec, JobSpec, Runtime};
 
 fn bench_envelope_overhead(c: &mut Criterion) {
     c.bench_function("workload/direct/table1", |b| {
         b.iter(|| black_box(table1_parallel(Workers::Auto).expect("table 1 solves")))
     });
-    let spec_json = JobSpec::Table1Sweep.to_json();
+    let spec_json = JobSpec::Table1Sweep { archs: None }.to_json();
     c.bench_function("workload/runtime/table1", |b| {
         b.iter(|| {
             let spec = JobSpec::from_json(black_box(&spec_json)).expect("wire form parses");
@@ -56,5 +61,40 @@ fn bench_pooled_jobspec(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_envelope_overhead, bench_pooled_jobspec);
+/// The distribution tax: one Wallace16 characterization shard, run
+/// locally vs routed through a loopback coordinator/worker pair. A
+/// single-arch spec shards to exactly one cell, so both rows do the
+/// same serial compute and the gap is pure wire cost — TCP connect,
+/// frame codec, payload JSON round-trip and the merge. The
+/// `dist_overhead_wallace16` acceptance row (speedup_min >= 0.9 in
+/// `parse_bench.py`) keeps that tax at or below ~10%.
+fn bench_dist_overhead(c: &mut Criterion) {
+    let spec = JobSpec::AbInitio(AbInitioSpec {
+        archs: Some(vec!["Wallace".to_string()]),
+        items: 384,
+        ..AbInitioSpec::default()
+    });
+    c.bench_function("workload/serial_core/dist_overhead_wallace16", |b| {
+        let local = Runtime::new(Workers::Fixed(1));
+        b.iter(|| black_box(local.run(&spec).expect("local run")))
+    });
+    c.bench_function("workload/parallel/dist_overhead_wallace16", |b| {
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                spawn("127.0.0.1:0", Runtime::new(Workers::Fixed(1))).expect("bind loopback worker")
+            })
+            .collect();
+        let cluster = Cluster::new(workers.iter().map(|w| w.addr().to_string()).collect())
+            .with_workers(Workers::Fixed(1));
+        b.iter(|| black_box(cluster.run(&spec).expect("cluster run")));
+        drop(workers);
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_envelope_overhead,
+    bench_pooled_jobspec,
+    bench_dist_overhead
+);
 criterion_main!(benches);

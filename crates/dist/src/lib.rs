@@ -1,0 +1,11 @@
+#![doc = include_str!("../README.md")]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod worker;
+
+pub use coordinator::{
+    assign_host, Cluster, DistError, DistRun, DistStats, ShardResultCache, DEFAULT_SHARD_TIMEOUT_MS,
+};
+pub use worker::{serve, spawn, WorkerHandle, HEARTBEAT_MS};

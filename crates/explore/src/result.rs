@@ -82,6 +82,17 @@ impl ResultSet {
         &self.records
     }
 
+    /// Concatenates result sets in the given order, each set keeping
+    /// its internal grid order — the worker-count-invariant merge rule
+    /// distributed executions compose per-shard sweeps with. Because a
+    /// sweep's record order is a pure function of its grid, splitting
+    /// a grid into contiguous slices, evaluating the slices anywhere,
+    /// and `concat`ing them back in slice order is bit-identical to
+    /// evaluating the whole grid in one process.
+    pub fn concat(sets: impl IntoIterator<Item = ResultSet>) -> ResultSet {
+        ResultSet::new(sets.into_iter().flat_map(|s| s.records).collect())
+    }
+
     /// Number of records.
     pub fn len(&self) -> usize {
         self.records.len()
@@ -381,6 +392,21 @@ mod tests {
         if p_wal10 < p_rca {
             assert!(rs.pareto_front().iter().all(|r| r.arch != "rca"));
         }
+    }
+
+    #[test]
+    fn concat_of_contiguous_slices_is_identity() {
+        let whole = sample_set();
+        let records = whole.records().to_vec();
+        let (left, right) = records.split_at(2);
+        let glued = ResultSet::concat([
+            ResultSet::new(left.to_vec()),
+            ResultSet::new(right.to_vec()),
+            ResultSet::default(),
+        ]);
+        assert_eq!(glued.records(), whole.records());
+        assert_eq!(glued.to_csv(), whole.to_csv());
+        assert_eq!(glued.to_json(), whole.to_json());
     }
 
     #[test]

@@ -132,6 +132,39 @@ pub fn table1_parallel(workers: Workers) -> Result<Vec<RowComparison>, ModelErro
     .collect()
 }
 
+/// The thirteen Table 1 row names, in published row order — the axis
+/// [`table1_subset_parallel`] selects from, and the order a
+/// distributed merge restores shard rows into.
+pub fn table1_names() -> Vec<&'static str> {
+    TABLE1.iter().map(|row| row.name).collect()
+}
+
+/// [`table1_parallel`] restricted to a subset of rows, selected by
+/// paper name in the caller's order. Every selected row goes through
+/// the identical per-row calibrate-and-solve unit of work, so a subset
+/// row is bit-identical to the corresponding full-table row (names not
+/// present in Table 1 are skipped; callers validate against
+/// [`table1_names`] first).
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] from calibration or solving.
+pub fn table1_subset_parallel(
+    names: &[String],
+    workers: Workers,
+) -> Result<Vec<RowComparison>, ModelError> {
+    let tech = Technology::stm_cmos09(Flavor::LowLeakage);
+    let rows: Vec<&Table1Row> = names
+        .iter()
+        .filter_map(|name| TABLE1.iter().find(|row| row.name == name))
+        .collect();
+    par_map(&rows, workers.resolve(rows.len()), |row| {
+        table1_row(&tech, row)
+    })
+    .into_iter()
+    .collect()
+}
+
 /// Prints Table 2 (the published flavour parameters) from the presets.
 pub fn table2() -> Table {
     let mut t = Table::new(&[
@@ -281,6 +314,24 @@ mod tests {
             // the same bound (slightly different split rounding).
             assert!(r.our_err_pct.abs() < 3.5, "{}: {}", r.name, r.our_err_pct);
         }
+    }
+
+    #[test]
+    fn table1_subset_rows_are_bit_identical_to_the_full_table() {
+        let full = table1().unwrap();
+        let names: Vec<String> = ["Seq4_16", "RCA", "Wallace par4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let subset = table1_subset_parallel(&names, Workers::Fixed(2)).unwrap();
+        assert_eq!(subset.len(), 3);
+        for (name, row) in names.iter().zip(&subset) {
+            let reference = full.iter().find(|r| &r.name == name).unwrap();
+            assert_eq!(row, reference, "{name}");
+        }
+        // The full name list reproduces the full table exactly.
+        let all: Vec<String> = table1_names().iter().map(|s| s.to_string()).collect();
+        assert_eq!(table1_subset_parallel(&all, Workers::Auto).unwrap(), full);
     }
 
     #[test]

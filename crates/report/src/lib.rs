@@ -35,7 +35,10 @@ pub use abinitio::{
     AbInitioError, AbInitioRow, ActivitySource, CharacterizeConfig, GlitchSweep, PlaneTiling,
     TIMED_LANES,
 };
-pub use calibrated::{render_rows, table1, table1_parallel, table2, table3, table4, RowComparison};
+pub use calibrated::{
+    render_rows, table1, table1_names, table1_parallel, table1_subset_parallel, table2, table3,
+    table4, RowComparison,
+};
 pub use figures::{
     figure1, figure2, figure34, figure_pareto, pareto_front_csv, pearson_correlation,
     render_figure1, render_figure2, render_figure34, render_pareto, Figure1, Figure1Curve, Figure2,

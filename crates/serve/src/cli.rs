@@ -15,11 +15,14 @@ use crate::client;
 use crate::server::{self, Config};
 
 /// Entry point of the `optpower` binary: service verbs here,
-/// everything else forwarded to the workload CLI.
+/// everything else forwarded to the workload CLI. `run` stays a
+/// workload command unless `--hosts` asks for the cluster path.
 pub fn main_with_args(args: Vec<String>) -> ExitCode {
     match args.first().map(String::as_str) {
         Some("serve") => run_serve(&args[1..]),
         Some("submit") => run_submit(&args[1..]),
+        Some("worker") => run_worker(&args[1..]),
+        Some("run") if args.iter().any(|a| a == "--hosts") => run_dist(&args[1..]),
         None | Some("help" | "--help" | "-h") => {
             let code = optpower_workload::cli::main_with_args(args);
             print!("{}", serve_usage());
@@ -32,11 +35,18 @@ pub fn main_with_args(args: Vec<String>) -> ExitCode {
 fn serve_usage() -> String {
     "\nservice verbs (crates/serve):\n\
      \x20 optpower serve  [--addr HOST:PORT] [--queue N] [--executors N]\n\
-     \x20                 [--workers N] [--cache N] [--timeout-ms N]\n\
+     \x20                 [--workers N|HOST:PORT,...] [--shards N] [--cache N]\n\
+     \x20                 [--timeout-ms N]\n\
      \x20                 [--out DIR] [--drain-on-stdin-eof]          boot the job service\n\
      \x20 optpower submit <spec.json|-> [--addr HOST:PORT]\n\
      \x20                 [--format text|json|csv] [--async]\n\
-     \x20                 [--timeout-ms N]                            POST a spec, print the artifact\n"
+     \x20                 [--timeout-ms N]                            POST a spec, print the artifact\n\
+     \ndistributed execution (crates/dist):\n\
+     \x20 optpower worker [--addr HOST:PORT] [--workers N] [--cache N]\n\
+     \x20                                                             serve shards over TCP\n\
+     \x20 optpower run <spec.json|-> --hosts HOST:PORT,... [--shards N]\n\
+     \x20                 [--timeout-ms N] [--workers N] [--out DIR]\n\
+     \x20                 [--json] [--csv]                            run one job across workers\n"
         .to_string()
 }
 
@@ -68,8 +78,19 @@ fn run_serve(args: &[String]) -> ExitCode {
                 Ok(n) => config.executors = n,
                 Err(e) => return usage_error(e),
             },
-            "--workers" => match count("--workers") {
-                Ok(n) => config.workers = Workers::Fixed(n),
+            // `--workers 4` is a thread count; `--workers h1:1,h2:1`
+            // is a worker-host list for distributed execution. A bare
+            // count parses as usize first, so the two spellings cannot
+            // collide.
+            "--workers" => match it.next() {
+                Some(value) => match value.parse::<usize>() {
+                    Ok(n) => config.workers = Workers::Fixed(n),
+                    Err(_) => config.hosts = parse_host_list(value),
+                },
+                None => return usage_error("--workers needs a count or a HOST:PORT list"),
+            },
+            "--shards" => match count("--shards") {
+                Ok(n) => config.shards = n,
                 Err(e) => return usage_error(e),
             },
             "--cache" => match count("--cache") {
@@ -124,6 +145,182 @@ fn run_serve(args: &[String]) -> ExitCode {
     handle.join();
     println!("optpower serve drained; exiting");
     ExitCode::SUCCESS
+}
+
+fn parse_host_list(value: &str) -> Vec<String> {
+    value
+        .split(',')
+        .map(|h| h.trim().to_string())
+        .filter(|h| !h.is_empty())
+        .collect()
+}
+
+/// `optpower worker [--addr HOST:PORT] [--workers N] [--cache N]`:
+/// the blocking shard server behind a coordinator.
+fn run_worker(args: &[String]) -> ExitCode {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut workers = Workers::Auto;
+    let mut cache: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => addr = a.clone(),
+                None => return usage_error("--addr needs HOST:PORT"),
+            },
+            "--workers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => workers = Workers::Fixed(n),
+                None => return usage_error("--workers needs an unsigned integer"),
+            },
+            "--cache" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cache = Some(n),
+                None => return usage_error("--cache needs an unsigned integer"),
+            },
+            other => return usage_error(format!("unknown `optpower worker` argument {other:?}")),
+        }
+    }
+    let mut runtime = optpower_workload::Runtime::new(workers);
+    if let Some(capacity) = cache {
+        // A cached runtime makes a shard resubmitted after a
+        // coordinator-side retry an artifact-cache hit, and lets
+        // overlapping shards share characterization rows.
+        runtime = runtime.with_cache(capacity);
+    }
+    match optpower_dist::serve(addr.as_str(), runtime) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: could not start the worker: {e}");
+            ExitCode::from(4)
+        }
+    }
+}
+
+/// `optpower run <spec> --hosts HOST:PORT,...`: the coordinator path
+/// of the ordinary run verb. Output and exit codes match the local
+/// `optpower run` byte for byte — distribution only shows in
+/// `meta.dist`.
+fn run_dist(args: &[String]) -> ExitCode {
+    let mut source: Option<String> = None;
+    let mut hosts: Vec<String> = Vec::new();
+    let mut shards: Option<usize> = None;
+    let mut timeout_ms: Option<u64> = None;
+    let mut workers = Workers::Auto;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut format = WireFormat::Text;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--hosts" => match it.next() {
+                Some(list) => hosts = parse_host_list(list),
+                None => return usage_error("--hosts needs HOST:PORT,..."),
+            },
+            "--shards" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => shards = Some(n),
+                None => return usage_error("--shards needs an unsigned integer"),
+            },
+            "--timeout-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => timeout_ms = Some(ms),
+                None => return usage_error("--timeout-ms needs an unsigned integer"),
+            },
+            "--workers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => workers = Workers::Fixed(n),
+                None => return usage_error("--workers needs an unsigned integer"),
+            },
+            "--out" => match it.next() {
+                Some(dir) => out_dir = Some(PathBuf::from(dir)),
+                None => return usage_error("--out needs a directory argument"),
+            },
+            "--json" => format = WireFormat::Json,
+            "--csv" => format = WireFormat::Csv,
+            other if source.is_none() && !other.starts_with("--") => {
+                source = Some(other.to_string());
+            }
+            other => {
+                return usage_error(format!("unknown `optpower run --hosts` argument {other:?}"))
+            }
+        }
+    }
+    let Some(source) = source else {
+        return usage_error("usage: optpower run <spec.json|-> --hosts HOST:PORT,... [flags]");
+    };
+    if hosts.is_empty() {
+        return usage_error("--hosts needs at least one HOST:PORT");
+    }
+    let text = if source == "-" {
+        let mut buf = String::new();
+        if let Err(e) = io::stdin().read_to_string(&mut buf) {
+            eprintln!("error: reading stdin: {e}");
+            return ExitCode::from(2);
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&source) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: reading {source}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    let spec = match optpower_workload::JobSpec::from_json(&text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(optpower_workload::ErrorBody::of(&e).exit_code());
+        }
+    };
+    let mut cluster = optpower_dist::Cluster::new(hosts).with_workers(workers);
+    if let Some(n) = shards {
+        cluster = cluster.with_shards(n);
+    }
+    if let Some(ms) = timeout_ms {
+        cluster = cluster.with_timeout_ms(ms);
+    }
+    let run = match cluster.run(&spec) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(e.error_body().exit_code());
+        }
+    };
+    match format {
+        WireFormat::Text => println!("{}", run.text),
+        WireFormat::Json => println!("{}", run.json),
+        WireFormat::Csv => print!("{}", run.csv),
+    }
+    if let Some(dir) = out_dir {
+        let written = match &run.artifact {
+            Some(artifact) => optpower_workload::cli::write_artifact_files(artifact, &dir),
+            // Rendered-level merges still land the standard triple,
+            // from the merged strings.
+            None => write_rendered_files(&run, spec.kind(), &dir),
+        };
+        match written {
+            Ok(n) => eprintln!("wrote {} artifact files to {}", n, dir.display()),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(4);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn write_rendered_files(
+    run: &optpower_dist::DistRun,
+    kind: &str,
+    dir: &std::path::Path,
+) -> Result<usize, optpower_workload::WorkloadError> {
+    use optpower_workload::WorkloadError;
+    std::fs::create_dir_all(dir).map_err(|e| WorkloadError::io(dir.display().to_string(), e))?;
+    let mut written = 0usize;
+    for (ext, contents) in [("json", &run.json), ("csv", &run.csv), ("txt", &run.text)] {
+        let path = dir.join(format!("{kind}.{ext}"));
+        std::fs::write(&path, contents)
+            .map_err(|e| WorkloadError::io(path.display().to_string(), e))?;
+        written += 1;
+    }
+    Ok(written)
 }
 
 fn run_submit(args: &[String]) -> ExitCode {

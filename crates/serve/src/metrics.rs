@@ -66,6 +66,16 @@ pub struct Metrics {
     pub row_cache_misses: AtomicU64,
     /// Synchronous waits that gave up with `504 timeout`.
     pub timeouts: AtomicU64,
+    /// Shards reassigned after a worker death or timeout, summed
+    /// across distributed runs.
+    pub dist_retries: AtomicU64,
+    /// Shards answered from the coordinator's shard cache.
+    pub shard_cache_hits: AtomicU64,
+    /// Shards that travelled to a worker.
+    pub shard_cache_misses: AtomicU64,
+    /// Completed shards per worker host, summed across distributed
+    /// runs (every configured host present, zero included).
+    dist_hosts: Mutex<BTreeMap<String, u64>>,
     hist: Mutex<BTreeMap<String, Hist>>,
 }
 
@@ -81,6 +91,16 @@ impl Metrics {
         hist.entry(kind.to_string()).or_default().record(wall_ms);
     }
 
+    /// Folds one distributed run's per-host shard counts into the
+    /// service totals (hosts that completed nothing still appear, so
+    /// a dead worker is visible as a flat line, not a missing one).
+    pub fn record_dist_hosts(&self, per_host: &BTreeMap<String, u64>) {
+        let mut hosts = self.dist_hosts.lock().unwrap_or_else(|e| e.into_inner());
+        for (host, shards) in per_host {
+            *hosts.entry(host.clone()).or_insert(0) += shards;
+        }
+    }
+
     /// The `optpower-metrics/v1` JSON document. `queue_depth` is
     /// sampled by the caller (the queue owns that number).
     pub fn render(&self, queue_depth: usize, state: &str) -> String {
@@ -92,6 +112,13 @@ impl Metrics {
         } else {
             Json::num(hits as f64 / (hits + misses) as f64)
         };
+        let dist_hosts: Vec<(String, Json)> = self
+            .dist_hosts
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(host, &shards)| (host.clone(), Json::UInt(shards)))
+            .collect();
         let hist = self.hist.lock().unwrap_or_else(|e| e.into_inner());
         let kinds: Vec<(String, Json)> = hist
             .iter()
@@ -126,6 +153,10 @@ impl Metrics {
             ("row_cache_hits", get(&self.row_cache_hits)),
             ("row_cache_misses", get(&self.row_cache_misses)),
             ("timeouts", get(&self.timeouts)),
+            ("dist_hosts", Json::Obj(dist_hosts)),
+            ("dist_retries", get(&self.dist_retries)),
+            ("shard_cache_hits", get(&self.shard_cache_hits)),
+            ("shard_cache_misses", get(&self.shard_cache_misses)),
             ("queue_depth", Json::UInt(queue_depth as u64)),
             ("wall_ms_by_kind", Json::Obj(kinds)),
         ])
@@ -145,6 +176,12 @@ mod tests {
         Metrics::bump(&m.cache_hits);
         Metrics::bump(&m.cache_misses);
         m.row_cache_hits.fetch_add(2, Ordering::Relaxed);
+        m.dist_retries.fetch_add(1, Ordering::Relaxed);
+        let mut hosts = BTreeMap::new();
+        hosts.insert("h1:1".to_string(), 3u64);
+        hosts.insert("h2:1".to_string(), 0u64);
+        m.record_dist_hosts(&hosts);
+        m.record_dist_hosts(&hosts);
         m.record_wall("table2", 0.5);
         m.record_wall("table2", 50.0);
         m.record_wall("table2", 99_999.0);
@@ -154,6 +191,8 @@ mod tests {
         assert!(doc.contains(r#""row_cache_hits":2"#));
         assert!(doc.contains(r#""row_cache_misses":0"#));
         assert!(doc.contains(r#""queue_depth":3"#));
+        assert!(doc.contains(r#""dist_hosts":{"h1:1":6,"h2:1":0}"#));
+        assert!(doc.contains(r#""dist_retries":1"#));
         assert!(doc.contains(r#""bucket_counts":[1,0,1,0,0,1]"#));
     }
 }

@@ -28,12 +28,13 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use optpower_dist::Cluster;
 use optpower_explore::Workers;
 use optpower_workload::{status_json, ErrorBody, JobSpec, Json, Runtime, SubmitMode, WireFormat};
 
 use crate::http::{read_request, HttpError, HttpRequest, HttpResponse};
 use crate::metrics::Metrics;
-use crate::queue::{JobQueue, JobState, JobStore, PushError};
+use crate::queue::{JobQueue, JobState, JobStore, PushError, ShardCache};
 
 /// How long a handler waits for the socket itself (reading the
 /// request, writing the response). Deliberately short — bodies are
@@ -70,6 +71,12 @@ pub struct Config {
     /// Directory for side-effect artifacts (the export job); `None`
     /// keeps the runtime default.
     pub artifact_dir: Option<PathBuf>,
+    /// Worker `host:port` addresses for distributed execution; empty
+    /// means every job runs locally on the shared runtime.
+    pub hosts: Vec<String>,
+    /// Target shard count for distributed jobs; 0 means one shard per
+    /// worker host.
+    pub shards: usize,
     /// Start with executors paused (test hook: admission works, the
     /// queue fills deterministically, [`ServerHandle::resume`]
     /// releases the executors).
@@ -89,6 +96,8 @@ impl Default for Config {
             retry_after_s: 1,
             max_body_bytes: 1024 * 1024,
             artifact_dir: None,
+            hosts: Vec::new(),
+            shards: 0,
             start_paused: false,
         }
     }
@@ -96,6 +105,8 @@ impl Default for Config {
 
 struct Shared {
     runtime: Runtime,
+    /// The coordinator, when `Config::hosts` named worker addresses.
+    cluster: Option<Cluster>,
     queue: JobQueue,
     store: JobStore,
     metrics: Metrics,
@@ -195,8 +206,25 @@ pub fn start(config: Config) -> io::Result<ServerHandle> {
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
+    let cluster = if config.hosts.is_empty() {
+        None
+    } else {
+        // Shard results are one grid cell each, so the shard cache can
+        // afford to be an order of magnitude deeper than the artifact
+        // cache without changing the memory story.
+        let shard_cache = Arc::new(ShardCache::new(config.cache_capacity.saturating_mul(8)));
+        let mut cluster = Cluster::new(config.hosts.clone())
+            .with_workers(config.workers)
+            .with_cache(shard_cache);
+        if config.shards > 0 {
+            cluster = cluster.with_shards(config.shards);
+        }
+        Some(cluster)
+    };
+
     let shared = Arc::new(Shared {
         runtime,
+        cluster,
         queue: JobQueue::new(config.queue_capacity, config.start_paused),
         store: JobStore::new(config.store_capacity),
         metrics: Metrics::default(),
@@ -255,6 +283,18 @@ fn execute_one(shared: &Shared, key: &str) {
         return;
     };
     shared.store.mark_running(key);
+    // Grid-shaped kinds go through the cluster when one is configured;
+    // everything else (and everything when `--workers` named no hosts)
+    // runs locally on the shared runtime.
+    if let Some(cluster) = &shared.cluster {
+        if matches!(
+            spec,
+            JobSpec::AbInitio(_) | JobSpec::GlitchSweep(_) | JobSpec::Table1Sweep { .. }
+        ) {
+            execute_distributed(shared, cluster, key, &spec);
+            return;
+        }
+    }
     match shared.runtime.run(&spec) {
         Ok(artifact) => {
             shared
@@ -277,6 +317,55 @@ fn execute_one(shared: &Shared, key: &str) {
             shared
                 .store
                 .finish(key, JobState::Failed(ErrorBody::of(&e)));
+        }
+    }
+}
+
+/// Runs one job across the worker cluster and folds the scheduling
+/// stats — per-host shard counts, retries, shard/artifact/row cache
+/// counters from every worker — into the service metrics.
+fn execute_distributed(shared: &Shared, cluster: &Cluster, key: &str, spec: &JobSpec) {
+    use std::sync::atomic::Ordering::Relaxed;
+    match cluster.run(spec) {
+        Ok(run) => {
+            let stats = &run.stats;
+            shared
+                .metrics
+                .dist_retries
+                .fetch_add(stats.retries, Relaxed);
+            shared
+                .metrics
+                .shard_cache_hits
+                .fetch_add(stats.shard_cache_hits, Relaxed);
+            shared
+                .metrics
+                .shard_cache_misses
+                .fetch_add(stats.shard_cache_misses, Relaxed);
+            shared.metrics.record_dist_hosts(&stats.per_host);
+            shared
+                .metrics
+                .cache_hits
+                .fetch_add(stats.cache_hits, Relaxed);
+            shared
+                .metrics
+                .cache_misses
+                .fetch_add(stats.cache_misses, Relaxed);
+            if let Some(rc) = stats.row_cache {
+                shared.metrics.row_cache_hits.fetch_add(rc.hits, Relaxed);
+                shared
+                    .metrics
+                    .row_cache_misses
+                    .fetch_add(rc.misses, Relaxed);
+            }
+            let artifact = run.artifact.expect("distributed kinds merge typed");
+            shared
+                .metrics
+                .record_wall(artifact.kind(), artifact.meta.wall_ms);
+            shared.store.finish(key, JobState::Done(Arc::new(artifact)));
+        }
+        Err(e) => {
+            Metrics::bump(&shared.metrics.failed);
+            shared.store.finish(key, JobState::Failed(e.error_body()));
         }
     }
 }

@@ -193,6 +193,21 @@ pub struct RowCacheStats {
     pub misses: u64,
 }
 
+/// How a distributed run was scheduled: the cluster shape plus how
+/// many shards had to be reassigned after a worker died. Lives in
+/// [`RunMeta`] because fan-out is scheduling — a merged artifact's
+/// payload is bit-identical to the single-host run whatever `hosts`,
+/// `shards` and `retries` say.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DistMeta {
+    /// Worker hosts the coordinator fanned out to.
+    pub hosts: usize,
+    /// Shards the job was split into.
+    pub shards: usize,
+    /// Shards reassigned after a worker death or timeout.
+    pub retries: u64,
+}
+
 /// Run metadata: how an artifact was produced. Everything here is
 /// either scheduling or wall-clock — never part of the deterministic
 /// payload.
@@ -214,6 +229,10 @@ pub struct RunMeta {
     /// *and* the job characterizes architectures (`None` otherwise,
     /// which keeps every other envelope unchanged).
     pub row_cache: Option<RowCacheStats>,
+    /// Distributed-run shape, when a coordinator merged this artifact
+    /// from worker shards (`None` for every single-host run, which
+    /// keeps the legacy envelope unchanged).
+    pub dist: Option<DistMeta>,
 }
 
 /// The typed payload of one executed job.
@@ -551,6 +570,18 @@ impl Artifact {
                 Json::obj([
                     ("hits", Json::UInt(rc.hits)),
                     ("misses", Json::UInt(rc.misses)),
+                ]),
+            ));
+        }
+        // Same only-when-present rule as `row_cache`: single-host runs
+        // keep the exact legacy meta shape.
+        if let Some(d) = self.meta.dist {
+            meta.push((
+                "dist".to_string(),
+                Json::obj([
+                    ("hosts", Json::UInt(d.hosts as u64)),
+                    ("shards", Json::UInt(d.shards as u64)),
+                    ("retries", Json::UInt(d.retries)),
                 ]),
             ));
         }

@@ -384,7 +384,7 @@ fn is_legacy_kind(kind: &str) -> bool {
 pub fn run_legacy(kind: &str, args: &[String]) -> Result<(), WorkloadError> {
     match kind {
         // The simple binaries took no arguments (and ignored any).
-        "table1" => print_spec(&JobSpec::Table1Sweep, Workers::Auto),
+        "table1" => print_spec(&JobSpec::Table1Sweep { archs: None }, Workers::Auto),
         "table2" => print_spec(&JobSpec::Table2, Workers::Auto),
         "table3" => print_spec(&JobSpec::Table3, Workers::Auto),
         "table4" => print_spec(&JobSpec::Table4, Workers::Auto),

@@ -6,12 +6,14 @@ pub mod artifact;
 pub mod cli;
 pub mod error;
 pub mod json;
+pub mod merge;
 pub mod runtime;
+pub mod shard;
 pub mod spec;
 pub mod wire;
 
 pub use artifact::{
-    Artifact, CacheStatus, ExportListing, FlavorRow, LintSummary, Payload, PruneDeltaRow,
+    Artifact, CacheStatus, DistMeta, ExportListing, FlavorRow, LintSummary, Payload, PruneDeltaRow,
     RowCacheStats, RunMeta, StaRow, ARTIFACT_SCHEMA,
 };
 pub use error::{SpecError, WorkloadError};
@@ -22,6 +24,6 @@ pub use spec::{
     LintSpec, PruneDeltaSpec, StaSpec, JOB_KINDS, JOB_SCHEMA,
 };
 pub use wire::{
-    reason_phrase, status_json, ErrorBody, JobRequest, JobResponse, SubmitMode, WireFormat,
-    ERROR_SCHEMA, STATUS_SCHEMA,
+    intern_error_code, reason_phrase, status_json, ErrorBody, JobRequest, JobResponse, ShardFrame,
+    ShardResult, SubmitMode, WireFormat, ERROR_SCHEMA, SHARD_SCHEMA, STATUS_SCHEMA,
 };

@@ -21,8 +21,8 @@ use optpower_report::ablation;
 use optpower_report::extended::{scaling_study_parallel, sensitivity_report_parallel};
 use optpower_report::{
     characterize_design_with, characterize_parallel_with, figure1, figure2, figure34,
-    figure_pareto, glitch_sweep_from_rows, table1_parallel, table3, table4, AbInitioRow,
-    CharacterizeConfig, GlitchSweep, PlaneTiling, TIMED_LANES,
+    figure_pareto, glitch_sweep_from_rows, table1_names, table1_parallel, table1_subset_parallel,
+    table3, table4, AbInitioRow, CharacterizeConfig, GlitchSweep, PlaneTiling, TIMED_LANES,
 };
 use optpower_sim::{measure_activity, Engine, VcdRecorder, ZeroDelaySim};
 use optpower_sta::{GlitchProfile, LintReport, TimingAnalysis};
@@ -383,10 +383,16 @@ impl Runtime {
         // attached; `None` keeps every other job's envelope unchanged.
         let mut row_stats: Option<RowCacheStats> = None;
         let (payload, meta_seed, meta_engine, meta_workers) = match spec {
-            JobSpec::Table1Sweep => (
+            JobSpec::Table1Sweep { archs } => (
                 Payload::Rows {
                     title: TABLE1_TITLE.to_string(),
-                    rows: table1_parallel(workers)?,
+                    rows: match archs {
+                        None => table1_parallel(workers)?,
+                        Some(names) => {
+                            resolve_table1_names(names)?;
+                            table1_subset_parallel(names, workers)?
+                        }
+                    },
                 },
                 None,
                 None,
@@ -553,6 +559,7 @@ impl Runtime {
                 wall_ms: started.elapsed().as_secs_f64() * 1e3,
                 cache: cache_status,
                 row_cache: row_stats,
+                dist: None,
             },
         })
     }
@@ -966,7 +973,7 @@ fn job_workers(pool: Workers, over: Option<usize>) -> Workers {
 }
 
 /// The concrete worker count recorded in run metadata.
-fn resolved(workers: Workers) -> usize {
+pub(crate) fn resolved(workers: Workers) -> usize {
     match workers {
         Workers::Auto => available_workers(),
         Workers::Fixed(n) => n.max(1),
@@ -983,8 +990,40 @@ fn arch_by_name(name: &str) -> Result<Architecture, WorkloadError> {
     })
 }
 
+/// Validates an explicit Table 1 row-name list: non-empty, every name
+/// a published row, no duplicates. The same vocabulary
+/// [`JobSpec::shard`] splits along, so shard specs re-validate on the
+/// worker exactly as the coordinator resolved them.
+pub(crate) fn resolve_table1_names(names: &[String]) -> Result<(), WorkloadError> {
+    if names.is_empty() {
+        return Err(SpecError::new("\"archs\" must not be an empty list").into());
+    }
+    let known = table1_names();
+    for name in names {
+        if !known.contains(&name.as_str()) {
+            return Err(SpecError::new(format!(
+                "unknown architecture {name:?} (Table 1 paper names expected)"
+            ))
+            .into());
+        }
+    }
+    if let Some(dup) = first_duplicate_by(names) {
+        return Err(SpecError::new(format!("\"archs\" lists {dup:?} more than once")).into());
+    }
+    Ok(())
+}
+
+/// [`first_duplicate`] for non-`Copy` values.
+fn first_duplicate_by<T: PartialEq>(items: &[T]) -> Option<&T> {
+    items
+        .iter()
+        .enumerate()
+        .find(|(i, v)| items[..*i].contains(v))
+        .map(|(_, v)| v)
+}
+
 /// The first value appearing more than once, if any.
-fn first_duplicate<T: PartialEq + Copy>(items: &[T]) -> Option<T> {
+pub(crate) fn first_duplicate<T: PartialEq + Copy>(items: &[T]) -> Option<T> {
     items
         .iter()
         .enumerate()
@@ -994,8 +1033,11 @@ fn first_duplicate<T: PartialEq + Copy>(items: &[T]) -> Option<T> {
 
 /// Resolves paper names to architectures (`None` = all thirteen).
 /// Duplicate names are rejected — they would silently double-count
-/// every downstream aggregate.
-fn resolve_archs(names: &Option<Vec<String>>) -> Result<Vec<Architecture>, WorkloadError> {
+/// every downstream aggregate. Shared with [`JobSpec::shard`] and the
+/// shard merge, which must reproduce the runtime's resolution order.
+pub(crate) fn resolve_archs(
+    names: &Option<Vec<String>>,
+) -> Result<Vec<Architecture>, WorkloadError> {
     match names {
         None => Ok(Architecture::ALL.to_vec()),
         Some(names) => {
@@ -1025,7 +1067,7 @@ fn resolve_archs(names: &Option<Vec<String>>) -> Result<Vec<Architecture>, Workl
     }
 }
 
-fn width_error(arch: Architecture, width: usize) -> WorkloadError {
+pub(crate) fn width_error(arch: Architecture, width: usize) -> WorkloadError {
     SpecError::new(format!(
         "{} does not support operand width {width} \
          (arrays/trees: 2..=32; sequential family: power of two >= 4)",

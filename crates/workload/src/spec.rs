@@ -265,7 +265,13 @@ impl Default for PruneDeltaSpec {
 pub enum JobSpec {
     /// Table 1: the thirteen calibrated multipliers (LL flavour),
     /// re-solved in parallel.
-    Table1Sweep,
+    Table1Sweep {
+        /// Paper names of the rows to solve; `None` = the full table.
+        /// The field is omitted from the wire form when `None`, so the
+        /// default spec's canonical JSON (and cache key) is unchanged
+        /// from before the axis existed.
+        archs: Option<Vec<String>>,
+    },
     /// Table 2: the published STM CMOS09 flavour parameters.
     Table2,
     /// Table 3: the Wallace family on the ULL flavour.
@@ -360,7 +366,7 @@ impl JobSpec {
     /// The wire kind tag (`job` field of the JSON form).
     pub fn kind(&self) -> &'static str {
         match self {
-            Self::Table1Sweep => "table1_sweep",
+            Self::Table1Sweep { .. } => "table1_sweep",
             Self::Table2 => "table2",
             Self::Table3 => "table3",
             Self::Table4 => "table4",
@@ -386,7 +392,7 @@ impl JobSpec {
     /// with no flags), or `None` for an unknown kind.
     pub fn default_for(kind: &str) -> Option<JobSpec> {
         Some(match kind {
-            "table1_sweep" => Self::Table1Sweep,
+            "table1_sweep" => Self::Table1Sweep { archs: None },
             "table2" => Self::Table2,
             "table3" => Self::Table3,
             "table4" => Self::Table4,
@@ -425,12 +431,14 @@ impl JobSpec {
         ];
         let mut push = |k: &str, v: Json| pairs.push((k.to_string(), v));
         match self {
-            Self::Table1Sweep
-            | Self::Table2
-            | Self::Table3
-            | Self::Table4
-            | Self::Sensitivity
-            | Self::Export => {}
+            Self::Table2 | Self::Table3 | Self::Table4 | Self::Sensitivity | Self::Export => {}
+            Self::Table1Sweep { archs } => {
+                // Emitted only when set: the no-axis wire form must
+                // stay byte-identical to the historical unit variant.
+                if archs.is_some() {
+                    push("archs", opt_names(archs));
+                }
+            }
             Self::ScalingStudy { frequencies_mhz } => push(
                 "frequencies_mhz",
                 Json::Arr(frequencies_mhz.iter().map(|&f| Json::num(f)).collect()),
@@ -674,6 +682,9 @@ impl JobSpec {
                 seed: uint_field(doc, "seed", d.seed)?,
                 workers: opt_usize_field(doc, "workers")?,
             }),
+            Self::Table1Sweep { archs } => Self::Table1Sweep {
+                archs: names_field(doc, "archs", archs)?,
+            },
             Self::Batch(_) => {
                 let jobs = doc
                     .get("jobs")
@@ -708,6 +719,7 @@ pub fn fnv1a_64(bytes: &[u8]) -> u64 {
 /// The field names each kind accepts (besides `schema` and `job`).
 fn allowed_fields(kind: &str) -> &'static [&'static str] {
     match kind {
+        "table1_sweep" => &["archs"],
         "scaling_study" => &["frequencies_mhz"],
         "ablation" => &["items", "seed"],
         "ab_initio" => &[
@@ -970,9 +982,29 @@ mod tests {
             ..PruneDeltaSpec::default()
         }));
         assert_roundtrip(&JobSpec::Batch(vec![
-            JobSpec::Table1Sweep,
+            JobSpec::Table1Sweep { archs: None },
             JobSpec::Batch(vec![JobSpec::Figure2 { samples: 3 }]),
         ]));
+        assert_roundtrip(&JobSpec::Table1Sweep {
+            archs: Some(vec!["RCA".into(), "Wallace".into()]),
+        });
+    }
+
+    #[test]
+    fn table1_axis_is_invisible_when_unset() {
+        // The optional row axis must not disturb the historical wire
+        // form (which is also the content-address of cached runs).
+        assert_eq!(
+            JobSpec::Table1Sweep { archs: None }.to_json(),
+            r#"{"schema":"optpower-job/v1","job":"table1_sweep"}"#
+        );
+        let spec = JobSpec::from_json(r#"{"job":"table1_sweep","archs":["RCA"]}"#).unwrap();
+        assert_eq!(
+            spec,
+            JobSpec::Table1Sweep {
+                archs: Some(vec!["RCA".to_string()])
+            }
+        );
     }
 
     #[test]

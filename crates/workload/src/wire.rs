@@ -12,8 +12,10 @@
 //! adds transport-level codes (`queue_full`, `draining`, …) but never
 //! re-maps a workload failure.
 
-use crate::artifact::Artifact;
-use crate::error::WorkloadError;
+use std::io;
+
+use crate::artifact::{Artifact, CacheStatus, RowCacheStats};
+use crate::error::{SpecError, WorkloadError};
 use crate::json::Json;
 use crate::spec::JobSpec;
 
@@ -267,6 +269,357 @@ pub fn status_json(key: &str, state: &str) -> String {
     .to_string()
 }
 
+/// Schema tag of the coordinator ↔ worker shard protocol.
+pub const SHARD_SCHEMA: &str = "optpower-shard/v1";
+
+/// Hard cap on one shard frame's JSON body. A malformed or hostile
+/// length prefix must not become a multi-gigabyte allocation.
+const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// The closed error-code vocabulary a shard `error` frame may carry:
+/// the frozen [`ErrorBody::of`] table plus the transport codes the
+/// serve/dist layers add. Codes stay `&'static str` end to end, so a
+/// code read off the wire is interned back through this table
+/// (anything outside the contract becomes `"unknown_error"` rather
+/// than a fabricated static).
+pub fn intern_error_code(code: &str) -> &'static str {
+    const CODES: &[&str] = &[
+        "invalid_spec",
+        "lint_rejected",
+        "model_failed",
+        "ab_initio_failed",
+        "simulation_failed",
+        "netlist_failed",
+        "io_failed",
+        "bad_request",
+        "unknown_job",
+        "unknown_path",
+        "method_not_allowed",
+        "not_acceptable",
+        "payload_too_large",
+        "queue_full",
+        "draining",
+        "timeout",
+        "worker_failed",
+    ];
+    CODES
+        .iter()
+        .find(|&&c| c == code)
+        .copied()
+        .unwrap_or("unknown_error")
+}
+
+/// One worker's completed shard: the three deterministic renderings
+/// (which is all bit-identity needs — `payload_json` is meta-free by
+/// construction) plus the per-shard meta counters the coordinator
+/// aggregates into its own envelope and `/metrics`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardResult {
+    /// The shard spec's [`JobSpec::canonical_key`].
+    pub shard: String,
+    /// [`Artifact::payload_json`] of the shard artifact.
+    pub payload_json: String,
+    /// [`Artifact::to_csv`] of the shard artifact.
+    pub csv: String,
+    /// [`Artifact::render_text`] of the shard artifact.
+    pub text: String,
+    /// Worker-side wall clock of the shard, in milliseconds.
+    pub wall_ms: f64,
+    /// Whether the worker's artifact cache answered.
+    pub cache: Option<CacheStatus>,
+    /// The worker's row-cache counters for this shard, when attached.
+    pub row_cache: Option<RowCacheStats>,
+}
+
+/// One `optpower-shard/v1` protocol frame. The codec is deliberately
+/// transport-free: [`ShardFrame::write_to`] / [`ShardFrame::read_from`]
+/// speak length-prefixed JSON over any byte stream (`crates/dist` puts
+/// TCP under it; the fault tests use in-memory pipes).
+///
+/// Wire layout per frame: a 4-byte big-endian byte length, then that
+/// many bytes of one JSON document tagged `"schema":"optpower-shard/v1"`
+/// and `"frame":"hello"|"assign"|"heartbeat"|"result"|"error"`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardFrame {
+    /// Connection opener (worker → coordinator on accept): who is
+    /// speaking, so the coordinator can reject a non-worker endpoint
+    /// before assigning anything.
+    Hello {
+        /// Self-description of the sender (bind address or label).
+        host: String,
+    },
+    /// Coordinator → worker: run one shard spec.
+    Assign {
+        /// The shard spec's canonical key (shard identity everywhere:
+        /// assignment hashing, caching, result correlation).
+        shard: String,
+        /// The shard spec itself.
+        spec: JobSpec,
+    },
+    /// Worker → coordinator: the shard is still executing. Sent on a
+    /// steady cadence so a silent socket means a dead worker, not a
+    /// slow shard.
+    Heartbeat {
+        /// The executing shard's canonical key.
+        shard: String,
+    },
+    /// Worker → coordinator: the shard completed.
+    Result(Box<ShardResult>),
+    /// Worker → coordinator: the shard failed deterministically (the
+    /// job itself is at fault, so the coordinator must not retry it).
+    Error {
+        /// The failed shard's canonical key.
+        shard: String,
+        /// The frozen machine-readable failure.
+        error: ErrorBody,
+    },
+}
+
+impl ShardFrame {
+    /// The frame's JSON document value.
+    pub fn to_json_value(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = vec![
+            ("schema".to_string(), Json::str(SHARD_SCHEMA)),
+            ("frame".to_string(), Json::str(self.name())),
+        ];
+        let mut push = |k: &str, v: Json| pairs.push((k.to_string(), v));
+        match self {
+            ShardFrame::Hello { host } => push("host", Json::str(host)),
+            ShardFrame::Assign { shard, spec } => {
+                push("shard", Json::str(shard));
+                push("spec", spec.to_json_value());
+            }
+            ShardFrame::Heartbeat { shard } => push("shard", Json::str(shard)),
+            ShardFrame::Result(r) => {
+                push("shard", Json::str(&r.shard));
+                push("payload_json", Json::str(&r.payload_json));
+                push("csv", Json::str(&r.csv));
+                push("text", Json::str(&r.text));
+                push("wall_ms", Json::num(r.wall_ms));
+                push(
+                    "cache",
+                    match r.cache {
+                        Some(status) => Json::str(status.label()),
+                        None => Json::Null,
+                    },
+                );
+                push(
+                    "row_cache",
+                    match r.row_cache {
+                        Some(rc) => Json::obj([
+                            ("hits", Json::UInt(rc.hits)),
+                            ("misses", Json::UInt(rc.misses)),
+                        ]),
+                        None => Json::Null,
+                    },
+                );
+            }
+            ShardFrame::Error { shard, error } => {
+                push("shard", Json::str(shard));
+                push(
+                    "error",
+                    Json::obj([
+                        ("status", Json::UInt(u64::from(error.status))),
+                        ("code", Json::str(error.code)),
+                        ("message", Json::str(error.message.clone())),
+                    ]),
+                );
+            }
+        }
+        Json::Obj(pairs)
+    }
+
+    /// The compact JSON wire form.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+
+    /// The wire tag of this frame kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShardFrame::Hello { .. } => "hello",
+            ShardFrame::Assign { .. } => "assign",
+            ShardFrame::Heartbeat { .. } => "heartbeat",
+            ShardFrame::Result(_) => "result",
+            ShardFrame::Error { .. } => "error",
+        }
+    }
+
+    /// Parses one frame's JSON document.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::Spec`] on schema mismatch or malformed fields.
+    pub fn from_json(text: &str) -> Result<ShardFrame, WorkloadError> {
+        let doc = Json::parse(text).map_err(|e| SpecError::new(e.to_string()))?;
+        let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+        if schema != SHARD_SCHEMA {
+            return Err(SpecError::new(format!(
+                "unsupported shard frame schema {schema:?} (expected {SHARD_SCHEMA:?})"
+            ))
+            .into());
+        }
+        let frame = doc
+            .get("frame")
+            .and_then(Json::as_str)
+            .ok_or_else(|| SpecError::new("shard frame needs a string \"frame\" field"))?;
+        let shard_field = || -> Result<String, WorkloadError> {
+            doc.get("shard")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| SpecError::new("shard frame needs a string \"shard\" field").into())
+        };
+        Ok(match frame {
+            "hello" => ShardFrame::Hello {
+                host: doc
+                    .get("host")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| SpecError::new("hello frame needs a string \"host\""))?
+                    .to_string(),
+            },
+            "assign" => ShardFrame::Assign {
+                shard: shard_field()?,
+                spec: JobSpec::from_json_value(
+                    doc.get("spec")
+                        .ok_or_else(|| SpecError::new("assign frame needs a \"spec\" object"))?,
+                )?,
+            },
+            "heartbeat" => ShardFrame::Heartbeat {
+                shard: shard_field()?,
+            },
+            "result" => {
+                let string = |key: &str| -> Result<String, WorkloadError> {
+                    doc.get(key)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| {
+                            SpecError::new(format!("result frame needs a string {key:?}")).into()
+                        })
+                };
+                let cache = match doc.get("cache") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => match v.as_str() {
+                        Some("hit") => Some(CacheStatus::Hit),
+                        Some("miss") => Some(CacheStatus::Miss),
+                        other => {
+                            return Err(SpecError::new(format!(
+                                "result frame \"cache\" must be \"hit\", \"miss\" or null, \
+                                 not {other:?}"
+                            ))
+                            .into())
+                        }
+                    },
+                };
+                let row_cache = match doc.get("row_cache") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(RowCacheStats {
+                        hits: v.get("hits").and_then(Json::as_u64).ok_or_else(|| {
+                            SpecError::new("\"row_cache\" needs an unsigned \"hits\"")
+                        })?,
+                        misses: v.get("misses").and_then(Json::as_u64).ok_or_else(|| {
+                            SpecError::new("\"row_cache\" needs an unsigned \"misses\"")
+                        })?,
+                    }),
+                };
+                ShardFrame::Result(Box::new(ShardResult {
+                    shard: shard_field()?,
+                    payload_json: string("payload_json")?,
+                    csv: string("csv")?,
+                    text: string("text")?,
+                    wall_ms: doc.get("wall_ms").and_then(Json::as_f64).ok_or_else(|| {
+                        SpecError::new("result frame needs a numeric \"wall_ms\"")
+                    })?,
+                    cache,
+                    row_cache,
+                }))
+            }
+            "error" => {
+                let body = doc
+                    .get("error")
+                    .ok_or_else(|| SpecError::new("error frame needs an \"error\" object"))?;
+                let status = body
+                    .get("status")
+                    .and_then(Json::as_u64)
+                    .and_then(|s| u16::try_from(s).ok())
+                    .ok_or_else(|| SpecError::new("\"error\" needs a u16 \"status\""))?;
+                let code = body
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| SpecError::new("\"error\" needs a string \"code\""))?;
+                let message = body
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                ShardFrame::Error {
+                    shard: shard_field()?,
+                    error: ErrorBody::new(status, intern_error_code(code), message),
+                }
+            }
+            other => {
+                return Err(SpecError::new(format!(
+                    "unknown shard frame kind {other:?} \
+                     (hello | assign | heartbeat | result | error)"
+                ))
+                .into())
+            }
+        })
+    }
+
+    /// Writes the frame as a 4-byte big-endian length prefix plus the
+    /// JSON body.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] from the underlying writer, or `InvalidData` when
+    /// the frame exceeds the 64 MiB cap.
+    pub fn write_to(&self, writer: &mut impl io::Write) -> io::Result<()> {
+        let body = self.to_json();
+        let len = u32::try_from(body.len())
+            .ok()
+            .filter(|&n| n <= MAX_FRAME_BYTES)
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("shard frame of {} bytes exceeds the frame cap", body.len()),
+                )
+            })?;
+        // One contiguous write per frame: splitting the prefix and the
+        // body into separate writes invites a Nagle / delayed-ACK
+        // stall (~40 ms per frame) on sockets without TCP_NODELAY.
+        let mut buf = Vec::with_capacity(4 + body.len());
+        buf.extend_from_slice(&len.to_be_bytes());
+        buf.extend_from_slice(body.as_bytes());
+        writer.write_all(&buf)?;
+        writer.flush()
+    }
+
+    /// Reads one length-prefixed frame. A clean EOF before the prefix
+    /// surfaces as `UnexpectedEof` (the peer hung up); malformed JSON
+    /// or an off-contract document is `InvalidData`.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] from the reader or the decoding steps above.
+    pub fn read_from(reader: &mut impl io::Read) -> io::Result<ShardFrame> {
+        let mut prefix = [0u8; 4];
+        reader.read_exact(&mut prefix)?;
+        let len = u32::from_be_bytes(prefix);
+        if len > MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("shard frame length {len} exceeds the frame cap"),
+            ));
+        }
+        let mut body = vec![0u8; len as usize];
+        reader.read_exact(&mut body)?;
+        let text = String::from_utf8(body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "shard frame is not UTF-8"))?;
+        ShardFrame::from_json(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,5 +675,89 @@ mod tests {
             status_json("00ff00ff00ff00ff", "queued"),
             r#"{"schema":"optpower-job-status/v1","key":"00ff00ff00ff00ff","state":"queued"}"#
         );
+    }
+
+    #[test]
+    fn shard_frames_round_trip_through_the_codec() {
+        let spec = JobSpec::default_for("ab_initio").unwrap();
+        let frames = [
+            ShardFrame::Hello {
+                host: "127.0.0.1:7900".to_string(),
+            },
+            ShardFrame::Assign {
+                shard: spec.canonical_key(),
+                spec: spec.clone(),
+            },
+            ShardFrame::Heartbeat {
+                shard: spec.canonical_key(),
+            },
+            ShardFrame::Result(Box::new(ShardResult {
+                shard: spec.canonical_key(),
+                payload_json: r#"{"schema":"optpower-workload/v1"}"#.to_string(),
+                csv: "a,b\n1,2\n".to_string(),
+                text: "table".to_string(),
+                wall_ms: 12.75,
+                cache: Some(CacheStatus::Hit),
+                row_cache: Some(RowCacheStats { hits: 3, misses: 1 }),
+            })),
+            ShardFrame::Result(Box::new(ShardResult {
+                shard: "00ff00ff00ff00ff".to_string(),
+                payload_json: String::new(),
+                csv: String::new(),
+                text: String::new(),
+                wall_ms: 0.0,
+                cache: None,
+                row_cache: None,
+            })),
+            ShardFrame::Error {
+                shard: spec.canonical_key(),
+                error: ErrorBody::new(422, "model_failed", "no optimum"),
+            },
+        ];
+        // JSON round trip, then the length-prefixed byte stream — all
+        // frames in one buffer, read back in order.
+        let mut stream = Vec::new();
+        for frame in &frames {
+            assert_eq!(&ShardFrame::from_json(&frame.to_json()).unwrap(), frame);
+            frame.write_to(&mut stream).unwrap();
+        }
+        let mut reader = stream.as_slice();
+        for frame in &frames {
+            assert_eq!(&ShardFrame::read_from(&mut reader).unwrap(), frame);
+        }
+        // Clean EOF at a frame boundary is UnexpectedEof (peer gone).
+        let err = ShardFrame::read_from(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn shard_codec_rejects_off_contract_input() {
+        for bad in [
+            r#"{"schema":"optpower-shard/v2","frame":"hello","host":"h"}"#,
+            r#"{"schema":"optpower-shard/v1","frame":"warp"}"#,
+            r#"{"schema":"optpower-shard/v1","frame":"assign","shard":"k"}"#,
+            r#"{"schema":"optpower-shard/v1","frame":"result","shard":"k"}"#,
+            "not json",
+        ] {
+            assert!(ShardFrame::from_json(bad).is_err(), "{bad}");
+        }
+        // A hostile length prefix must not allocate; it is InvalidData.
+        let mut reader: &[u8] = &[0xFF, 0xFF, 0xFF, 0xFF];
+        let err = ShardFrame::read_from(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn error_codes_intern_to_the_frozen_vocabulary() {
+        assert_eq!(intern_error_code("model_failed"), "model_failed");
+        assert_eq!(intern_error_code("queue_full"), "queue_full");
+        assert_eq!(intern_error_code("made_up_code"), "unknown_error");
+        // The wire round trip of an error frame preserves code + status.
+        let frame = ShardFrame::Error {
+            shard: "k".to_string(),
+            error: ErrorBody::new(429, "queue_full", "busy"),
+        };
+        let back = ShardFrame::from_json(&frame.to_json()).unwrap();
+        assert_eq!(back, frame);
     }
 }

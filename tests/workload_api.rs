@@ -56,7 +56,7 @@ fn spec_from(kind: usize, a: u64, b: u64, c: usize, widths: &[usize], names_ix: 
     };
     let freqs = vec![(a % 997) as f64 * 0.25 + 0.5, 31.25, (b % 211) as f64 + 1.0];
     match kind % 19 {
-        0 => JobSpec::Table1Sweep,
+        0 => JobSpec::Table1Sweep { archs: None },
         1 => JobSpec::Table2,
         2 => JobSpec::Table3,
         3 => JobSpec::Table4,
@@ -229,7 +229,7 @@ proptest! {
 /// A cheap-but-covering spec set for execution-level properties.
 fn representative_specs() -> Vec<JobSpec> {
     vec![
-        JobSpec::Table1Sweep,
+        JobSpec::Table1Sweep { archs: None },
         JobSpec::Table2,
         JobSpec::Table3,
         JobSpec::ScalingStudy {
@@ -357,7 +357,10 @@ fn render_text_matches_the_legacy_binary_output() {
         &rows,
     );
     assert_eq!(
-        runtime.run(&JobSpec::Table1Sweep).unwrap().render_text(),
+        runtime
+            .run(&JobSpec::Table1Sweep { archs: None })
+            .unwrap()
+            .render_text(),
         legacy
     );
 
@@ -499,14 +502,14 @@ fn every_legacy_binary_workload_is_reachable_as_a_jobspec() {
     // Cheap stand-ins: the *kind* coverage is the point here; output
     // equality is locked by the tests above.
     let cheap: Vec<JobSpec> = vec![
-        JobSpec::Table1Sweep, // table1
-        JobSpec::Table2,      // table2
-        JobSpec::Table3,      // table3
-        JobSpec::Table4,      // table4
+        JobSpec::Table1Sweep { archs: None }, // table1
+        JobSpec::Table2,                      // table2
+        JobSpec::Table3,                      // table3
+        JobSpec::Table4,                      // table4
         JobSpec::ScalingStudy {
             frequencies_mhz: vec![31.25],
         }, // scaling
-        JobSpec::Sensitivity, // sensitivity
+        JobSpec::Sensitivity,                 // sensitivity
         JobSpec::Ablation { items: 20, seed: 3 }, // ablation
         JobSpec::AbInitio(AbInitioSpec {
             archs: Some(vec!["RCA".into()]),
@@ -519,14 +522,14 @@ fn every_legacy_binary_workload_is_reachable_as_a_jobspec() {
             freq_points: 2,
             ..GlitchSweepSpec::default()
         }), // ab_initio --glitch-sweep
-        JobSpec::Figure1 { samples: 4 }, // figure1
-        JobSpec::Figure2 { samples: 4 }, // figure2
+        JobSpec::Figure1 { samples: 4 },      // figure1
+        JobSpec::Figure2 { samples: 4 },      // figure2
         JobSpec::Figure34 {
             width: 8,
             items: 10,
         }, // figure34
-        JobSpec::Export,      // export
-        JobSpec::Pareto { freq_points: 2 }, // pareto (new)
+        JobSpec::Export,                      // export
+        JobSpec::Pareto { freq_points: 2 },   // pareto (new)
         JobSpec::ActivityMeasure(ActivitySpec {
             items: 5,
             warmup: 2,
@@ -655,6 +658,7 @@ fn golden_artifact_envelope_with_meta() {
         wall_ms: 0.25,
         cache: Some(CacheStatus::Hit),
         row_cache: None,
+        dist: None,
     };
     golden_compare(
         "tests/golden/artifact_envelope.json",
